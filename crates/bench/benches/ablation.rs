@@ -1,0 +1,114 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! importance-sampling boost, simulation backend, and worker scaling.
+
+use ahs_core::{BiasMode, Params, UnsafetyEvaluator};
+use ahs_des::{Backend, Study};
+use ahs_san::{Delay, SanBuilder, SanModel};
+use ahs_stats::TimeGrid;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Ablation 1 — bias boost: time to run a fixed replication budget at
+/// λ=1e-3 under plain MC, a fixed modest boost, and the auto boost.
+/// (Accuracy-per-replication comparisons live in the integration
+/// tests; this tracks the runtime cost of the biased measure, which
+/// rises with boost because biased paths carry more events.)
+fn bench_bias_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_bias_mode");
+    let grid = TimeGrid::new(vec![6.0]);
+    for (name, mode) in [
+        ("plain", BiasMode::None),
+        ("boost_x10", BiasMode::Fixed(10.0)),
+        ("auto", BiasMode::Auto),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let params = Params::builder().lambda(1e-3).n(4).build().unwrap();
+                UnsafetyEvaluator::new(params)
+                    .with_seed(3)
+                    .with_replications(400)
+                    .with_threads(2)
+                    .with_bias(mode)
+                    .evaluate(black_box(&grid))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn repairable() -> SanModel {
+    let mut b = SanBuilder::new("repairable");
+    for i in 0..4 {
+        let up = b.place_with_tokens(&format!("up{i}"), 1).unwrap();
+        let down = b.place(&format!("down{i}")).unwrap();
+        b.timed_activity(&format!("fail{i}"), Delay::exponential(0.5))
+            .unwrap()
+            .input_place(up)
+            .output_place(down)
+            .build()
+            .unwrap();
+        b.timed_activity(&format!("repair{i}"), Delay::exponential(2.0))
+            .unwrap()
+            .input_place(down)
+            .output_place(up)
+            .build()
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Ablation 2 — backend: SSA versus event-queue on the same
+/// exponential model (the SSA path avoids the future-event list and
+/// per-activity sampling).
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_backend");
+    let grid = TimeGrid::new(vec![20.0]);
+    for (name, backend) in [
+        ("markov_ssa", Backend::Markov),
+        ("event_queue", Backend::EventDriven),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                Study::new(repairable())
+                    .with_seed(5)
+                    .with_fixed_replications(2_000)
+                    .with_threads(1)
+                    .first_passage(|_| false, black_box(&grid), backend.clone())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 3 — parallel replications: 1 versus 4 worker threads on a
+/// fixed budget.
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_threads");
+    let grid = TimeGrid::new(vec![6.0]);
+    for threads in [1usize, 4] {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| {
+                let params = Params::builder().lambda(1e-4).n(6).build().unwrap();
+                UnsafetyEvaluator::new(params)
+                    .with_seed(9)
+                    .with_replications(800)
+                    .with_threads(threads)
+                    .evaluate(black_box(&grid))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablation;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_bias_modes, bench_backends, bench_thread_scaling
+}
+criterion_main!(ablation);

@@ -1,0 +1,67 @@
+//! One bench per paper table/figure: miniature-scale versions of the
+//! experiment harness, so regressions in any reproduction pipeline show
+//! up in `cargo bench`. Full-scale runs are the `fig10`…`fig15`
+//! binaries.
+
+use ahs_bench::{
+    fig10, fig11, fig12, fig13, fig14, fig15, maneuver_durations, tables, RunConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn mini() -> RunConfig {
+    RunConfig {
+        replications: 40,
+        paper_precision: false,
+        seed: 7,
+        threads: 1,
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("tables_1_2_3", |b| b.iter(|| black_box(tables())));
+    c.bench_function("maneuver_durations_table", |b| {
+        b.iter(|| maneuver_durations(black_box(20), 1))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = mini();
+    c.bench_function("fig10_mini", |b| b.iter(|| fig10(black_box(&cfg)).unwrap()));
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let cfg = mini();
+    c.bench_function("fig11_mini", |b| b.iter(|| fig11(black_box(&cfg)).unwrap()));
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let cfg = mini();
+    c.bench_function("fig12_mini", |b| b.iter(|| fig12(black_box(&cfg)).unwrap()));
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let cfg = mini();
+    c.bench_function("fig13_mini", |b| b.iter(|| fig13(black_box(&cfg)).unwrap()));
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let cfg = mini();
+    c.bench_function("fig14_mini", |b| b.iter(|| fig14(black_box(&cfg)).unwrap()));
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let cfg = mini();
+    c.bench_function("fig15_mini", |b| b.iter(|| fig15(black_box(&cfg)).unwrap()));
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_tables, bench_fig10, bench_fig11, bench_fig12, bench_fig13,
+              bench_fig14, bench_fig15
+}
+criterion_main!(figures);

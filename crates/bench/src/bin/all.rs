@@ -1,0 +1,48 @@
+//! Runs every table and figure reproduction, printing Markdown and
+//! writing CSVs under results/. Flags: --paper --reps N --seed S --threads T.
+
+use ahs_bench::{
+    ext_platoons, fig10, fig11, fig12, fig13, fig14, fig15, figure_to_markdown,
+    maneuver_durations, tables, write_results, RunConfig,
+};
+use ahs_stats::format_markdown;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = RunConfig::from_args(&args);
+    let dir = std::path::Path::new("results");
+
+    let [t1, t2, t3] = tables();
+    println!("### Table 1 — Failure modes and associated maneuvers\n");
+    print!("{}", format_markdown(&t1));
+    println!("\n### Table 2 — Catastrophic situations\n");
+    print!("{}", format_markdown(&t2));
+    println!("\n### Table 3 — Coordination strategies considered\n");
+    print!("{}", format_markdown(&t3));
+    println!("\n### Maneuver durations (kinematic substrate)\n");
+    print!("{}", format_markdown(&maneuver_durations(400, cfg.seed)));
+    println!();
+
+    type FigFn = fn(&RunConfig) -> Result<ahs_bench::FigureResult, ahs_core::AhsError>;
+    let figs: [(&str, FigFn); 7] = [
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("fig13", fig13),
+        ("fig14", fig14),
+        ("fig15", fig15),
+        ("ext_platoons", ext_platoons),
+    ];
+    for (name, f) in figs {
+        eprintln!("running {name}...");
+        let start = std::time::Instant::now();
+        let fig = f(&cfg).expect("experiment failed");
+        println!("{}", figure_to_markdown(&fig));
+        let path = write_results(&fig, dir).expect("write results");
+        eprintln!(
+            "wrote {} ({:.1}s)",
+            path.display(),
+            start.elapsed().as_secs_f64()
+        );
+    }
+}

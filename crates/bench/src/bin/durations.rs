@@ -1,0 +1,10 @@
+//! Estimates end-to-end maneuver durations from the kinematic
+//! substrate, justifying the paper's 15-30/hr maneuver rates.
+
+use ahs_bench::maneuver_durations;
+use ahs_stats::format_markdown;
+
+fn main() {
+    println!("### Maneuver durations from the kinematic substrate\n");
+    print!("{}", format_markdown(&maneuver_durations(400, 42)));
+}

@@ -1,0 +1,12 @@
+//! Reproduces Figure 13 of the paper. Flags: --paper --reps N --seed S --threads T.
+
+use ahs_bench::{fig13, figure_to_markdown, write_results, RunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = RunConfig::from_args(&args);
+    let fig = fig13(&cfg).expect("experiment failed");
+    print!("{}", figure_to_markdown(&fig));
+    let path = write_results(&fig, std::path::Path::new("results")).expect("write results");
+    eprintln!("wrote {}", path.display());
+}

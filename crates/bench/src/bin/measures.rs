@@ -1,0 +1,53 @@
+//! Secondary trip measures (maneuvers per trip, recovery occupancy,
+//! vehicles lost) across the paper's lambda range.
+//! Flags: --reps N --seed S
+
+use ahs_core::{trip_measures, Params};
+use ahs_stats::{format_markdown, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps: u64 = 4_000;
+    let mut seed: u64 = 2009;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                i += 1;
+                reps = args[i].parse().expect("--reps takes an integer");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed takes an integer");
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+        i += 1;
+    }
+
+    let mut t = Table::new(vec![
+        "lambda (/hr)".into(),
+        "E[maneuvers]/trip".into(),
+        "recovery time fraction".into(),
+        "E[vehicles lost]/trip".into(),
+    ]);
+    for lambda in [1e-5, 1e-4, 1e-3, 1e-2] {
+        let params = Params::builder().n(10).lambda(lambda).build().unwrap();
+        let m = trip_measures(&params, 10.0, reps, seed).expect("measure estimation failed");
+        t.push_row(vec![
+            format!("{lambda:.0e}"),
+            format!("{:.3e} ± {:.1e}", m.expected_maneuvers, m.expected_maneuvers_hw),
+            format!(
+                "{:.3e} ± {:.1e}",
+                m.recovery_time_fraction, m.recovery_time_fraction_hw
+            ),
+            format!(
+                "{:.3e} ± {:.1e}",
+                m.expected_vehicles_lost, m.expected_vehicles_lost_hw
+            ),
+        ])
+        .expect("row width matches header");
+    }
+    println!("### Secondary trip measures (n = 10, 10 h trip)\n");
+    print!("{}", format_markdown(&t));
+}

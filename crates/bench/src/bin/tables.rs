@@ -1,0 +1,14 @@
+//! Regenerates Tables 1-3 of the paper from the typed domain model.
+
+use ahs_bench::tables;
+use ahs_stats::format_markdown;
+
+fn main() {
+    let [t1, t2, t3] = tables();
+    println!("### Table 1 — Failure modes and associated maneuvers\n");
+    print!("{}", format_markdown(&t1));
+    println!("\n### Table 2 — Catastrophic situations\n");
+    print!("{}", format_markdown(&t2));
+    println!("\n### Table 3 — Coordination strategies considered\n");
+    print!("{}", format_markdown(&t3));
+}

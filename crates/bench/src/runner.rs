@@ -1,0 +1,215 @@
+//! Shared experiment runner and result types.
+
+use ahs_core::{AhsError, Params, UnsafetyEvaluator};
+use ahs_stats::{StoppingRule, TimeGrid};
+use serde::{Deserialize, Serialize};
+
+/// One point of a reproduced series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Abscissa: trip duration (hours) or platoon capacity `n`,
+    /// depending on the figure.
+    pub x: f64,
+    /// Estimated unsafety.
+    pub y: f64,
+    /// Confidence half-width on `y`.
+    pub half_width: f64,
+    /// Replications behind the point.
+    pub samples: u64,
+}
+
+/// One labelled series of a figure (e.g. `n=8`, `λ=1e-5`, `DD`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The points, ascending in `x`.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// A reproduced figure or table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Identifier, e.g. `fig10`.
+    pub id: String,
+    /// Human-readable description.
+    pub title: String,
+    /// Name of the x-axis.
+    pub x_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+/// Execution configuration shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunConfig {
+    /// Replications per evaluated point when `paper_precision` is off.
+    pub replications: u64,
+    /// Use the paper's sequential stopping rule (≥10 000 replications,
+    /// 95% / 0.1 relative) instead of a fixed count.
+    pub paper_precision: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl RunConfig {
+    /// A quick configuration for smoke runs and benches.
+    pub fn quick() -> Self {
+        RunConfig {
+            replications: 6_000,
+            paper_precision: false,
+            seed: 2009,
+            threads: 0,
+        }
+    }
+
+    /// The paper's convergence criterion.
+    pub fn paper() -> Self {
+        RunConfig {
+            replications: 10_000,
+            paper_precision: true,
+            seed: 2009,
+            threads: 0,
+        }
+    }
+
+    /// Parses `--paper`, `--reps N`, `--seed S`, `--threads T` from
+    /// command-line arguments (used by every `fig*` binary).
+    pub fn from_args(args: &[String]) -> Self {
+        let mut cfg = RunConfig::quick();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--paper" => cfg.paper_precision = true,
+                "--reps" => {
+                    i += 1;
+                    cfg.replications = args[i].parse().expect("--reps takes an integer");
+                }
+                "--seed" => {
+                    i += 1;
+                    cfg.seed = args[i].parse().expect("--seed takes an integer");
+                }
+                "--threads" => {
+                    i += 1;
+                    cfg.threads = args[i].parse().expect("--threads takes an integer");
+                }
+                other => panic!("unknown argument `{other}` (expected --paper/--reps/--seed/--threads)"),
+            }
+            i += 1;
+        }
+        cfg
+    }
+
+    /// Builds the evaluator for one experiment point.
+    pub(crate) fn evaluator(&self, params: Params, salt: u64) -> UnsafetyEvaluator {
+        let mut e = UnsafetyEvaluator::new(params).with_seed(self.seed ^ salt);
+        e = if self.paper_precision {
+            e.with_rule(
+                StoppingRule::relative_precision(0.95, 0.1)
+                    .with_min_samples(10_000)
+                    .with_max_samples(2_000_000),
+            )
+        } else {
+            e.with_replications(self.replications)
+        };
+        if self.threads > 0 {
+            e = e.with_threads(self.threads);
+        }
+        e
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::quick()
+    }
+}
+
+/// Runs one `S(t)` curve.
+pub(crate) fn curve(
+    cfg: &RunConfig,
+    params: Params,
+    grid: &TimeGrid,
+    label: impl Into<String>,
+    salt: u64,
+) -> Result<Series, AhsError> {
+    let result = cfg.evaluator(params, salt).evaluate(grid)?;
+    Ok(Series {
+        label: label.into(),
+        points: result
+            .points()
+            .iter()
+            .map(|p| SeriesPoint {
+                x: p.x,
+                y: p.y,
+                half_width: p.half_width,
+                samples: p.samples,
+            })
+            .collect(),
+    })
+}
+
+/// Runs a `S(t_fixed)`-versus-`n` series.
+pub(crate) fn versus_n(
+    cfg: &RunConfig,
+    base: impl Fn(usize) -> Params,
+    ns: &[usize],
+    t_hours: f64,
+    label: impl Into<String>,
+    salt: u64,
+) -> Result<Series, AhsError> {
+    let grid = TimeGrid::new(vec![t_hours]);
+    let mut points = Vec::with_capacity(ns.len());
+    for (i, &n) in ns.iter().enumerate() {
+        let result = cfg
+            .evaluator(base(n), salt.wrapping_add(i as u64))
+            .evaluate(&grid)?;
+        let p = result.points()[0];
+        points.push(SeriesPoint {
+            x: n as f64,
+            y: p.y,
+            half_width: p.half_width,
+            samples: p.samples,
+        });
+    }
+    Ok(Series {
+        label: label.into(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let cfg = RunConfig::from_args(&[
+            "--paper".into(),
+            "--reps".into(),
+            "123".into(),
+            "--seed".into(),
+            "9".into(),
+            "--threads".into(),
+            "2".into(),
+        ]);
+        assert!(cfg.paper_precision);
+        assert_eq!(cfg.replications, 123);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.threads, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_arg_rejected() {
+        RunConfig::from_args(&["--bogus".into()]);
+    }
+
+    #[test]
+    fn quick_and_paper_presets_differ() {
+        assert!(!RunConfig::quick().paper_precision);
+        assert!(RunConfig::paper().paper_precision);
+    }
+}

@@ -1,0 +1,378 @@
+//! An independent agent-level simulator of the same AHS semantics.
+//!
+//! This simulator shares **no code path** with the SAN model: it keeps
+//! explicit per-vehicle state machines and runs the continuous-time
+//! dynamics directly (Gillespie over the agent states). Agreement
+//! between this simulator and the SAN model is the workspace's primary
+//! end-to-end validation of the model construction (DESIGN.md,
+//! validation step 5).
+
+use ahs_platoon::RecoveryManeuver;
+use ahs_stats::{Curve, TimeGrid};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::failure::{
+    class_of_maneuver, escalation_of, maneuver_priority, FailureMode,
+};
+use crate::params::Params;
+use crate::severity::{is_catastrophic, SeverityCount};
+use crate::strategy::involved_vehicles;
+use crate::SeverityClass;
+
+/// Per-vehicle state of the agent simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum AgentState {
+    /// On the highway, healthy, in platoon 1 or 2.
+    Operating(u8),
+    /// Executing a recovery maneuver in platoon 1 or 2.
+    Recovering(u8, RecoveryManeuver),
+    /// Exited (safely or as v_KO); slot waits for `back_to`.
+    Done,
+    /// Off the highway, eligible to join.
+    Out,
+}
+
+/// Direct agent-level Monte-Carlo simulator of the AHS.
+///
+/// Uses plain (unbiased) sampling, so it is only practical in regimes
+/// where failures are not too rare — exactly the regimes the
+/// integration tests use to cross-validate the SAN model.
+#[derive(Debug, Clone)]
+pub struct AgentSimulator {
+    params: Params,
+}
+
+impl AgentSimulator {
+    /// Creates a simulator for `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AhsError::InvalidParameter`](crate::AhsError) if the
+    /// parameters fail validation.
+    pub fn new(params: Params) -> Result<Self, crate::AhsError> {
+        params.validate()?;
+        Ok(AgentSimulator { params })
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Runs one replication; returns the first time a catastrophic
+    /// situation arises, if within `horizon_hours`.
+    pub fn run_first_passage(&self, horizon_hours: f64, rng: &mut SmallRng) -> Option<f64> {
+        let p = &self.params;
+        let n = p.n;
+        let total = p.total_vehicles();
+        let mut agents: Vec<AgentState> = (0..total)
+            .map(|v| AgentState::Operating((v / n + 1) as u8))
+            .collect();
+        let mut t = 0.0_f64;
+
+        loop {
+            // Enumerate every possible event with its rate.
+            let counts = platoon_counts(&agents, p.platoons);
+            let operating_p1 = agents
+                .iter()
+                .filter(|a| matches!(a, AgentState::Operating(1)))
+                .count();
+            let out_count = agents.iter().filter(|a| **a == AgentState::Out).count();
+
+            let mut events: Vec<(f64, Event)> = Vec::new();
+            for (v, agent) in agents.iter().enumerate() {
+                match *agent {
+                    AgentState::Operating(platoon) => {
+                        for fm in FailureMode::ALL {
+                            events.push((p.failure_rate(fm), Event::Fail(v, fm)));
+                        }
+                        if platoon == 1 && operating_p1 > 0 {
+                            events.push((
+                                p.leave_rate / operating_p1 as f64,
+                                Event::Leave(v),
+                            ));
+                        }
+                        if adjacent(platoon, p.platoons)
+                            .iter()
+                            .any(|&k| counts[k as usize] < n)
+                        {
+                            events.push((p.change_rate, Event::Change(v)));
+                        }
+                    }
+                    AgentState::Recovering(_, active) => {
+                        // Higher-priority failures preempt.
+                        for fm in FailureMode::ALL {
+                            if maneuver_priority(fm.maneuver()) > maneuver_priority(active) {
+                                events.push((p.failure_rate(fm), Event::Fail(v, fm)));
+                            }
+                        }
+                        events.push((
+                            p.maneuver_rates.rate(active),
+                            Event::Complete(v),
+                        ));
+                    }
+                    AgentState::Done => {
+                        events.push((p.back_rate, Event::Back(v)));
+                    }
+                    AgentState::Out => {
+                        if out_count > 0 && (1..=p.platoons).any(|k| counts[k] < n) {
+                            events.push((
+                                p.join_rate / out_count as f64,
+                                Event::Join(v),
+                            ));
+                        }
+                    }
+                }
+            }
+
+            let total_rate: f64 = events.iter().map(|(r, _)| r).sum();
+            if total_rate <= 0.0 {
+                return None;
+            }
+            t += sample_exp(total_rate, rng);
+            if t > horizon_hours {
+                return None;
+            }
+
+            let event = pick(&events, total_rate, rng);
+            self.apply(event, &mut agents, rng);
+
+            if is_catastrophic(severity_counts(&agents)) {
+                return Some(t);
+            }
+        }
+    }
+
+    fn apply(&self, event: Event, agents: &mut [AgentState], rng: &mut SmallRng) {
+        let p = &self.params;
+        let n = p.n;
+        match event {
+            Event::Fail(v, fm) => {
+                let platoon = match agents[v] {
+                    AgentState::Operating(pl) | AgentState::Recovering(pl, _) => pl,
+                    _ => unreachable!("failures only target on-highway vehicles"),
+                };
+                agents[v] = AgentState::Recovering(platoon, fm.maneuver());
+            }
+            Event::Complete(v) => {
+                let AgentState::Recovering(platoon, m) = agents[v] else {
+                    unreachable!("completion only targets recovering vehicles");
+                };
+                let p_fail = self.failure_probability(agents, v, platoon, m);
+                if rng.random::<f64>() < p_fail {
+                    match escalation_of(m) {
+                        Some(next) => agents[v] = AgentState::Recovering(platoon, next),
+                        None => agents[v] = AgentState::Done, // v_KO
+                    }
+                } else {
+                    agents[v] = AgentState::Done; // v_OK
+                }
+            }
+            Event::Leave(v) => agents[v] = AgentState::Out,
+            Event::Change(v) => {
+                let AgentState::Operating(platoon) = agents[v] else {
+                    unreachable!("changes only target operating vehicles");
+                };
+                let counts = platoon_counts(agents, p.platoons);
+                let open: Vec<u8> = adjacent(platoon, p.platoons)
+                    .into_iter()
+                    .filter(|&k| counts[k as usize] < n)
+                    .collect();
+                let to = open[rng.random_range(0..open.len())];
+                agents[v] = AgentState::Operating(to);
+            }
+            Event::Back(v) => agents[v] = AgentState::Out,
+            Event::Join(v) => {
+                let counts = platoon_counts(agents, p.platoons);
+                let open: Vec<u8> = (1..=p.platoons as u8)
+                    .filter(|&k| counts[k as usize] < n)
+                    .collect();
+                assert!(!open.is_empty(), "join is gated on free space");
+                let to = open[rng.random_range(0..open.len())];
+                agents[v] = AgentState::Operating(to);
+            }
+        }
+    }
+
+    /// Identical formula to the SAN model's maneuver-outcome gate.
+    fn failure_probability(
+        &self,
+        agents: &[AgentState],
+        v: usize,
+        platoon: u8,
+        maneuver: RecoveryManeuver,
+    ) -> f64 {
+        let p = &self.params;
+        let counts = platoon_counts(agents, p.platoons);
+        let own = counts[platoon as usize].max(1);
+        let neighbor = if platoon > 1 { platoon - 1 } else { 2 };
+        let other = counts[neighbor as usize];
+        let involved = involved_vehicles(maneuver, p.strategy, own, other);
+
+        let present = agents
+            .iter()
+            .filter(|a| matches!(a, AgentState::Operating(_) | AgentState::Recovering(..)))
+            .count();
+        let recovering = agents
+            .iter()
+            .filter(|a| matches!(a, AgentState::Recovering(..)))
+            .count();
+        let present_others = present.saturating_sub(1).max(1);
+        let impaired_others = recovering.saturating_sub(usize::from(matches!(
+            agents[v],
+            AgentState::Recovering(..)
+        )));
+        let frac = impaired_others as f64 / present_others as f64;
+        (p.maneuver_base_failure
+            + p.impairment_penalty * involved.saturating_sub(1) as f64 * frac)
+            .clamp(0.0, 0.95)
+    }
+
+    /// Estimates `S(t)` over `grid` from `replications` plain
+    /// Monte-Carlo runs.
+    pub fn estimate(&self, grid: &TimeGrid, replications: u64, seed: u64) -> Curve {
+        let mut curve = Curve::new(grid.clone());
+        for rep in 0..replications {
+            let mut rng = SmallRng::seed_from_u64(ahs_des::split_seed(seed, rep));
+            let hit = self.run_first_passage(grid.horizon(), &mut rng);
+            curve.record_first_passage(hit, 1.0);
+        }
+        curve
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Fail(usize, FailureMode),
+    Complete(usize),
+    Leave(usize),
+    Change(usize),
+    Back(usize),
+    Join(usize),
+}
+
+/// `counts[k]` = vehicles currently in platoon `k` (index 0 unused).
+fn platoon_counts(agents: &[AgentState], platoons: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; platoons + 1];
+    for a in agents {
+        match a {
+            AgentState::Operating(p) | AgentState::Recovering(p, _) => {
+                counts[*p as usize] += 1;
+            }
+            _ => {}
+        }
+    }
+    counts
+}
+
+/// Adjacent platoons of `which` on a `platoons`-lane highway.
+fn adjacent(which: u8, platoons: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2);
+    if which > 1 {
+        out.push(which - 1);
+    }
+    if (which as usize) < platoons {
+        out.push(which + 1);
+    }
+    out
+}
+
+fn severity_counts(agents: &[AgentState]) -> SeverityCount {
+    let mut sc = SeverityCount::new();
+    for a in agents {
+        if let AgentState::Recovering(_, m) = a {
+            match class_of_maneuver(*m) {
+                SeverityClass::A => sc.a += 1,
+                SeverityClass::B => sc.b += 1,
+                SeverityClass::C => sc.c += 1,
+            }
+        }
+    }
+    sc
+}
+
+fn sample_exp(rate: f64, rng: &mut SmallRng) -> f64 {
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+fn pick(events: &[(f64, Event)], total: f64, rng: &mut SmallRng) -> Event {
+    let mut u: f64 = rng.random::<f64>() * total;
+    for &(r, e) in events {
+        if u < r {
+            return e;
+        }
+        u -= r;
+    }
+    events.last().expect("total rate positive implies non-empty").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_without_failure_events() {
+        // λ so small nothing happens over the horizon.
+        let p = Params::builder().lambda(1e-300).n(3).build().unwrap();
+        let sim = AgentSimulator::new(p).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(sim.run_first_passage(10.0, &mut rng), None);
+        }
+    }
+
+    #[test]
+    fn very_high_lambda_hits_quickly() {
+        let p = Params::builder().lambda(10.0).n(5).build().unwrap();
+        let sim = AgentSimulator::new(p).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..100)
+            .filter(|_| sim.run_first_passage(10.0, &mut rng).is_some())
+            .count();
+        assert!(hits > 90, "only {hits}/100 hits at λ=10");
+    }
+
+    #[test]
+    fn estimate_curve_is_monotone() {
+        let p = Params::builder().lambda(0.05).n(4).build().unwrap();
+        let sim = AgentSimulator::new(p).unwrap();
+        let grid = TimeGrid::new(vec![2.0, 6.0, 10.0]);
+        let curve = sim.estimate(&grid, 3_000, 42);
+        let pts = curve.points(0.95);
+        assert!(pts[0].y <= pts[1].y && pts[1].y <= pts[2].y);
+        assert!(pts[0].y > 0.0);
+        assert!(pts[2].y < 1.0);
+    }
+
+    #[test]
+    fn unsafety_increases_with_lambda() {
+        let grid = TimeGrid::new(vec![6.0]);
+        let lo = AgentSimulator::new(Params::builder().lambda(0.01).n(4).build().unwrap())
+            .unwrap()
+            .estimate(&grid, 4_000, 1)
+            .points(0.95)[0]
+            .y;
+        let hi = AgentSimulator::new(Params::builder().lambda(0.05).n(4).build().unwrap())
+            .unwrap()
+            .estimate(&grid, 4_000, 1)
+            .points(0.95)[0]
+            .y;
+        assert!(hi > lo, "S(6h): λ=0.05 gives {hi}, λ=0.01 gives {lo}");
+    }
+
+    #[test]
+    fn severity_counting_matches_taxonomy() {
+        let agents = vec![
+            AgentState::Recovering(1, RecoveryManeuver::AidedStop),
+            AgentState::Recovering(1, RecoveryManeuver::TakeImmediateExit),
+            AgentState::Recovering(2, RecoveryManeuver::TakeImmediateExitNormal),
+            AgentState::Operating(2),
+            AgentState::Out,
+        ];
+        let sc = severity_counts(&agents);
+        assert_eq!((sc.a, sc.b, sc.c), (1, 1, 1));
+        assert_eq!(platoon_counts(&agents, 2), vec![0, 2, 2]);
+    }
+}

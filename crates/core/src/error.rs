@@ -1,0 +1,84 @@
+//! Error type of the AHS core crate.
+
+use ahs_des::SimError;
+use ahs_san::SanError;
+
+/// Errors from model construction and evaluation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AhsError {
+    /// A parameter failed validation.
+    InvalidParameter {
+        /// Field name.
+        name: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+    /// An error bubbled up from the SAN layer during model
+    /// construction.
+    San(SanError),
+    /// An error bubbled up from the simulation layer during
+    /// evaluation.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for AhsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AhsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            AhsError::San(e) => write!(f, "{e}"),
+            AhsError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AhsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AhsError::San(e) => Some(e),
+            AhsError::Sim(e) => Some(e),
+            AhsError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<SanError> for AhsError {
+    fn from(e: SanError) -> Self {
+        AhsError::San(e)
+    }
+}
+
+impl From<SimError> for AhsError {
+    fn from(e: SimError) -> Self {
+        AhsError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = AhsError::InvalidParameter {
+            name: "lambda",
+            reason: "must be positive".into(),
+        };
+        assert_eq!(e.to_string(), "invalid parameter `lambda`: must be positive");
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e: AhsError = SanError::EmptyModel.into();
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: AhsError = SimError::EventBudgetExceeded { budget: 1 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<AhsError>();
+    }
+}

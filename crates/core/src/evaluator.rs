@@ -1,0 +1,356 @@
+//! High-level evaluation of the unsafety measure `S(t)`.
+
+use ahs_des::{Backend, BiasScheme, Study};
+use ahs_stats::{StoppingRule, TimeGrid};
+use serde::{Deserialize, Serialize};
+
+use crate::error::AhsError;
+use crate::model::AhsModel;
+use crate::params::Params;
+
+/// One evaluated point of an unsafety curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnsafetyPoint {
+    /// Trip duration, hours.
+    pub x: f64,
+    /// Estimated unsafety `S(x)`.
+    pub y: f64,
+    /// Confidence-interval half-width on `y`.
+    pub half_width: f64,
+    /// Replications behind the estimate.
+    pub samples: u64,
+}
+
+/// An evaluated `S(t)` curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnsafetyCurve {
+    points: Vec<UnsafetyPoint>,
+    replications: u64,
+    converged: bool,
+}
+
+impl UnsafetyCurve {
+    /// The evaluated points, ascending in `x`.
+    pub fn points(&self) -> &[UnsafetyPoint] {
+        &self.points
+    }
+
+    /// Total replications executed.
+    pub fn replications(&self) -> u64 {
+        self.replications
+    }
+
+    /// Whether the stopping rule's precision target was met.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// `S(t)` at the grid point closest to `t_hours`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve is empty.
+    pub fn at(&self, t_hours: f64) -> UnsafetyPoint {
+        *self
+            .points
+            .iter()
+            .min_by(|a, b| {
+                (a.x - t_hours)
+                    .abs()
+                    .partial_cmp(&(b.x - t_hours).abs())
+                    .expect("grid points are finite")
+            })
+            .expect("curve has at least one point")
+    }
+}
+
+/// How the evaluator biases failure rates for rare-event estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BiasMode {
+    /// Two-level *dynamic* failure biasing (the default).
+    ///
+    /// A constant boost is a poor change of measure for transient
+    /// studies over long horizons: every sample path accumulates many
+    /// irrelevant boosted failures whose `1/boost` likelihood factors
+    /// crush the weights of late hits, so the estimated `S(t)` sags
+    /// artificially after the first hours (confirmed against plain
+    /// Monte Carlo — see `ahs-bench --bin is_diagnostics`). Instead:
+    ///
+    /// * while **no vehicle is recovering**, failure rates get a
+    ///   moderate boost chosen so the whole fleet sees ≈1.5 biased
+    ///   failures per trip ([`first_level_boost`]);
+    /// * while **a recovery maneuver is in progress** (the shared
+    ///   severity counters are non-zero), the boost rises so that a
+    ///   concurrent second failure — the ingredient of every Table 2
+    ///   situation — becomes likely within the maneuver window
+    ///   ([`second_level_boost`]).
+    ///
+    /// Likelihood ratios stay exact per transition, so the estimator
+    /// remains unbiased.
+    ///
+    /// [`first_level_boost`]: UnsafetyEvaluator::first_level_boost
+    /// [`second_level_boost`]: UnsafetyEvaluator::second_level_boost
+    Auto,
+    /// Plain Monte Carlo (only viable for large λ).
+    None,
+    /// A fixed, constant rate multiplier on every failure activity.
+    /// Useful for diagnostics; suffers the weight-collapse problem at
+    /// large values.
+    Fixed(f64),
+}
+
+/// Evaluates the unsafety `S(t)` of an AHS configuration by simulating
+/// its composed SAN model.
+///
+/// The measure is the probability that the `KO_total` place is marked
+/// by time `t` (paper §3): a first-passage probability, since the
+/// unsafe state is absorbing. For the paper's failure rates
+/// (λ ≈ 1e-5/hr) the event is far too rare for plain Monte Carlo, so
+/// the evaluator applies dynamic failure biasing (see
+/// [`BiasMode::Auto`]); the estimate stays unbiased through exact
+/// likelihood-ratio weighting.
+#[derive(Debug, Clone)]
+pub struct UnsafetyEvaluator {
+    params: Params,
+    seed: u64,
+    threads: Option<usize>,
+    rule: StoppingRule,
+    confidence: f64,
+    bias: BiasMode,
+}
+
+impl UnsafetyEvaluator {
+    /// Creates an evaluator with the paper's stopping rule (≥10 000
+    /// replications, 95% / 0.1 relative precision) capped at 400 000
+    /// replications.
+    pub fn new(params: Params) -> Self {
+        UnsafetyEvaluator {
+            params,
+            seed: 0x5AFE,
+            threads: None,
+            rule: StoppingRule::relative_precision(0.95, 0.1)
+                .with_min_samples(10_000)
+                .with_max_samples(400_000),
+            confidence: 0.95,
+            bias: BiasMode::Auto,
+        }
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fixes the worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Runs exactly `n` replications.
+    #[must_use]
+    pub fn with_replications(mut self, n: u64) -> Self {
+        self.rule = StoppingRule::fixed(n);
+        self
+    }
+
+    /// Replaces the stopping rule.
+    #[must_use]
+    pub fn with_rule(mut self, rule: StoppingRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Sets the bias mode.
+    #[must_use]
+    pub fn with_bias(mut self, bias: BiasMode) -> Self {
+        self.bias = bias;
+        self
+    }
+
+    /// The parameters under evaluation.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The healthy-state boost of [`BiasMode::Auto`]: targets ≈1.5
+    /// biased failures across the whole fleet per trip of
+    /// `horizon_hours`, clamped to `[1, 1e7]`. Keeping the *fleet*
+    /// total small bounds the number of irrelevant `1/boost`
+    /// likelihood factors per path.
+    pub fn first_level_boost(&self, horizon_hours: f64) -> f64 {
+        let fleet_rate =
+            self.params.total_vehicles() as f64 * self.params.total_failure_rate();
+        (1.5 / (fleet_rate * horizon_hours)).clamp(1.0, 1e7)
+    }
+
+    /// The recovering-state boost of [`BiasMode::Auto`]: targets ≈0.8
+    /// biased failures across the fleet within one mean maneuver window
+    /// (`1/μ̄`), making the concurrent second failure of Table 2
+    /// likely while a recovery is in progress. Clamped to `[1, 1e7]`.
+    pub fn second_level_boost(&self) -> f64 {
+        let fleet_rate =
+            self.params.total_vehicles() as f64 * self.params.total_failure_rate();
+        let mean_window_hours = 1.0 / self.params.maneuver_rates.mean_rate();
+        (0.8 / (fleet_rate * mean_window_hours)).clamp(1.0, 1e7)
+    }
+
+    /// Evaluates `S(t)` over `grid` (hours).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AhsError`] for invalid parameters or simulation
+    /// failures.
+    pub fn evaluate(&self, grid: &TimeGrid) -> Result<UnsafetyCurve, AhsError> {
+        let model = AhsModel::build(&self.params)?;
+        let (san, handles) = model.into_san();
+
+        let failures = handles.failure_activities.iter().copied();
+        let backend = match self.bias {
+            BiasMode::None => Backend::Markov,
+            BiasMode::Fixed(f) if f <= 1.0 => Backend::Markov,
+            BiasMode::Fixed(f) => {
+                Backend::BiasedMarkov(BiasScheme::new().with_multipliers(failures, f))
+            }
+            BiasMode::Auto => {
+                let b1 = self.first_level_boost(grid.horizon());
+                let b2 = self.second_level_boost();
+                if b1 <= 1.0 && b2 <= 1.0 {
+                    Backend::Markov
+                } else {
+                    let factor = (b2 / b1).max(1.0);
+                    let (ca, cb, cc) = (handles.class_a, handles.class_b, handles.class_c);
+                    let scheme = BiasScheme::new()
+                        .with_multipliers(failures, b1)
+                        .with_state_factor(move |m| {
+                            if m.tokens(ca) + m.tokens(cb) + m.tokens(cc) > 0 {
+                                factor
+                            } else {
+                                1.0
+                            }
+                        });
+                    Backend::BiasedMarkov(scheme)
+                }
+            }
+        };
+
+        let mut study = Study::new(san)
+            .with_seed(self.seed)
+            .with_rule(self.rule)
+            .with_confidence(self.confidence);
+        if let Some(t) = self.threads {
+            study = study.with_threads(t);
+        }
+
+        let ko = handles.ko_total;
+        let est = study.first_passage(move |m| m.is_marked(ko), grid, backend)?;
+
+        let points = est
+            .curve
+            .points(self.confidence)
+            .into_iter()
+            .map(|p| UnsafetyPoint {
+                x: p.x,
+                y: p.y,
+                half_width: p.half_width,
+                samples: p.samples,
+            })
+            .collect();
+        Ok(UnsafetyCurve {
+            points,
+            replications: est.replications,
+            converged: est.converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boost_levels_scale_sensibly() {
+        let p = Params::builder().lambda(1e-5).n(8).build().unwrap();
+        let e = UnsafetyEvaluator::new(p);
+        let b1_10 = e.first_level_boost(10.0);
+        let b1_2 = e.first_level_boost(2.0);
+        assert!(b1_2 > b1_10, "shorter horizon needs a larger first-level boost");
+        let fleet = 16.0 * 14.0 * 1e-5;
+        assert!((b1_10 - 1.5 / (fleet * 10.0)).abs() < 1e-6);
+        // The second level is far more aggressive than the first.
+        assert!(e.second_level_boost() > b1_10);
+
+        let p = Params::builder().lambda(1.0).build().unwrap();
+        let e = UnsafetyEvaluator::new(p);
+        assert_eq!(e.first_level_boost(10.0), 1.0, "no boost needed for large λ");
+        assert_eq!(e.second_level_boost(), 1.0);
+    }
+
+    #[test]
+    fn evaluate_small_model_high_lambda() {
+        // λ large enough that plain MC sees hits: S(t) must be
+        // increasing and within (0, 1).
+        let p = Params::builder().lambda(0.05).n(3).build().unwrap();
+        let e = UnsafetyEvaluator::new(p)
+            .with_seed(42)
+            .with_replications(4_000)
+            .with_bias(BiasMode::None)
+            .with_threads(2);
+        let grid = TimeGrid::new(vec![2.0, 6.0, 10.0]);
+        let curve = e.evaluate(&grid).unwrap();
+        let pts = curve.points();
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].y > 0.0, "expected hits at λ=0.05: {}", pts[0].y);
+        assert!(pts[0].y <= pts[1].y && pts[1].y <= pts[2].y);
+        assert!(pts[2].y < 1.0);
+        assert!(curve.replications() >= 4_000);
+    }
+
+    #[test]
+    fn auto_bias_and_plain_agree_in_overlap_regime() {
+        let p = Params::builder().lambda(0.02).n(2).build().unwrap();
+        let grid = TimeGrid::new(vec![6.0]);
+        let plain = UnsafetyEvaluator::new(p.clone())
+            .with_seed(7)
+            .with_replications(30_000)
+            .with_bias(BiasMode::None)
+            .with_threads(2)
+            .evaluate(&grid)
+            .unwrap();
+        let auto = UnsafetyEvaluator::new(p)
+            .with_seed(8)
+            .with_replications(30_000)
+            .with_bias(BiasMode::Auto)
+            .with_threads(2)
+            .evaluate(&grid)
+            .unwrap();
+        let a = plain.points()[0];
+        let b = auto.points()[0];
+        let gap = (a.y - b.y).abs();
+        assert!(
+            gap <= 3.0 * (a.half_width + b.half_width),
+            "plain {} ± {} vs auto {} ± {}",
+            a.y,
+            a.half_width,
+            b.y,
+            b.half_width
+        );
+    }
+
+    #[test]
+    fn curve_lookup_at() {
+        let curve = UnsafetyCurve {
+            points: vec![
+                UnsafetyPoint { x: 2.0, y: 0.1, half_width: 0.0, samples: 1 },
+                UnsafetyPoint { x: 6.0, y: 0.2, half_width: 0.0, samples: 1 },
+            ],
+            replications: 2,
+            converged: true,
+        };
+        assert_eq!(curve.at(5.9).x, 6.0);
+        assert_eq!(curve.at(0.0).x, 2.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! The `Configuration` submodel (Figure 8): place creation and initial
+//! marking.
+//!
+//! In the paper this submodel assigns vehicle ids through the
+//! `start_id`/`int_id`/`ext_id` places and the `id_trigger` activity,
+//! then marks `IN` to initialize each `One_vehicle` replica and hand the
+//! vehicle to `Dynamicity`. All of that work happens *before time
+//! advances*, so in this implementation it is the deterministic
+//! construction of the initial marking: ids are replica indices, the
+//! first `n` vehicles populate platoon 1 and the rest platoon 2, and
+//! every vehicle starts present (`IN` consumed into the `CCᵢ`/`present`
+//! marking).
+
+use std::sync::Arc;
+
+use ahs_san::{SanBuilder, SanError};
+
+use crate::model::{Refs, VehiclePlaces};
+use crate::params::Params;
+
+/// Creates every place of the composed model and returns the gate
+/// reference bundle plus the per-vehicle handle table.
+pub(crate) fn build_places(
+    b: &mut SanBuilder,
+    params: &Params,
+) -> Result<(Refs, Vec<VehiclePlaces>), SanError> {
+    let n = params.n;
+    let total = params.total_vehicles();
+
+    // Shared places of the Severity submodel.
+    let ko_total = b.shared_place("KO_total")?;
+    let class_a = b.shared_place("class_A")?;
+    let class_b = b.shared_place("class_B")?;
+    let class_c = b.shared_place("class_C")?;
+
+    // Shared occupancy arrays of the Dynamicity submodel (extended
+    // places of length n; entry = vehicle id + 1, 0 = free slot).
+    // Platoon k starts full with vehicles (k-1)·n .. k·n.
+    let mut platoon_arrays = Vec::with_capacity(params.platoons);
+    for k in 0..params.platoons {
+        platoon_arrays.push(b.shared_extended_place(
+            &format!("platoon{}", k + 1),
+            (0..n).map(|i| (k * n + i) as i64 + 1).collect(),
+        )?);
+    }
+
+    // Per-vehicle places, replicated platoons × n times.
+    let mut vehicles = Vec::with_capacity(total);
+    b.replicate("vehicle", total, |b, v| {
+        let present = b.place_with_tokens("present", 1)?;
+        let platoon = b.place_with_tokens("platoon", (v / n) as u64 + 1)?;
+        let maneuvers = [
+            b.place("sm_tie_n")?,
+            b.place("sm_tie_e")?,
+            b.place("sm_tie")?,
+            b.place("sm_gs")?,
+            b.place("sm_cs")?,
+            b.place("sm_as")?,
+        ];
+        let ok = b.place("v_ok")?;
+        let ko = b.place("v_ko")?;
+        let out = b.place("out")?;
+        vehicles.push(VehiclePlaces {
+            present,
+            platoon,
+            maneuvers,
+            ok,
+            ko,
+            out,
+        });
+        Ok(())
+    })?;
+
+    let refs = Refs {
+        vehicles: Arc::new(vehicles.clone()),
+        ko_total,
+        class_a,
+        class_b,
+        class_c,
+        platoon_arrays,
+        capacity: n,
+    };
+    Ok((refs, vehicles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maneuver_place_order_matches_maneuvers_constant() {
+        // The place array must be indexed by `maneuver_slot`, i.e. in
+        // MANEUVERS order: TIE-N, TIE-E, TIE, GS, CS, AS.
+        let abbrs: Vec<&str> = crate::MANEUVERS.iter().map(|m| m.abbreviation()).collect();
+        assert_eq!(abbrs, vec!["TIE-N", "TIE-E", "TIE", "GS", "CS", "AS"]);
+    }
+
+    #[test]
+    fn places_are_created_per_vehicle() {
+        let params = Params::builder().n(2).build().unwrap();
+        let mut b = SanBuilder::new("test");
+        let (refs, vehicles) = build_places(&mut b, &params).unwrap();
+        assert_eq!(vehicles.len(), 4);
+        assert_eq!(refs.capacity, 2);
+        assert!(b.find_place("vehicle[0].present").is_some());
+        assert!(b.find_place("vehicle[3].v_ko").is_some());
+        assert!(b.find_place("platoon1").is_some());
+        assert!(b.find_place("vehicle[4].present").is_none());
+    }
+}

@@ -1,0 +1,121 @@
+//! The `Severity` submodel (Figure 6): catastrophic-situation
+//! detection.
+
+use ahs_san::{Marking, SanBuilder, SanError};
+
+use crate::model::Refs;
+use crate::severity::is_catastrophic;
+
+/// Adds the instantaneous `to_KO` activity: as soon as the shared
+/// severity counters satisfy any catastrophic situation of Table 2
+/// (predicate of the `KO_allocation` input gate), `KO_total` is marked
+/// through the `OG_KO` output gate and the system enters its absorbing
+/// unsafe state.
+pub(crate) fn add_to_ko(b: &mut SanBuilder, refs: &Refs) -> Result<(), SanError> {
+    let gate_refs = refs.clone();
+    let ko_allocation = b.predicate_gate("KO_allocation", move |m: &Marking| {
+        !m.is_marked(gate_refs.ko_total) && is_catastrophic(gate_refs.severity_counts(m))
+    });
+    let ko_total = refs.ko_total;
+    let og_ko = b.output_gate("OG_KO", move |m: &mut Marking| {
+        m.add_tokens(ko_total, 1);
+    });
+    b.instant_activity("to_KO", 100, 1.0)?
+        .input_gate(ko_allocation)
+        .output_gate(og_ko)
+        .build()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::AhsModel;
+    use crate::params::Params;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_class_a_failures_trigger_ko_total() {
+        let params = Params::builder().n(3).build().unwrap();
+        let model = AhsModel::build(&params).unwrap();
+        let san = model.san();
+        let h = model.handles();
+        let mut m = san.initial_marking().clone();
+        let mut rng = SmallRng::seed_from_u64(1);
+
+        // One class-A failure: still safe.
+        let l1v0 = san.find_activity("vehicle[0].L1").unwrap();
+        san.fire(l1v0, 0, &mut m);
+        san.stabilize(&mut m, &mut rng).unwrap();
+        assert!(!m.is_marked(h.ko_total));
+
+        // Second class-A failure on an adjacent vehicle: ST1.
+        let l2v1 = san.find_activity("vehicle[1].L2").unwrap();
+        san.fire(l2v1, 0, &mut m);
+        san.stabilize(&mut m, &mut rng).unwrap();
+        assert!(m.is_marked(h.ko_total), "ST1 must mark KO_total");
+        assert!(model.is_unsafe(&m));
+    }
+
+    #[test]
+    fn st3_four_minor_failures_trigger_ko_total() {
+        let params = Params::builder().n(3).build().unwrap();
+        let model = AhsModel::build(&params).unwrap();
+        let san = model.san();
+        let h = model.handles();
+        let mut m = san.initial_marking().clone();
+        let mut rng = SmallRng::seed_from_u64(2);
+
+        for v in 0..4 {
+            assert!(!m.is_marked(h.ko_total), "safe before failure #{v}");
+            let l6 = san.find_activity(&format!("vehicle[{v}].L6")).unwrap();
+            san.fire(l6, 0, &mut m);
+            san.stabilize(&mut m, &mut rng).unwrap();
+        }
+        assert!(m.is_marked(h.ko_total), "four class-C failures are ST3");
+    }
+
+    #[test]
+    fn mixed_st2_combination_triggers() {
+        let params = Params::builder().n(3).build().unwrap();
+        let model = AhsModel::build(&params).unwrap();
+        let san = model.san();
+        let h = model.handles();
+        let mut m = san.initial_marking().clone();
+        let mut rng = SmallRng::seed_from_u64(3);
+
+        // One A (FM3→GS), one B (FM5→TIE), one C (FM6→TIE-N) on three
+        // distinct vehicles: ST2.
+        for (v, l) in [(0, "L3"), (1, "L5"), (2, "L6")] {
+            let a = san.find_activity(&format!("vehicle[{v}].{l}")).unwrap();
+            san.fire(a, 0, &mut m);
+            san.stabilize(&mut m, &mut rng).unwrap();
+        }
+        assert!(m.is_marked(h.ko_total));
+    }
+
+    #[test]
+    fn recovery_before_second_failure_stays_safe() {
+        let params = Params::builder().n(3).build().unwrap();
+        let model = AhsModel::build(&params).unwrap();
+        let san = model.san();
+        let h = model.handles();
+        let mut m = san.initial_marking().clone();
+        let mut rng = SmallRng::seed_from_u64(4);
+
+        // A failure fully recovered (success case) no longer counts.
+        let l1 = san.find_activity("vehicle[0].L1").unwrap();
+        san.fire(l1, 0, &mut m);
+        let man = san.find_activity("vehicle[0].maneuver_AS").unwrap();
+        san.fire(man, 0, &mut m); // success
+        san.stabilize(&mut m, &mut rng).unwrap();
+
+        let l2 = san.find_activity("vehicle[1].L2").unwrap();
+        san.fire(l2, 0, &mut m);
+        san.stabilize(&mut m, &mut rng).unwrap();
+        assert!(
+            !m.is_marked(h.ko_total),
+            "non-overlapping failures must not be catastrophic"
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! End-to-end validation of the AHS model (DESIGN.md steps 2 and 5):
+//!
+//! * the composed SAN model against the *independent* agent-level
+//!   simulator (two implementations of the same semantics, no shared
+//!   code path);
+//! * the composed SAN model against the exact CTMC transient solution
+//!   on a configuration small enough to enumerate;
+//! * plain versus importance-sampled estimation of the same curve.
+//!
+//! All comparisons run in regimes (large λ) where every method has
+//! signal.
+
+use ahs_core::{AgentSimulator, AhsModel, BiasMode, Params, UnsafetyEvaluator};
+use ahs_ctmc::{transient_distribution, SanMarkovModel, StateSpace};
+use ahs_stats::TimeGrid;
+
+#[test]
+fn san_model_matches_agent_simulator() {
+    let params = Params::builder().lambda(0.05).n(3).build().unwrap();
+    let grid = TimeGrid::new(vec![2.0, 6.0, 10.0]);
+
+    let san_curve = UnsafetyEvaluator::new(params.clone())
+        .with_seed(11)
+        .with_replications(30_000)
+        .with_bias(BiasMode::None)
+        .with_threads(4)
+        .evaluate(&grid)
+        .unwrap();
+
+    let agent_curve = AgentSimulator::new(params)
+        .unwrap()
+        .estimate(&grid, 30_000, 12);
+
+    for (sp, ap) in san_curve
+        .points()
+        .iter()
+        .zip(agent_curve.points(0.999).iter())
+    {
+        let gap = (sp.y - ap.y).abs();
+        let tol = (sp.half_width + ap.half_width).max(0.01);
+        assert!(
+            gap <= tol,
+            "t={}: SAN {} ± {} vs agent {} ± {}",
+            sp.x,
+            sp.y,
+            sp.half_width,
+            ap.y,
+            ap.half_width
+        );
+    }
+}
+
+#[test]
+fn san_model_matches_exact_ctmc_for_n1() {
+    // n = 1: two single-vehicle platoons — small enough to enumerate.
+    let params = Params::builder()
+        .lambda(0.1)
+        .n(1)
+        .build()
+        .unwrap();
+    let model = AhsModel::build(&params).unwrap();
+    let ko = model.handles().ko_total;
+
+    let adapter = SanMarkovModel::new(model.san()).unwrap();
+    let space = StateSpace::explore(&adapter, 200_000).unwrap();
+    let grid = TimeGrid::new(vec![2.0, 6.0]);
+    let numeric: Vec<f64> = grid
+        .points()
+        .iter()
+        .map(|&t| {
+            let pi = transient_distribution(&space, t, 1e-12);
+            space.probability(&pi, |m| m.is_marked(ko))
+        })
+        .collect();
+    assert!(
+        numeric[1] > 1e-6,
+        "regime check: S(6h)={} too small to compare",
+        numeric[1]
+    );
+
+    let curve = UnsafetyEvaluator::new(params)
+        .with_seed(21)
+        .with_replications(60_000)
+        .with_threads(4)
+        .evaluate(&grid)
+        .unwrap();
+    for (pt, &exact) in curve.points().iter().zip(numeric.iter()) {
+        let tol = pt.half_width.max(exact * 0.2);
+        assert!(
+            (pt.y - exact).abs() <= tol,
+            "t={}: simulated {} ± {} vs exact {}",
+            pt.x,
+            pt.y,
+            pt.half_width,
+            exact
+        );
+    }
+}
+
+#[test]
+fn unsafety_grows_with_platoon_capacity() {
+    // Figure 10/12 mechanism at a fast-failure scale: more vehicles per
+    // platoon → more concurrent-failure opportunities → higher S(t).
+    let grid = TimeGrid::new(vec![6.0]);
+    let s = |n: usize| {
+        UnsafetyEvaluator::new(Params::builder().lambda(0.02).n(n).build().unwrap())
+            .with_seed(31)
+            .with_replications(25_000)
+            .with_threads(4)
+            .evaluate(&grid)
+            .unwrap()
+            .points()[0]
+    };
+    let s2 = s(2);
+    let s8 = s(8);
+    assert!(
+        s8.y > s2.y,
+        "S(6h) must grow with n: n=2 gives {} ± {}, n=8 gives {} ± {}",
+        s2.y,
+        s2.half_width,
+        s8.y,
+        s8.half_width
+    );
+}
+
+#[test]
+fn unsafety_grows_with_failure_rate() {
+    // Figure 11 mechanism: S(t) is sharply increasing in λ.
+    let grid = TimeGrid::new(vec![6.0]);
+    let s = |lambda: f64| {
+        UnsafetyEvaluator::new(Params::builder().lambda(lambda).n(4).build().unwrap())
+            .with_seed(41)
+            .with_replications(25_000)
+            .with_threads(4)
+            .evaluate(&grid)
+            .unwrap()
+            .points()[0]
+            .y
+    };
+    let lo = s(5e-3);
+    let hi = s(5e-2);
+    assert!(hi > lo * 5.0, "λ×10 should raise S(6h) ≫: {lo} -> {hi}");
+}
+
+#[test]
+fn san_model_matches_agent_simulator_with_three_platoons() {
+    // The multi-platoon extension must keep both implementations in
+    // lock-step too.
+    let params = Params::builder()
+        .lambda(0.05)
+        .n(2)
+        .platoons(3)
+        .build()
+        .unwrap();
+    let grid = TimeGrid::new(vec![4.0, 8.0]);
+
+    let san_curve = UnsafetyEvaluator::new(params.clone())
+        .with_seed(71)
+        .with_replications(25_000)
+        .with_bias(BiasMode::None)
+        .with_threads(4)
+        .evaluate(&grid)
+        .unwrap();
+    let agent_curve = AgentSimulator::new(params)
+        .unwrap()
+        .estimate(&grid, 25_000, 72);
+
+    for (sp, ap) in san_curve
+        .points()
+        .iter()
+        .zip(agent_curve.points(0.999).iter())
+    {
+        let gap = (sp.y - ap.y).abs();
+        let tol = (sp.half_width + ap.half_width).max(0.01);
+        assert!(
+            gap <= tol,
+            "t={}: SAN {} vs agent {} (3 platoons)",
+            sp.x,
+            sp.y,
+            ap.y
+        );
+    }
+}
+
+#[test]
+fn splitting_agrees_with_plain_mc_and_is() {
+    // Three estimation methods on the same configuration, in a regime
+    // where all have signal: plain MC, dynamic IS, and multilevel
+    // splitting (levels = number of concurrently recovering vehicles,
+    // top level = KO_total).
+    let params = Params::builder().lambda(2e-3).n(4).build().unwrap();
+    let grid = TimeGrid::new(vec![6.0]);
+
+    let plain = UnsafetyEvaluator::new(params.clone())
+        .with_seed(61)
+        .with_replications(60_000)
+        .with_bias(BiasMode::None)
+        .with_threads(4)
+        .evaluate(&grid)
+        .unwrap()
+        .points()[0];
+
+    let is = UnsafetyEvaluator::new(params.clone())
+        .with_seed(62)
+        .with_replications(60_000)
+        .with_threads(4)
+        .evaluate(&grid)
+        .unwrap()
+        .points()[0];
+
+    let model = AhsModel::build(&params).unwrap();
+    let h = model.handles().clone();
+    let (san, _) = model.into_san();
+    let split = ahs_safety_splitting(san, &h, 6.0);
+
+    assert!(
+        (plain.y - is.y).abs() <= 3.0 * (plain.half_width + is.half_width),
+        "plain {} ± {} vs IS {} ± {}",
+        plain.y,
+        plain.half_width,
+        is.y,
+        is.half_width
+    );
+    let tol = 3.0 * (plain.half_width + split.half_width()).max(plain.y * 0.4);
+    assert!(
+        (plain.y - split.probability).abs() <= tol,
+        "plain {} ± {} vs splitting {} (rel err {:.2})",
+        plain.y,
+        plain.half_width,
+        split.probability,
+        split.relative_std_error
+    );
+}
+
+fn ahs_safety_splitting(
+    san: ahs_san::SanModel,
+    h: &ahs_core::ModelHandles,
+    horizon: f64,
+) -> ahs_des::SplittingEstimate {
+    let (ko, ca, cb, cc) = (h.ko_total, h.class_a, h.class_b, h.class_c);
+    ahs_des::SplittingStudy::new(san)
+        .with_seed(63)
+        .with_effort(20_000)
+        .estimate(
+            move |m| {
+                if m.is_marked(ko) {
+                    3
+                } else {
+                    ((m.tokens(ca) + m.tokens(cb) + m.tokens(cc)) as usize).min(2)
+                }
+            },
+            3,
+            horizon,
+        )
+        .unwrap()
+}
+
+#[test]
+fn importance_sampling_reaches_the_rare_regime() {
+    // At the paper's λ = 1e-5 plain MC would see nothing; the biased
+    // evaluator must produce a positive estimate with finite precision.
+    let params = Params::builder().lambda(1e-5).n(8).build().unwrap();
+    let grid = TimeGrid::new(vec![6.0]);
+    let curve = UnsafetyEvaluator::new(params)
+        .with_seed(51)
+        .with_replications(40_000)
+        .with_threads(4)
+        .evaluate(&grid)
+        .unwrap();
+    let pt = curve.points()[0];
+    assert!(pt.y > 0.0, "rare-event estimate must be positive");
+    assert!(pt.y < 1e-3, "S(6h) at λ=1e-5 should be small, got {}", pt.y);
+    assert!(pt.half_width < pt.y, "relative precision too poor: {pt:?}");
+}

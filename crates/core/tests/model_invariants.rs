@@ -1,0 +1,154 @@
+//! Property-based invariants of the composed AHS SAN model, checked
+//! along random execution paths.
+//!
+//! Invariants:
+//!
+//! 1. at most one maneuver place is marked per vehicle;
+//! 2. the shared severity counters always equal the per-vehicle
+//!    recount of active maneuvers by class;
+//! 3. platoon occupancy arrays are consistent with the per-vehicle
+//!    platoon indicators (same members, compacted, no duplicates);
+//! 4. every vehicle is in exactly one lifecycle state
+//!    (present / ok / ko / out);
+//! 5. platoon sizes never exceed the capacity `n`;
+//! 6. `KO_total` is absorbing: once marked, no timed activity is
+//!    enabled.
+
+use ahs_core::{AhsModel, Params, SeverityClass, MANEUVERS};
+use ahs_san::Marking;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn check_invariants(model: &AhsModel, m: &Marking) -> Result<(), String> {
+    let h = model.handles();
+    let n = model.params().n;
+    let platoons = h.platoon_arrays.len();
+    let mut count_a = 0u64;
+    let mut count_b = 0u64;
+    let mut count_c = 0u64;
+    let mut members: Vec<Vec<i64>> = vec![Vec::new(); platoons];
+
+    for (v, vp) in h.vehicles.iter().enumerate() {
+        let marked: Vec<usize> = (0..6)
+            .filter(|&s| m.is_marked(vp.maneuvers[s]))
+            .collect();
+        if marked.len() > 1 {
+            return Err(format!("vehicle {v} has {} active maneuvers", marked.len()));
+        }
+        if let Some(&slot) = marked.first() {
+            match ahs_core::class_of_maneuver(MANEUVERS[slot]) {
+                SeverityClass::A => count_a += 1,
+                SeverityClass::B => count_b += 1,
+                SeverityClass::C => count_c += 1,
+            }
+            if !m.is_marked(vp.present) {
+                return Err(format!("vehicle {v} recovering but not present"));
+            }
+        }
+
+        let lifecycle = [
+            m.is_marked(vp.present),
+            m.is_marked(vp.ok),
+            m.is_marked(vp.ko),
+            m.is_marked(vp.out),
+        ];
+        if lifecycle.iter().filter(|&&x| x).count() != 1 {
+            return Err(format!("vehicle {v} lifecycle states: {lifecycle:?}"));
+        }
+
+        let platoon = m.tokens(vp.platoon);
+        if m.is_marked(vp.present) {
+            if platoon < 1 || platoon as usize > platoons {
+                return Err(format!("present vehicle {v} has platoon {platoon}"));
+            }
+            members[platoon as usize - 1].push(v as i64 + 1);
+        } else if platoon != 0 {
+            return Err(format!("absent vehicle {v} still assigned to {platoon}"));
+        }
+    }
+
+    if m.tokens(h.class_a) != count_a
+        || m.tokens(h.class_b) != count_b
+        || m.tokens(h.class_c) != count_c
+    {
+        return Err(format!(
+            "severity counters ({}, {}, {}) != recount ({count_a}, {count_b}, {count_c})",
+            m.tokens(h.class_a),
+            m.tokens(h.class_b),
+            m.tokens(h.class_c)
+        ));
+    }
+
+    for (idx, &place) in h.platoon_arrays.iter().enumerate() {
+        let which = idx + 1;
+        let arr = m.array(place);
+        let filled: Vec<i64> = arr.iter().copied().filter(|&x| x != 0).collect();
+        if filled.len() > n {
+            return Err(format!("platoon {which} over capacity: {filled:?}"));
+        }
+        // Compacted: no zero before a non-zero.
+        let first_zero = arr.iter().position(|&x| x == 0).unwrap_or(arr.len());
+        if arr[first_zero..].iter().any(|&x| x != 0) {
+            return Err(format!("platoon {which} array not compacted: {arr:?}"));
+        }
+        let mut expected = members[which - 1].clone();
+        let mut got = filled.clone();
+        expected.sort_unstable();
+        got.sort_unstable();
+        if expected != got {
+            return Err(format!(
+                "platoon {which} array {got:?} != indicator-derived {expected:?}"
+            ));
+        }
+    }
+
+    if m.is_marked(h.ko_total) && !model.san().enabled_timed(m).is_empty() {
+        return Err("timed activity enabled after KO_total".into());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn invariants_hold_along_random_paths(
+        seed in any::<u64>(),
+        n in 1usize..4,
+        platoons in 2usize..5,
+        steps in 1usize..400,
+    ) {
+        // Large λ and small maneuver success so escalations, KOs, and
+        // dynamicity all get exercised within few steps.
+        let params = Params::builder()
+            .lambda(0.5)
+            .n(n)
+            .platoons(platoons)
+            .join_rate(20.0)
+            .leave_rate(10.0)
+            .change_rate(10.0)
+            .maneuver_base_failure(0.4)
+            .impairment_penalty(0.3)
+            .build()
+            .unwrap();
+        let model = AhsModel::build(&params).unwrap();
+        let san = model.san();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut m = san.initial_marking().clone();
+        san.stabilize(&mut m, &mut rng).unwrap();
+        check_invariants(&model, &m).map_err(|e| TestCaseError::fail(e))?;
+
+        for step in 0..steps {
+            let enabled = san.enabled_timed(&m);
+            if enabled.is_empty() {
+                break;
+            }
+            let a = enabled[rng.random_range(0..enabled.len())];
+            let case = san.select_case(a, &m, &mut rng).unwrap();
+            san.fire(a, case, &mut m);
+            san.stabilize(&mut m, &mut rng).unwrap();
+            check_invariants(&model, &m)
+                .map_err(|e| TestCaseError::fail(format!("step {step}: {e}")))?;
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Continuous-time Markov chain solvers.
+//!
+//! The paper solves its SAN models by simulation only; this crate adds a
+//! numerical path — state-space exploration plus uniformization — used
+//! throughout the workspace to *validate* the simulation engines on
+//! models small enough to enumerate (the full 2n-vehicle AHS model is
+//! far too large, which is exactly why the paper simulates).
+//!
+//! * [`MarkovModel`] — anything that can enumerate rate-weighted
+//!   successor states; [`SanMarkovModel`] adapts an all-exponential
+//!   [`SanModel`](ahs_san::SanModel).
+//! * [`StateSpace`] — breadth-first exploration into a sparse generator
+//!   matrix, with optional absorbing predicates for first-passage
+//!   measures.
+//! * [`transient_distribution`] — uniformization (Fox–Glynn-style
+//!   normalized Poisson weights) for `π(t)`.
+//! * [`steady_state`] — power iteration on the uniformized chain.
+//!
+//! # Example
+//!
+//! ```
+//! use ahs_ctmc::{transient_distribution, MarkovModel, StateSpace};
+//!
+//! /// Two-state failure/repair component.
+//! struct Component;
+//! impl MarkovModel for Component {
+//!     type State = bool; // up?
+//!     fn initial_states(&self) -> Vec<(bool, f64)> {
+//!         vec![(true, 1.0)]
+//!     }
+//!     fn transitions(&self, s: &bool) -> Vec<(bool, f64)> {
+//!         if *s { vec![(false, 1.0)] } else { vec![(true, 4.0)] }
+//!     }
+//! }
+//!
+//! let space = StateSpace::explore(&Component, 10)?;
+//! let pi = transient_distribution(&space, 0.5, 1e-12);
+//! let p_down = space.probability(&pi, |s| !*s);
+//! let exact = 0.2 * (1.0 - (-5.0_f64 * 0.5).exp());
+//! assert!((p_down - exact).abs() < 1e-9);
+//! # Ok::<(), ahs_ctmc::CtmcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod explore;
+mod hitting;
+mod san_adapter;
+mod sparse;
+mod steady;
+mod transient;
+
+pub use error::CtmcError;
+pub use explore::{MarkovModel, StateSpace};
+pub use hitting::{expected_hitting_time, expected_hitting_time_from_start};
+pub use san_adapter::SanMarkovModel;
+pub use sparse::SparseMatrix;
+pub use steady::steady_state;
+pub use transient::{poisson_weights, transient_distribution};

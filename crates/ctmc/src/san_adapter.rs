@@ -1,0 +1,222 @@
+//! Adapting a Markovian SAN to the [`MarkovModel`] interface.
+
+use ahs_san::{Marking, SanModel};
+
+use crate::error::CtmcError;
+use crate::explore::MarkovModel;
+
+/// Views an all-exponential [`SanModel`] as a CTMC over *stable*
+/// markings.
+///
+/// Each enabled timed activity contributes, for every completion case
+/// and every stable marking reachable from the fired marking through
+/// instantaneous activities, a transition with rate
+/// `rate · P(case) · P(instantaneous path)` — the exact embedded CTMC of
+/// the SAN's execution semantics.
+///
+/// # Example
+///
+/// ```
+/// use ahs_ctmc::{transient_distribution, SanMarkovModel, StateSpace};
+/// use ahs_san::{Delay, SanBuilder};
+///
+/// let mut b = SanBuilder::new("fr");
+/// let up = b.place_with_tokens("up", 1)?;
+/// let down = b.place("down")?;
+/// b.timed_activity("fail", Delay::exponential(1.0))?
+///     .input_place(up)
+///     .output_place(down)
+///     .build()?;
+/// b.timed_activity("repair", Delay::exponential(4.0))?
+///     .input_place(down)
+///     .output_place(up)
+///     .build()?;
+/// let model = b.build()?;
+///
+/// let adapter = SanMarkovModel::new(&model)?;
+/// let space = StateSpace::explore(&adapter, 100)?;
+/// assert_eq!(space.len(), 2);
+/// let pi = transient_distribution(&space, 0.5, 1e-12);
+/// let p_down = space.probability(&pi, |m| m.is_marked(down));
+/// assert!((p_down - 0.2 * (1.0 - (-5.0_f64 * 0.5).exp())).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SanMarkovModel<'m> {
+    model: &'m SanModel,
+}
+
+impl<'m> SanMarkovModel<'m> {
+    /// Wraps `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::NonMarkovian`] if any timed activity has a
+    /// non-exponential delay.
+    pub fn new(model: &'m SanModel) -> Result<Self, CtmcError> {
+        for &a in model.timed_activities() {
+            if !matches!(
+                model.activity(a).timing(),
+                ahs_san::Timing::Timed(d) if d.is_exponential()
+            ) {
+                return Err(CtmcError::NonMarkovian {
+                    activity: model.activity(a).name().to_owned(),
+                });
+            }
+        }
+        Ok(SanMarkovModel { model })
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &SanModel {
+        self.model
+    }
+}
+
+impl MarkovModel for SanMarkovModel<'_> {
+    type State = Marking;
+
+    fn initial_states(&self) -> Vec<(Marking, f64)> {
+        self.model
+            .stable_successors(self.model.initial_marking())
+            .expect("initial stabilization failed; validate the model first")
+    }
+
+    fn transitions(&self, state: &Marking) -> Vec<(Marking, f64)> {
+        let mut out = Vec::new();
+        for &a in self.model.timed_activities() {
+            if !self.model.is_enabled(a, state) {
+                continue;
+            }
+            let rate = self
+                .model
+                .exponential_rate(a, state)
+                .expect("constructor verified exponential delays");
+            if rate <= 0.0 {
+                continue;
+            }
+            let probs = self
+                .model
+                .case_probabilities(a, state)
+                .expect("case distribution must be valid in reachable markings");
+            for (case, p_case) in probs.iter().enumerate() {
+                if *p_case == 0.0 {
+                    continue;
+                }
+                let mut fired = state.clone();
+                self.model.fire(a, case, &mut fired);
+                let stables = self
+                    .model
+                    .stable_successors(&fired)
+                    .expect("instantaneous stabilization must terminate");
+                for (m, p_path) in stables {
+                    out.push((m, rate * p_case * p_path));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for SanMarkovModel<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SanMarkovModel")
+            .field("model", &self.model.name())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient_distribution;
+    use crate::StateSpace;
+    use ahs_san::{Delay, SanBuilder};
+
+    #[test]
+    fn rejects_non_markovian() {
+        let mut b = SanBuilder::new("det");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        b.timed_activity("d", Delay::Deterministic(1.0))
+            .unwrap()
+            .input_place(p)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        assert!(matches!(
+            SanMarkovModel::new(&model),
+            Err(CtmcError::NonMarkovian { .. })
+        ));
+    }
+
+    #[test]
+    fn instantaneous_cascades_fold_into_rates() {
+        // up --fail(λ)--> staging --instant (cases ½/½)--> a | b
+        let mut b = SanBuilder::new("cascade");
+        let up = b.place_with_tokens("up", 1).unwrap();
+        let staging = b.place("staging").unwrap();
+        let pa = b.place("a").unwrap();
+        let pb = b.place("b").unwrap();
+        b.timed_activity("fail", Delay::exponential(2.0))
+            .unwrap()
+            .input_place(up)
+            .output_place(staging)
+            .build()
+            .unwrap();
+        b.instant_activity("route", 0, 1.0)
+            .unwrap()
+            .input_place(staging)
+            .case(0.5)
+            .output_place(pa)
+            .case(0.5)
+            .output_place(pb)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let adapter = SanMarkovModel::new(&model).unwrap();
+        let space = StateSpace::explore(&adapter, 100).unwrap();
+        // Stable states: {up}, {a}, {b} — staging never appears.
+        assert_eq!(space.len(), 3);
+        for m in space.states() {
+            assert!(!m.is_marked(staging));
+        }
+        let pi = transient_distribution(&space, 100.0, 1e-12);
+        let p_a = space.probability(&pi, |m| m.is_marked(pa));
+        let p_b = space.probability(&pi, |m| m.is_marked(pb));
+        assert!((p_a - 0.5).abs() < 1e-9);
+        assert!((p_b - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marking_dependent_rates_enter_generator() {
+        // Two tokens drain from `pool` with rate = tokens (M/M/∞-style).
+        let mut b = SanBuilder::new("drain");
+        let pool = b.place_with_tokens("pool", 2).unwrap();
+        let done = b.place("done").unwrap();
+        b.timed_activity(
+            "drain",
+            Delay::exponential_fn(move |m| m.tokens(pool) as f64),
+        )
+        .unwrap()
+        .input_place(pool)
+        .output_place(done)
+        .build()
+        .unwrap();
+        let model = b.build().unwrap();
+        let adapter = SanMarkovModel::new(&model).unwrap();
+        let space = StateSpace::explore(&adapter, 10).unwrap();
+        assert_eq!(space.len(), 3);
+        // Exit rate of the 2-token state is 2, of the 1-token state 1.
+        let i2 = space
+            .states()
+            .iter()
+            .position(|m| m.tokens(pool) == 2)
+            .unwrap();
+        let i1 = space
+            .states()
+            .iter()
+            .position(|m| m.tokens(pool) == 1)
+            .unwrap();
+        assert!((space.exit_rates()[i2] - 2.0).abs() < 1e-12);
+        assert!((space.exit_rates()[i1] - 1.0).abs() < 1e-12);
+    }
+}

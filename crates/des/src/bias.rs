@@ -1,0 +1,227 @@
+//! Importance-sampling bias schemes (failure biasing).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ahs_san::{ActivityId, Marking};
+
+/// A change of measure for the Markov (SSA) backend: per-activity rate
+/// multipliers, optionally modulated by the current marking.
+///
+/// With plain Monte Carlo the paper's smallest unsafety levels (around
+/// `1e-13`) would require on the order of `1e15` replications. Failure
+/// biasing multiplies the rates of selected (failure) activities by a
+/// large factor during simulation while the estimator compensates with
+/// the exact likelihood ratio, keeping the estimate unbiased — the
+/// classical *failure biasing* setup for dependability models.
+///
+/// A constant boost is a poor measure for transient studies over long
+/// horizons: sample paths accumulate many *irrelevant* biased failures
+/// whose `1/boost` likelihood factors crush the weights of late hits.
+/// [`BiasScheme::with_state_factor`] enables *dynamic* importance
+/// sampling: the registered multipliers are additionally scaled by a
+/// marking-dependent factor, so the boost can stay moderate in healthy
+/// states and spike only where a rare event is one transition away
+/// (e.g. while another vehicle's recovery maneuver is in progress).
+/// The likelihood-ratio accounting in the simulator is per-state exact
+/// either way.
+///
+/// # Example
+///
+/// ```
+/// use ahs_des::BiasScheme;
+/// # use ahs_san::{Delay, SanBuilder};
+/// # let mut b = SanBuilder::new("m");
+/// # let p = b.place_with_tokens("p", 1).unwrap();
+/// # b.timed_activity("fail", Delay::exponential(1e-5)).unwrap().input_place(p).build().unwrap();
+/// # let model = b.build().unwrap();
+/// let fail = model.find_activity("fail").unwrap();
+/// let bias = BiasScheme::new().with_multiplier(fail, 1e3);
+/// assert_eq!(bias.multiplier(fail), 1e3);
+/// ```
+#[derive(Clone, Default)]
+pub struct BiasScheme {
+    multipliers: HashMap<usize, f64>,
+    state_factor: Option<Arc<dyn Fn(&Marking) -> f64 + Send + Sync>>,
+}
+
+impl std::fmt::Debug for BiasScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BiasScheme")
+            .field("multipliers", &self.multipliers.len())
+            .field("state_dependent", &self.state_factor.is_some())
+            .finish()
+    }
+}
+
+impl BiasScheme {
+    /// Creates an empty (identity) scheme.
+    pub fn new() -> Self {
+        BiasScheme::default()
+    }
+
+    /// Sets the rate multiplier of one activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite — a zero multiplier
+    /// would make events of positive true probability impossible under
+    /// the sampling measure, which breaks the estimator's absolute
+    /// continuity requirement.
+    pub fn with_multiplier(mut self, activity: ActivityId, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "bias multiplier must be positive and finite, got {factor}"
+        );
+        self.multipliers.insert(activity.index(), factor);
+        self
+    }
+
+    /// Sets the same multiplier for several activities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn with_multipliers<I>(mut self, activities: I, factor: f64) -> Self
+    where
+        I: IntoIterator<Item = ActivityId>,
+    {
+        for a in activities {
+            self = self.with_multiplier(a, factor);
+        }
+        self
+    }
+
+    /// Modulates every registered multiplier by a marking-dependent
+    /// factor (dynamic importance sampling). The factor applies only
+    /// to activities registered through
+    /// [`with_multiplier`](BiasScheme::with_multiplier) /
+    /// [`with_multipliers`](BiasScheme::with_multipliers);
+    /// unregistered activities keep their true rates. The factor must
+    /// be positive and finite in every reachable marking.
+    #[must_use]
+    pub fn with_state_factor<F>(mut self, factor: F) -> Self
+    where
+        F: Fn(&Marking) -> f64 + Send + Sync + 'static,
+    {
+        self.state_factor = Some(Arc::new(factor));
+        self
+    }
+
+    /// The static multiplier of an activity (`1.0` when unbiased),
+    /// ignoring any state factor.
+    pub fn multiplier(&self, activity: ActivityId) -> f64 {
+        self.multipliers
+            .get(&activity.index())
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Evaluates the state factor in `marking` (`1.0` when none is
+    /// registered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor evaluates to a non-positive or non-finite
+    /// value — that would break the estimator's absolute-continuity
+    /// requirement.
+    pub fn state_factor(&self, marking: &Marking) -> f64 {
+        match &self.state_factor {
+            None => 1.0,
+            Some(f) => {
+                let v = f(marking);
+                assert!(
+                    v.is_finite() && v > 0.0,
+                    "state factor must be positive and finite, got {v}"
+                );
+                v
+            }
+        }
+    }
+
+    /// Effective multiplier of an activity in `marking`.
+    pub fn effective_multiplier(&self, activity: ActivityId, marking: &Marking) -> f64 {
+        match self.multipliers.get(&activity.index()) {
+            None => 1.0,
+            Some(base) => base * self.state_factor(marking),
+        }
+    }
+
+    /// Whether an activity has a registered multiplier (and therefore
+    /// participates in the state factor).
+    pub fn is_registered(&self, activity: ActivityId) -> bool {
+        self.multipliers.contains_key(&activity.index())
+    }
+
+    /// Whether the scheme is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.state_factor.is_none()
+            && (self.multipliers.is_empty() || self.multipliers.values().all(|&m| m == 1.0))
+    }
+
+    /// Number of activities with a non-default multiplier.
+    pub fn len(&self) -> usize {
+        self.multipliers.len()
+    }
+
+    /// Whether no multipliers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.multipliers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahs_san::{Delay, SanBuilder};
+
+    fn two_activity_model() -> (ahs_san::SanModel, ActivityId, ActivityId) {
+        let mut b = SanBuilder::new("m");
+        let p = b.place_with_tokens("p", 2).unwrap();
+        let a1 = b
+            .timed_activity("a1", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .build()
+            .unwrap();
+        let a2 = b
+            .timed_activity("a2", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .build()
+            .unwrap();
+        (b.build().unwrap(), a1, a2)
+    }
+
+    #[test]
+    fn default_multiplier_is_one() {
+        let (_, a1, a2) = two_activity_model();
+        let s = BiasScheme::new().with_multiplier(a1, 50.0);
+        assert_eq!(s.multiplier(a1), 50.0);
+        assert_eq!(s.multiplier(a2), 1.0);
+        assert!(!s.is_identity());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn identity_detection() {
+        let (_, a1, _) = two_activity_model();
+        assert!(BiasScheme::new().is_identity());
+        assert!(BiasScheme::new().with_multiplier(a1, 1.0).is_identity());
+    }
+
+    #[test]
+    fn bulk_multipliers() {
+        let (_, a1, a2) = two_activity_model();
+        let s = BiasScheme::new().with_multipliers([a1, a2], 7.0);
+        assert_eq!(s.multiplier(a1), 7.0);
+        assert_eq!(s.multiplier(a2), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias multiplier must be positive")]
+    fn zero_multiplier_rejected() {
+        let (_, a1, _) = two_activity_model();
+        let _ = BiasScheme::new().with_multiplier(a1, 0.0);
+    }
+}

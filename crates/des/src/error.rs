@@ -1,0 +1,78 @@
+//! Error type of the simulation crate.
+
+use ahs_san::SanError;
+
+/// Errors arising during simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The Markov (SSA) backend was asked to run a model containing a
+    /// non-exponential timed activity.
+    NonMarkovian {
+        /// Name of the offending activity.
+        activity: String,
+    },
+    /// A single replication exceeded the event budget — almost always a
+    /// model with an unintended self-sustaining loop.
+    EventBudgetExceeded {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// A timed activity's sampled rate or delay was invalid at run time.
+    InvalidRate {
+        /// Name of the offending activity.
+        activity: String,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// An error bubbled up from the SAN layer (case distributions,
+    /// instantaneous livelocks, …).
+    San(SanError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NonMarkovian { activity } => write!(
+                f,
+                "activity `{activity}` has a non-exponential delay; use the event-driven backend"
+            ),
+            SimError::EventBudgetExceeded { budget } => {
+                write!(f, "replication exceeded the event budget of {budget}")
+            }
+            SimError::InvalidRate { activity, rate } => {
+                write!(f, "activity `{activity}` produced invalid rate {rate}")
+            }
+            SimError::San(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::San(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SanError> for SimError {
+    fn from(e: SanError) -> Self {
+        SimError::San(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::from(SanError::EmptyModel);
+        assert_eq!(e.to_string(), "model has no places or no activities");
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SimError::EventBudgetExceeded { budget: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

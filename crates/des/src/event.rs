@@ -1,0 +1,229 @@
+//! Cancellable future-event list.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled activity completion, identified by the activity's index
+/// in its model's activity table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledEvent {
+    /// Completion time.
+    pub time: f64,
+    /// Index of the activity that completes.
+    pub activity: usize,
+    /// Generation stamp used for lazy cancellation.
+    pub generation: u64,
+}
+
+impl Eq for ScheduledEvent {}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on time (BinaryHeap is a max-heap, so reverse),
+        // breaking ties by activity index for determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.activity.cmp(&self.activity))
+            .then_with(|| other.generation.cmp(&self.generation))
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list with lazy cancellation.
+///
+/// Each activity slot carries a generation counter; cancelling bumps the
+/// counter so stale heap entries are discarded when popped. This is the
+/// standard O(log n) insert / amortized O(log n) pop structure used by
+/// discrete-event simulators.
+///
+/// # Example
+///
+/// ```
+/// use ahs_des::EventQueue;
+///
+/// let mut q = EventQueue::new(2);
+/// q.schedule(1.5, 0);
+/// q.schedule(0.5, 1);
+/// q.cancel(1);
+/// let ev = q.pop().unwrap();
+/// assert_eq!(ev.time, 1.5);
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    generations: Vec<u64>,
+    scheduled: Vec<bool>,
+}
+
+impl EventQueue {
+    /// Creates a queue with `num_activities` activity slots.
+    pub fn new(num_activities: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            generations: vec![0; num_activities],
+            scheduled: vec![false; num_activities],
+        }
+    }
+
+    /// Schedules activity slot `activity` to complete at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is already scheduled (cancel first) or out of
+    /// range.
+    pub fn schedule(&mut self, time: f64, activity: usize) {
+        assert!(
+            !self.scheduled[activity],
+            "activity {activity} is already scheduled; cancel before rescheduling"
+        );
+        self.scheduled[activity] = true;
+        self.heap.push(ScheduledEvent {
+            time,
+            activity,
+            generation: self.generations[activity],
+        });
+    }
+
+    /// Cancels the pending completion of `activity`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range.
+    pub fn cancel(&mut self, activity: usize) {
+        if self.scheduled[activity] {
+            self.scheduled[activity] = false;
+            self.generations[activity] += 1;
+        }
+    }
+
+    /// Whether `activity` has a pending completion.
+    pub fn is_scheduled(&self, activity: usize) -> bool {
+        self.scheduled[activity]
+    }
+
+    /// Pops the earliest non-cancelled event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        while let Some(ev) = self.heap.pop() {
+            if self.scheduled[ev.activity] && self.generations[ev.activity] == ev.generation {
+                self.scheduled[ev.activity] = false;
+                self.generations[ev.activity] += 1;
+                return Some(ev);
+            }
+        }
+        None
+    }
+
+    /// Time of the earliest pending event without popping it.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        while let Some(ev) = self.heap.peek() {
+            if self.scheduled[ev.activity] && self.generations[ev.activity] == ev.generation {
+                return Some(ev.time);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Drops every pending event; slots can be scheduled again.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        for g in &mut self.generations {
+            *g += 1;
+        }
+        for s in &mut self.scheduled {
+            *s = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new(3);
+        q.schedule(3.0, 0);
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let mut q = EventQueue::new(2);
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 0);
+        assert_eq!(q.pop().unwrap().activity, 0);
+        assert_eq!(q.pop().unwrap().activity, 1);
+    }
+
+    #[test]
+    fn cancellation_skips_stale_events() {
+        let mut q = EventQueue::new(2);
+        q.schedule(1.0, 0);
+        q.schedule(2.0, 1);
+        q.cancel(0);
+        assert!(!q.is_scheduled(0));
+        assert_eq!(q.pop().unwrap().activity, 1);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn reschedule_after_cancel_uses_new_generation() {
+        let mut q = EventQueue::new(1);
+        q.schedule(5.0, 0);
+        q.cancel(0);
+        q.schedule(1.0, 0);
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.time, 1.0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already scheduled")]
+    fn double_schedule_panics() {
+        let mut q = EventQueue::new(1);
+        q.schedule(1.0, 0);
+        q.schedule(2.0, 0);
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new(2);
+        q.schedule(1.0, 0);
+        q.schedule(2.0, 1);
+        q.cancel(0);
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.pop().unwrap().activity, 1);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new(2);
+        q.schedule(1.0, 0);
+        q.schedule(2.0, 1);
+        q.clear();
+        assert!(q.pop().is_none());
+        assert!(!q.is_scheduled(0));
+        q.schedule(4.0, 0);
+        assert_eq!(q.pop().unwrap().time, 4.0);
+    }
+
+    #[test]
+    fn cancel_unscheduled_is_noop() {
+        let mut q = EventQueue::new(1);
+        q.cancel(0);
+        q.schedule(1.0, 0);
+        assert_eq!(q.pop().unwrap().time, 1.0);
+    }
+}

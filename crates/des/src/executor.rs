@@ -1,0 +1,506 @@
+//! Event-queue execution of SANs with arbitrary delay distributions.
+
+use ahs_san::{ActivityId, Marking, SanModel, Timing};
+use rand::Rng;
+
+use crate::error::SimError;
+use crate::event::EventQueue;
+use crate::observer::Observer;
+use crate::ssa::RunOutcome;
+
+/// Default per-replication event budget.
+const DEFAULT_MAX_EVENTS: u64 = 10_000_000;
+
+/// Classical discrete-event executor.
+///
+/// Maintains a future-event list of sampled activity completion times.
+/// After every firing the schedule is *reconciled* with the new marking:
+/// newly enabled activities get a freshly sampled completion, disabled
+/// activities are cancelled, and activities that stayed enabled keep
+/// their scheduled completion (race / enabling-memory policy — exact for
+/// exponential delays and the conventional choice for the general case).
+///
+/// Unlike [`MarkovSimulator`](crate::MarkovSimulator) this backend
+/// supports all [`Delay`](ahs_san::Delay) distributions but offers no
+/// importance sampling.
+pub struct EventDrivenSimulator<'m> {
+    model: &'m SanModel,
+    max_events: u64,
+}
+
+impl<'m> EventDrivenSimulator<'m> {
+    /// Creates an executor for `model`.
+    pub fn new(model: &'m SanModel) -> Self {
+        EventDrivenSimulator {
+            model,
+            max_events: DEFAULT_MAX_EVENTS,
+        }
+    }
+
+    /// Overrides the per-replication event budget.
+    #[must_use]
+    pub fn with_max_events(mut self, budget: u64) -> Self {
+        self.max_events = budget;
+        self
+    }
+
+    /// The model being simulated.
+    pub fn model(&self) -> &SanModel {
+        self.model
+    }
+
+    fn sample_delay<R: Rng + ?Sized>(
+        &self,
+        a: ActivityId,
+        marking: &Marking,
+        rng: &mut R,
+    ) -> f64 {
+        match self.model.activity(a).timing() {
+            Timing::Timed(d) => d.sample(marking, rng),
+            Timing::Instantaneous { .. } => {
+                unreachable!("instantaneous activities complete via stabilization")
+            }
+        }
+    }
+
+    /// Brings the event queue in line with the marking at time `now`.
+    /// Queue slots are positions in `model.timed_activities()`.
+    fn reconcile<R: Rng + ?Sized>(
+        &self,
+        now: f64,
+        marking: &Marking,
+        queue: &mut EventQueue,
+        rng: &mut R,
+    ) {
+        for (slot, &a) in self.model.timed_activities().iter().enumerate() {
+            let enabled = self.model.is_enabled(a, marking);
+            let scheduled = queue.is_scheduled(slot);
+            if enabled && !scheduled {
+                queue.schedule(now + self.sample_delay(a, marking, rng), slot);
+            } else if !enabled && scheduled {
+                queue.cancel(slot);
+            }
+        }
+    }
+
+    /// Runs one replication to `horizon` (or until the observer stops
+    /// it), reporting every event. Returns the end time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventBudgetExceeded`] or a wrapped
+    /// [`SanError`](ahs_san::SanError) from stabilization or case
+    /// selection.
+    pub fn run<R, O>(&self, horizon: f64, rng: &mut R, observer: &mut O) -> Result<f64, SimError>
+    where
+        R: Rng + ?Sized,
+        O: Observer + ?Sized,
+    {
+        let mut marking = self.model.initial_marking().clone();
+        let fired = self.model.stabilize(&mut marking, rng)?;
+        observer.on_start(&marking);
+        for a in fired {
+            observer.on_event(0.0, a, &marking);
+        }
+
+        let mut queue = EventQueue::new(self.model.timed_activities().len());
+        self.reconcile(0.0, &marking, &mut queue, rng);
+        let mut events = 0_u64;
+        let mut t = 0.0_f64;
+
+        loop {
+            if observer.should_stop(t, &marking) {
+                observer.on_end(t, &marking);
+                return Ok(t);
+            }
+            let Some(ev) = queue.pop() else {
+                observer.on_end(horizon, &marking);
+                return Ok(horizon);
+            };
+            if ev.time > horizon {
+                observer.on_end(horizon, &marking);
+                return Ok(horizon);
+            }
+            t = ev.time;
+            let a = self.model.timed_activities()[ev.activity];
+            let case = self.model.select_case(a, &marking, rng)?;
+            self.model.fire(a, case, &mut marking);
+            observer.on_event(t, a, &marking);
+            let fired = self.model.stabilize(&mut marking, rng)?;
+            for ia in fired {
+                observer.on_event(t, ia, &marking);
+            }
+            self.reconcile(t, &marking, &mut queue, rng);
+            events += 1;
+            if events > self.max_events {
+                return Err(SimError::EventBudgetExceeded {
+                    budget: self.max_events,
+                });
+            }
+        }
+    }
+
+    /// Runs one replication until `target` first holds or `horizon` is
+    /// reached; weights in the outcome are always `1.0` (no importance
+    /// sampling on this backend).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`run`](EventDrivenSimulator::run).
+    pub fn run_first_passage<R, F>(
+        &self,
+        target: F,
+        horizon: f64,
+        rng: &mut R,
+    ) -> Result<RunOutcome, SimError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&Marking) -> bool,
+    {
+        struct Fp<F> {
+            target: F,
+            hit: Option<f64>,
+        }
+        impl<F: Fn(&Marking) -> bool> Observer for Fp<F> {
+            fn on_start(&mut self, marking: &Marking) {
+                if (self.target)(marking) {
+                    self.hit = Some(0.0);
+                }
+            }
+            fn on_event(&mut self, time: f64, _a: ActivityId, marking: &Marking) {
+                if self.hit.is_none() && (self.target)(marking) {
+                    self.hit = Some(time);
+                }
+            }
+            fn should_stop(&mut self, _time: f64, _marking: &Marking) -> bool {
+                self.hit.is_some()
+            }
+        }
+        let mut fp = Fp { target, hit: None };
+        let end = self.run(horizon, rng, &mut fp)?;
+        Ok(RunOutcome {
+            hit_time: fp.hit,
+            hit_weight: if fp.hit.is_some() { 1.0 } else { 0.0 },
+            end_time: end,
+            final_weight: 1.0,
+            events: 0,
+        })
+    }
+
+    /// Runs one replication observing `pred` at each grid instant;
+    /// weights are always `1.0`. The grid must be strictly increasing.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`run`](EventDrivenSimulator::run).
+    pub fn run_transient<R, F>(
+        &self,
+        pred: F,
+        grid: &[f64],
+        rng: &mut R,
+    ) -> Result<Vec<(f64, f64)>, SimError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&Marking) -> bool,
+    {
+        let horizon = *grid.last().expect("grid must not be empty");
+        let mut out = Vec::with_capacity(grid.len());
+        let mut next = 0_usize;
+
+        let mut marking = self.model.initial_marking().clone();
+        self.model.stabilize(&mut marking, rng)?;
+        let mut queue = EventQueue::new(self.model.timed_activities().len());
+        self.reconcile(0.0, &marking, &mut queue, rng);
+        let mut events = 0_u64;
+
+        while next < grid.len() {
+            let t_next = queue.peek_time().unwrap_or(f64::INFINITY);
+            // Grid instants strictly before the next event see the
+            // current marking; an instant tied with an event is also
+            // observed pre-fire (right-continuous convention).
+            while next < grid.len() && grid[next] <= t_next.min(horizon) {
+                out.push((f64::from(u8::from(pred(&marking))), 1.0));
+                next += 1;
+            }
+            if next >= grid.len() || t_next > horizon {
+                break;
+            }
+            let ev = queue.pop().expect("peeked event exists");
+            let a = self.model.timed_activities()[ev.activity];
+            let case = self.model.select_case(a, &marking, rng)?;
+            self.model.fire(a, case, &mut marking);
+            self.model.stabilize(&mut marking, rng)?;
+            self.reconcile(ev.time, &marking, &mut queue, rng);
+            events += 1;
+            if events > self.max_events {
+                return Err(SimError::EventBudgetExceeded {
+                    budget: self.max_events,
+                });
+            }
+        }
+        // Deadlock before the horizon: remaining instants see the final
+        // marking.
+        while next < grid.len() {
+            out.push((f64::from(u8::from(pred(&marking))), 1.0));
+            next += 1;
+        }
+        debug_assert_eq!(out.len(), grid.len());
+        Ok(out)
+    }
+}
+
+impl std::fmt::Debug for EventDrivenSimulator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventDrivenSimulator")
+            .field("model", &self.model.name())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::TraceObserver;
+    use ahs_san::{Delay, SanBuilder};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn single_failure(rate: f64) -> (ahs_san::SanModel, ahs_san::PlaceId) {
+        let mut b = SanBuilder::new("single");
+        let up = b.place_with_tokens("up", 1).unwrap();
+        let down = b.place("down").unwrap();
+        b.timed_activity("fail", Delay::exponential(rate))
+            .unwrap()
+            .input_place(up)
+            .output_place(down)
+            .build()
+            .unwrap();
+        (b.build().unwrap(), down)
+    }
+
+    #[test]
+    fn first_passage_matches_closed_form() {
+        let (model, down) = single_failure(0.5);
+        let sim = EventDrivenSimulator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|_| {
+                sim.run_first_passage(|m| m.is_marked(down), 2.0, &mut rng)
+                    .unwrap()
+                    .hit_time
+                    .is_some()
+            })
+            .count();
+        let p_hat = hits as f64 / f64::from(n);
+        let p = 1.0 - (-1.0_f64).exp();
+        assert!((p_hat - p).abs() < 0.01, "estimate {p_hat}, truth {p}");
+    }
+
+    #[test]
+    fn deterministic_delays_fire_exactly_on_time() {
+        let mut b = SanBuilder::new("clock");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place("q").unwrap();
+        let r = b.place("r").unwrap();
+        b.timed_activity("first", Delay::Deterministic(1.0))
+            .unwrap()
+            .input_place(p)
+            .output_place(q)
+            .build()
+            .unwrap();
+        b.timed_activity("second", Delay::Deterministic(2.5))
+            .unwrap()
+            .input_place(q)
+            .output_place(r)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let sim = EventDrivenSimulator::new(&model);
+        let mut trace = TraceObserver::new(&model);
+        let mut rng = SmallRng::seed_from_u64(0);
+        sim.run(10.0, &mut rng, &mut trace).unwrap();
+        assert_eq!(trace.events().len(), 2);
+        assert!((trace.events()[0].0 - 1.0).abs() < 1e-12);
+        assert_eq!(trace.events()[0].1, "first");
+        assert!((trace.events()[1].0 - 3.5).abs() < 1e-12);
+        assert_eq!(trace.events()[1].1, "second");
+    }
+
+    #[test]
+    fn transient_matches_closed_form() {
+        let (model, down) = single_failure(1.0);
+        let sim = EventDrivenSimulator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let grid = [0.5, 1.0, 2.0];
+        let mut sums = [0.0_f64; 3];
+        let n = 20_000;
+        for _ in 0..n {
+            let obs = sim
+                .run_transient(|m| m.is_marked(down), &grid, &mut rng)
+                .unwrap();
+            for (i, (v, _)) in obs.iter().enumerate() {
+                sums[i] += v;
+            }
+        }
+        for (i, &g) in grid.iter().enumerate() {
+            let p_hat = sums[i] / f64::from(n);
+            let p = 1.0 - (-g).exp();
+            assert!((p_hat - p).abs() < 0.02, "t={g}: {p_hat} vs {p}");
+        }
+    }
+
+    #[test]
+    fn disabled_activity_is_cancelled() {
+        // Two activities compete for one token; whichever fires disables
+        // the other. With rates 1000 vs 0.001 the fast one wins
+        // essentially always; more importantly the run must terminate
+        // without the slow activity ever firing on a consumed token.
+        let mut b = SanBuilder::new("race");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let fast = b.place("fast").unwrap();
+        let slow = b.place("slow").unwrap();
+        b.timed_activity("f", Delay::exponential(1000.0))
+            .unwrap()
+            .input_place(p)
+            .output_place(fast)
+            .build()
+            .unwrap();
+        b.timed_activity("s", Delay::exponential(0.001))
+            .unwrap()
+            .input_place(p)
+            .output_place(slow)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let sim = EventDrivenSimulator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let mut trace = TraceObserver::new(&model);
+            sim.run(1e6, &mut rng, &mut trace).unwrap();
+            assert_eq!(trace.events().len(), 1, "exactly one of the racers fires");
+        }
+    }
+
+    #[test]
+    fn event_budget_enforced() {
+        let mut b = SanBuilder::new("pingpong");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place("q").unwrap();
+        b.timed_activity("pq", Delay::Deterministic(0.5))
+            .unwrap()
+            .input_place(p)
+            .output_place(q)
+            .build()
+            .unwrap();
+        b.timed_activity("qp", Delay::Deterministic(0.5))
+            .unwrap()
+            .input_place(q)
+            .output_place(p)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let sim = EventDrivenSimulator::new(&model).with_max_events(50);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(matches!(
+            sim.run(1e9, &mut rng, &mut crate::NullObserver),
+            Err(SimError::EventBudgetExceeded { budget: 50 })
+        ));
+    }
+
+    #[test]
+    fn erlang_delay_matches_closed_form() {
+        // A single Erlang(2, 2.0) activity: P(done by t) is the
+        // Erlang CDF 1 - e^{-2t}(1 + 2t).
+        let mut b = SanBuilder::new("erlang");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place("q").unwrap();
+        b.timed_activity("step", Delay::Erlang { k: 2, rate: 2.0 })
+            .unwrap()
+            .input_place(p)
+            .output_place(q)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let sim = EventDrivenSimulator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let t = 1.0;
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|_| {
+                sim.run_first_passage(|m| m.is_marked(q), t, &mut rng)
+                    .unwrap()
+                    .hit_time
+                    .is_some()
+            })
+            .count();
+        let p_hat = hits as f64 / f64::from(n);
+        let exact = 1.0 - (-2.0_f64).exp() * (1.0 + 2.0);
+        assert!((p_hat - exact).abs() < 0.012, "{p_hat} vs {exact}");
+    }
+
+    #[test]
+    fn weibull_reduces_to_exponential_at_shape_one() {
+        let mut b = SanBuilder::new("weibull");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place("q").unwrap();
+        b.timed_activity(
+            "step",
+            Delay::Weibull { shape: 1.0, scale: 0.5 },
+        )
+        .unwrap()
+        .input_place(p)
+        .output_place(q)
+        .build()
+        .unwrap();
+        let model = b.build().unwrap();
+        let sim = EventDrivenSimulator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|_| {
+                sim.run_first_passage(|m| m.is_marked(q), 1.0, &mut rng)
+                    .unwrap()
+                    .hit_time
+                    .is_some()
+            })
+            .count();
+        // Scale 0.5 at shape 1 is an exponential with rate 2.
+        let exact = 1.0 - (-2.0_f64).exp();
+        let p_hat = hits as f64 / f64::from(n);
+        assert!((p_hat - exact).abs() < 0.012, "{p_hat} vs {exact}");
+    }
+
+    #[test]
+    fn agrees_with_markov_backend_on_exponential_model() {
+        use crate::ssa::MarkovSimulator;
+        let (model, down) = single_failure(0.7);
+        let ed = EventDrivenSimulator::new(&model);
+        let mk = MarkovSimulator::new(&model).unwrap();
+        let mut rng1 = SmallRng::seed_from_u64(5);
+        let mut rng2 = SmallRng::seed_from_u64(6);
+        let n = 20_000;
+        let hits_ed = (0..n)
+            .filter(|_| {
+                ed.run_first_passage(|m| m.is_marked(down), 1.0, &mut rng1)
+                    .unwrap()
+                    .hit_time
+                    .is_some()
+            })
+            .count() as f64
+            / f64::from(n);
+        let hits_mk = (0..n)
+            .filter(|_| {
+                mk.run_first_passage(|m| m.is_marked(down), 1.0, &mut rng2)
+                    .unwrap()
+                    .hit_time
+                    .is_some()
+            })
+            .count() as f64
+            / f64::from(n);
+        assert!(
+            (hits_ed - hits_mk).abs() < 0.015,
+            "backends disagree: {hits_ed} vs {hits_mk}"
+        );
+    }
+}

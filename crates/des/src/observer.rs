@@ -1,0 +1,112 @@
+//! Run observers for tracing and custom measures.
+
+use ahs_san::{ActivityId, Marking, SanModel};
+
+/// Callbacks invoked by the executors during a single run.
+///
+/// All executors call `on_start` once, `on_event` after every completed
+/// activity (timed and instantaneous) with the post-firing marking, and
+/// `on_end` when the run terminates (horizon reached, deadlock, or an
+/// observer requested the stop).
+pub trait Observer {
+    /// Called once with the (stabilized) initial marking.
+    fn on_start(&mut self, _marking: &Marking) {}
+
+    /// Called after an activity completes; `marking` is the marking
+    /// *after* the firing.
+    fn on_event(&mut self, _time: f64, _activity: ActivityId, _marking: &Marking) {}
+
+    /// Return `true` to terminate the run early; polled after every
+    /// event once the marking is stable.
+    fn should_stop(&mut self, _time: f64, _marking: &Marking) -> bool {
+        false
+    }
+
+    /// Called when the run ends, with the final time and marking.
+    fn on_end(&mut self, _time: f64, _marking: &Marking) {}
+}
+
+/// An observer that does nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// Records every event as `(time, activity name)` — a debugging aid.
+///
+/// # Example
+///
+/// ```
+/// use ahs_des::{EventDrivenSimulator, TraceObserver};
+/// use ahs_san::{Delay, SanBuilder};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut b = SanBuilder::new("m");
+/// let p = b.place_with_tokens("p", 1)?;
+/// let q = b.place("q")?;
+/// b.timed_activity("move", Delay::Deterministic(2.0))?
+///     .input_place(p)
+///     .output_place(q)
+///     .build()?;
+/// let model = b.build()?;
+///
+/// let mut trace = TraceObserver::new(&model);
+/// let sim = EventDrivenSimulator::new(&model);
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// sim.run(10.0, &mut rng, &mut trace)?;
+/// assert_eq!(trace.events().len(), 1);
+/// assert_eq!(trace.events()[0].1, "move");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceObserver {
+    names: Vec<String>,
+    events: Vec<(f64, String)>,
+}
+
+impl TraceObserver {
+    /// Creates a trace observer resolving names against `model`.
+    pub fn new(model: &SanModel) -> Self {
+        TraceObserver {
+            names: model
+                .activities()
+                .iter()
+                .map(|a| a.name().to_owned())
+                .collect(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The recorded `(time, activity name)` pairs.
+    pub fn events(&self) -> &[(f64, String)] {
+        &self.events
+    }
+}
+
+impl Observer for TraceObserver {
+    fn on_event(&mut self, time: f64, activity: ActivityId, _marking: &Marking) {
+        self.events
+            .push((time, self.names[activity.index()].clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_never_stops() {
+        let mut o = NullObserver;
+        // No marking is needed for the default should_stop; build a tiny one.
+        let mut b = ahs_san::SanBuilder::new("m");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        b.timed_activity("a", ahs_san::Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        assert!(!o.should_stop(0.0, model.initial_marking()));
+    }
+}

@@ -1,0 +1,509 @@
+//! Independent-replication studies with parallel workers and
+//! sequential stopping.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ahs_san::{Marking, SanModel};
+use ahs_stats::{Curve, StoppingRule, TimeGrid};
+use parking_lot::Mutex;
+
+use crate::bias::BiasScheme;
+use crate::error::SimError;
+use crate::executor::EventDrivenSimulator;
+use crate::rng::replication_rng;
+use crate::ssa::MarkovSimulator;
+
+/// Which executor a study uses.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Event-queue executor; any delay distribution, no importance
+    /// sampling.
+    EventDriven,
+    /// SSA executor for all-exponential models.
+    Markov,
+    /// SSA executor with importance sampling.
+    BiasedMarkov(BiasScheme),
+}
+
+/// Result of a replication study over a time grid.
+#[derive(Debug, Clone)]
+pub struct CurveEstimate {
+    /// The accumulated per-instant estimators.
+    pub curve: Curve,
+    /// Total replications executed.
+    pub replications: u64,
+    /// Whether the stopping rule's precision target was reached (as
+    /// opposed to hitting the replication cap).
+    pub converged: bool,
+}
+
+/// A replication study: a model plus sampling configuration.
+///
+/// Replications are deterministic given the master seed — replication
+/// `i` always consumes random stream `i` regardless of thread
+/// scheduling, so two runs of the same study produce the same estimate
+/// up to the (small) variation in total replication count when the
+/// stopping rule fires between chunks.
+///
+/// The default stopping rule mirrors the paper: at least 10 000
+/// replications and a 95% confidence interval within 0.1 relative
+/// half-width (checked at the last grid instant), capped at 4 000 000
+/// replications.
+pub struct Study {
+    model: Arc<SanModel>,
+    seed: u64,
+    confidence: f64,
+    rule: StoppingRule,
+    threads: usize,
+    chunk: u64,
+}
+
+impl Study {
+    /// Creates a study of `model` with the paper's default stopping
+    /// rule.
+    pub fn new(model: SanModel) -> Self {
+        Study {
+            model: Arc::new(model),
+            seed: 0xA115_5EED, // arbitrary fixed default
+            confidence: 0.95,
+            rule: StoppingRule::relative_precision(0.95, 0.1)
+                .with_min_samples(10_000)
+                .with_max_samples(4_000_000),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            chunk: 1_000,
+        }
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the confidence level used for reporting and stopping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)`.
+    #[must_use]
+    pub fn with_confidence(mut self, confidence: f64) -> Self {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence level must lie strictly between 0 and 1, got {confidence}"
+        );
+        self.confidence = confidence;
+        self
+    }
+
+    /// Replaces the stopping rule.
+    #[must_use]
+    pub fn with_rule(mut self, rule: StoppingRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Shortcut for a fixed number of replications.
+    #[must_use]
+    pub fn with_fixed_replications(mut self, n: u64) -> Self {
+        self.rule = StoppingRule::fixed(n);
+        self
+    }
+
+    /// Sets the number of worker threads (`1` disables parallelism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Sets how many replications each worker runs between merges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: u64) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        self.chunk = chunk;
+        self
+    }
+
+    /// The model under study.
+    pub fn model(&self) -> &SanModel {
+        &self.model
+    }
+
+    /// Confidence level used for stopping and reporting.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// Estimates the first-passage probability curve
+    /// `t ↦ P(target reached by t)` over `grid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] raised by any replication
+    /// (non-Markovian model on an SSA backend, event-budget exhaustion,
+    /// invalid rates, SAN-level errors).
+    pub fn first_passage<F>(
+        &self,
+        target: F,
+        grid: &TimeGrid,
+        backend: Backend,
+    ) -> Result<CurveEstimate, SimError>
+    where
+        F: Fn(&Marking) -> bool + Send + Sync,
+    {
+        let horizon = grid.horizon();
+        self.run_study(grid, backend, |engine, rng, curve| {
+            let outcome = match engine {
+                Engine::Event(sim) => sim.run_first_passage(&target, horizon, rng)?,
+                Engine::Markov(sim) => sim.run_first_passage(&target, horizon, rng)?,
+            };
+            curve.record_first_passage(
+                outcome.hit_time,
+                if outcome.hit_time.is_some() {
+                    outcome.hit_weight
+                } else {
+                    1.0
+                },
+            );
+            Ok(())
+        })
+    }
+
+    /// Estimates the transient probability curve `t ↦ P(pred holds at
+    /// t)` over `grid` (for conditions that may toggle off again).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`first_passage`](Study::first_passage).
+    pub fn transient<F>(
+        &self,
+        pred: F,
+        grid: &TimeGrid,
+        backend: Backend,
+    ) -> Result<CurveEstimate, SimError>
+    where
+        F: Fn(&Marking) -> bool + Send + Sync,
+    {
+        self.run_study(grid, backend, |engine, rng, curve| {
+            let obs = match engine {
+                Engine::Event(sim) => sim.run_transient(&pred, grid.points(), rng)?,
+                Engine::Markov(sim) => sim.run_transient(&pred, grid.points(), rng)?,
+            };
+            curve.record_weighted(&obs);
+            Ok(())
+        })
+    }
+
+    fn run_study<W>(
+        &self,
+        grid: &TimeGrid,
+        backend: Backend,
+        work: W,
+    ) -> Result<CurveEstimate, SimError>
+    where
+        W: Fn(&Engine<'_>, &mut rand::rngs::SmallRng, &mut Curve) -> Result<(), SimError>
+            + Send
+            + Sync,
+    {
+        let global = Mutex::new(Curve::new(grid.clone()));
+        let next_rep = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let failure: Mutex<Option<SimError>> = Mutex::new(None);
+        let converged = AtomicBool::new(false);
+
+        let run_worker = || -> () {
+            let engine = match &backend {
+                Backend::EventDriven => Engine::Event(EventDrivenSimulator::new(&self.model)),
+                Backend::Markov => match MarkovSimulator::new(&self.model) {
+                    Ok(sim) => Engine::Markov(sim),
+                    Err(e) => {
+                        *failure.lock() = Some(e);
+                        done.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                },
+                Backend::BiasedMarkov(bias) => match MarkovSimulator::new(&self.model) {
+                    Ok(sim) => Engine::Markov(sim.with_bias(bias.clone())),
+                    Err(e) => {
+                        *failure.lock() = Some(e);
+                        done.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                },
+            };
+            while !done.load(Ordering::SeqCst) {
+                let start = next_rep.fetch_add(self.chunk, Ordering::SeqCst);
+                let mut end = start + self.chunk;
+                if let Some(max) = self.rule.max_samples() {
+                    if start >= max {
+                        done.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    end = end.min(max);
+                }
+                let mut local = Curve::new(grid.clone());
+                for rep in start..end {
+                    let mut rng = replication_rng(self.seed, rep);
+                    if let Err(e) = work(&engine, &mut rng, &mut local) {
+                        let mut f = failure.lock();
+                        if f.is_none() {
+                            *f = Some(e);
+                        }
+                        done.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                }
+                let mut g = global.lock();
+                g.merge(&local);
+                let last = grid.len() - 1;
+                let stats = *g.estimator(last).product_stats();
+                drop(g);
+                if self.rule.is_satisfied(&stats) {
+                    converged.store(self.rule.precision_reached(&stats), Ordering::SeqCst);
+                    done.store(true, Ordering::SeqCst);
+                }
+            }
+        };
+
+        if self.threads <= 1 {
+            run_worker();
+        } else {
+            crossbeam::thread::scope(|s| {
+                for _ in 0..self.threads {
+                    s.spawn(|_| run_worker());
+                }
+            })
+            .expect("simulation worker panicked");
+        }
+
+        if let Some(e) = failure.into_inner() {
+            return Err(e);
+        }
+        let curve = global.into_inner();
+        let replications = curve.samples();
+        Ok(CurveEstimate {
+            curve,
+            replications,
+            converged: converged.load(Ordering::SeqCst),
+        })
+    }
+}
+
+impl std::fmt::Debug for Study {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Study")
+            .field("model", &self.model.name())
+            .field("seed", &self.seed)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+enum Engine<'m> {
+    Event(EventDrivenSimulator<'m>),
+    Markov(MarkovSimulator<'m>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahs_san::{Delay, SanBuilder};
+
+    fn single_failure(rate: f64) -> (ahs_san::SanModel, ahs_san::PlaceId) {
+        let mut b = SanBuilder::new("single");
+        let up = b.place_with_tokens("up", 1).unwrap();
+        let down = b.place("down").unwrap();
+        b.timed_activity("fail", Delay::exponential(rate))
+            .unwrap()
+            .input_place(up)
+            .output_place(down)
+            .build()
+            .unwrap();
+        (b.build().unwrap(), down)
+    }
+
+    #[test]
+    fn fixed_replication_study_matches_closed_form() {
+        let (model, down) = single_failure(0.3);
+        let study = Study::new(model)
+            .with_seed(11)
+            .with_fixed_replications(20_000)
+            .with_threads(2);
+        let grid = TimeGrid::new(vec![1.0, 3.0]);
+        let est = study
+            .first_passage(move |m| m.is_marked(down), &grid, Backend::Markov)
+            .unwrap();
+        assert!(est.replications >= 20_000);
+        let pts = est.curve.points(0.95);
+        let p1 = 1.0 - (-0.3_f64).exp();
+        let p3 = 1.0 - (-0.9_f64).exp();
+        assert!((pts[0].y - p1).abs() < 0.01, "{} vs {p1}", pts[0].y);
+        assert!((pts[1].y - p3).abs() < 0.01, "{} vs {p3}", pts[1].y);
+    }
+
+    #[test]
+    fn precision_rule_stops_and_reports_convergence() {
+        let (model, down) = single_failure(1.0);
+        let study = Study::new(model)
+            .with_seed(13)
+            .with_rule(
+                StoppingRule::relative_precision(0.95, 0.05)
+                    .with_min_samples(1_000)
+                    .with_max_samples(200_000),
+            )
+            .with_threads(1)
+            .with_chunk(500);
+        let grid = TimeGrid::new(vec![1.0]);
+        let est = study
+            .first_passage(move |m| m.is_marked(down), &grid, Backend::Markov)
+            .unwrap();
+        assert!(est.converged, "study did not converge");
+        let ci = est.curve.interval(0, 0.95);
+        assert!(ci.relative_half_width() <= 0.05 * 1.05);
+        assert!(est.replications < 200_000);
+    }
+
+    #[test]
+    fn event_and_markov_backends_agree() {
+        let (model, down) = single_failure(0.5);
+        let down2 = down;
+        let study = Study::new(model)
+            .with_seed(17)
+            .with_fixed_replications(15_000)
+            .with_threads(2);
+        let grid = TimeGrid::new(vec![2.0]);
+        let a = study
+            .first_passage(move |m| m.is_marked(down), &grid, Backend::Markov)
+            .unwrap();
+        let b = study
+            .first_passage(move |m| m.is_marked(down2), &grid, Backend::EventDriven)
+            .unwrap();
+        let ia = a.curve.interval(0, 0.99);
+        let ib = b.curve.interval(0, 0.99);
+        assert!(ia.overlaps(&ib), "{ia} vs {ib}");
+    }
+
+    #[test]
+    fn biased_study_recovers_rare_probability() {
+        let (model, down) = single_failure(1e-5);
+        let fail = model.find_activity("fail").unwrap();
+        let bias = BiasScheme::new().with_multiplier(fail, 1e4);
+        let study = Study::new(model)
+            .with_seed(19)
+            .with_fixed_replications(40_000)
+            .with_threads(2);
+        let grid = TimeGrid::new(vec![10.0]);
+        let est = study
+            .first_passage(
+                move |m| m.is_marked(down),
+                &grid,
+                Backend::BiasedMarkov(bias),
+            )
+            .unwrap();
+        let truth = 1.0 - (-1e-4_f64).exp();
+        let y = est.curve.points(0.95)[0].y;
+        let rel = (y - truth).abs() / truth;
+        assert!(rel < 0.1, "IS study estimate {y} vs truth {truth}");
+    }
+
+    #[test]
+    fn fixed_budget_is_honored_exactly() {
+        let (model, down) = single_failure(1.0);
+        let study = Study::new(model)
+            .with_seed(5)
+            .with_fixed_replications(1_234)
+            .with_chunk(1_000)
+            .with_threads(2);
+        let grid = TimeGrid::new(vec![1.0]);
+        let est = study
+            .first_passage(move |m| m.is_marked(down), &grid, Backend::Markov)
+            .unwrap();
+        assert_eq!(est.replications, 1_234);
+    }
+
+    #[test]
+    fn study_is_reproducible() {
+        let (model, down) = single_failure(0.4);
+        let grid = TimeGrid::new(vec![1.0]);
+        let mk = |model: ahs_san::SanModel| {
+            Study::new(model)
+                .with_seed(99)
+                .with_fixed_replications(5_000)
+                .with_threads(4)
+        };
+        let (m2, _) = single_failure(0.4);
+        let a = mk(model)
+            .first_passage(move |m| m.is_marked(down), &grid, Backend::Markov)
+            .unwrap();
+        let b = mk(m2)
+            .first_passage(move |m| m.is_marked(down), &grid, Backend::Markov)
+            .unwrap();
+        assert_eq!(a.curve.points(0.95)[0].y, b.curve.points(0.95)[0].y);
+    }
+
+    #[test]
+    fn transient_study_on_repairable_component() {
+        // Failure 1.0, repair 4.0: P(down at t) -> λ/(λ+μ)(1-e^{-(λ+μ)t}).
+        let mut b = SanBuilder::new("repairable");
+        let up = b.place_with_tokens("up", 1).unwrap();
+        let down = b.place("down").unwrap();
+        b.timed_activity("fail", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(up)
+            .output_place(down)
+            .build()
+            .unwrap();
+        b.timed_activity("repair", Delay::exponential(4.0))
+            .unwrap()
+            .input_place(down)
+            .output_place(up)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let study = Study::new(model)
+            .with_seed(23)
+            .with_fixed_replications(30_000)
+            .with_threads(2);
+        let grid = TimeGrid::new(vec![0.2, 1.0, 5.0]);
+        let est = study
+            .transient(move |m| m.is_marked(down), &grid, Backend::Markov)
+            .unwrap();
+        for (pt, &t) in est.curve.points(0.95).iter().zip(grid.points()) {
+            let truth = 0.2 * (1.0 - (-5.0_f64 * t).exp());
+            assert!(
+                (pt.y - truth).abs() < 0.015,
+                "t={t}: {} vs {truth}",
+                pt.y
+            );
+        }
+    }
+
+    #[test]
+    fn non_markovian_error_propagates_from_workers() {
+        let mut b = SanBuilder::new("det");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        b.timed_activity("d", Delay::Deterministic(1.0))
+            .unwrap()
+            .input_place(p)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let study = Study::new(model).with_fixed_replications(10).with_threads(2);
+        let grid = TimeGrid::new(vec![1.0]);
+        let err = study
+            .first_passage(|_| false, &grid, Backend::Markov)
+            .unwrap_err();
+        assert!(matches!(err, SimError::NonMarkovian { .. }));
+    }
+}

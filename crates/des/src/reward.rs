@@ -1,0 +1,373 @@
+//! Möbius-style reward variables: rate and impulse rewards accumulated
+//! over a finite horizon.
+//!
+//! A *rate reward* integrates a marking function over time
+//! (`∫₀ᵀ f(X(t)) dt`), e.g. time spent with a vehicle in recovery; an
+//! *impulse reward* adds a value on each activity completion
+//! (`Σ g(aᵢ)`), e.g. the number of maneuvers attempted. Both are the
+//! interval-of-time variables of the Möbius reward formalism, estimated
+//! here over independent replications.
+
+use ahs_san::{ActivityId, Marking, SanModel};
+use ahs_stats::{RunningStats, StoppingRule};
+
+use crate::error::SimError;
+use crate::observer::Observer;
+use crate::replication::Backend;
+use crate::rng::replication_rng;
+use crate::ssa::MarkovSimulator;
+use crate::EventDrivenSimulator;
+
+/// Specification of a reward variable accumulated over `[0, horizon]`.
+///
+/// # Example
+///
+/// ```
+/// use ahs_des::{Backend, RewardSpec, RewardStudy};
+/// use ahs_san::{Delay, SanBuilder};
+///
+/// // Fraction of time a repairable component is down.
+/// let mut b = SanBuilder::new("fr");
+/// let up = b.place_with_tokens("up", 1)?;
+/// let down = b.place("down")?;
+/// b.timed_activity("fail", Delay::exponential(1.0))?
+///     .input_place(up)
+///     .output_place(down)
+///     .build()?;
+/// b.timed_activity("repair", Delay::exponential(4.0))?
+///     .input_place(down)
+///     .output_place(up)
+///     .build()?;
+/// let model = b.build()?;
+///
+/// let spec = RewardSpec::rate(move |m| f64::from(u8::from(m.is_marked(down))));
+/// let est = RewardStudy::new(model)
+///     .with_seed(3)
+///     .with_replications(4000)
+///     .estimate(&spec, 50.0, Backend::Markov)?;
+/// // Long-run unavailability is 1/5; over [0, 50] the mean integral is ≈ 10.
+/// assert!((est.mean() / 50.0 - 0.2).abs() < 0.02);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct RewardSpec {
+    rate: Option<Box<dyn Fn(&Marking) -> f64 + Send + Sync>>,
+    impulse: Option<Box<dyn Fn(ActivityId, &Marking) -> f64 + Send + Sync>>,
+}
+
+impl RewardSpec {
+    /// A pure rate reward: `∫ f(X(t)) dt`.
+    pub fn rate<F>(f: F) -> Self
+    where
+        F: Fn(&Marking) -> f64 + Send + Sync + 'static,
+    {
+        RewardSpec {
+            rate: Some(Box::new(f)),
+            impulse: None,
+        }
+    }
+
+    /// A pure impulse reward: `Σ g(activity, marking after firing)`.
+    pub fn impulse<G>(g: G) -> Self
+    where
+        G: Fn(ActivityId, &Marking) -> f64 + Send + Sync + 'static,
+    {
+        RewardSpec {
+            rate: None,
+            impulse: Some(Box::new(g)),
+        }
+    }
+
+    /// Adds a rate component to an impulse reward (or vice versa).
+    #[must_use]
+    pub fn with_rate<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&Marking) -> f64 + Send + Sync + 'static,
+    {
+        self.rate = Some(Box::new(f));
+        self
+    }
+
+    /// Adds an impulse component.
+    #[must_use]
+    pub fn with_impulse<G>(mut self, g: G) -> Self
+    where
+        G: Fn(ActivityId, &Marking) -> f64 + Send + Sync + 'static,
+    {
+        self.impulse = Some(Box::new(g));
+        self
+    }
+}
+
+impl std::fmt::Debug for RewardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RewardSpec")
+            .field("has_rate", &self.rate.is_some())
+            .field("has_impulse", &self.impulse.is_some())
+            .finish()
+    }
+}
+
+/// Observer accumulating one replication's reward.
+struct RewardObserver<'s> {
+    spec: &'s RewardSpec,
+    total: f64,
+    last_time: f64,
+    last_rate_value: f64,
+}
+
+impl<'s> RewardObserver<'s> {
+    fn new(spec: &'s RewardSpec) -> Self {
+        RewardObserver {
+            spec,
+            total: 0.0,
+            last_time: 0.0,
+            last_rate_value: 0.0,
+        }
+    }
+}
+
+impl Observer for RewardObserver<'_> {
+    fn on_start(&mut self, marking: &Marking) {
+        if let Some(f) = &self.spec.rate {
+            self.last_rate_value = f(marking);
+        }
+    }
+
+    fn on_event(&mut self, time: f64, activity: ActivityId, marking: &Marking) {
+        // The marking was constant on [last_time, time).
+        self.total += self.last_rate_value * (time - self.last_time);
+        self.last_time = time;
+        if let Some(f) = &self.spec.rate {
+            self.last_rate_value = f(marking);
+        }
+        if let Some(g) = &self.spec.impulse {
+            self.total += g(activity, marking);
+        }
+    }
+
+    fn on_end(&mut self, time: f64, _marking: &Marking) {
+        self.total += self.last_rate_value * (time - self.last_time);
+        self.last_time = time;
+    }
+}
+
+/// Estimates the expectation of a reward variable over independent
+/// replications (unbiased backends only — importance sampling is not
+/// supported for rewards, since the weights would need to be carried
+/// per accumulation interval).
+pub struct RewardStudy {
+    model: SanModel,
+    seed: u64,
+    rule: StoppingRule,
+}
+
+impl RewardStudy {
+    /// Creates a study with a default fixed budget of 10 000
+    /// replications.
+    pub fn new(model: SanModel) -> Self {
+        RewardStudy {
+            model,
+            seed: 0x5EED,
+            rule: StoppingRule::fixed(10_000),
+        }
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs exactly `n` replications.
+    #[must_use]
+    pub fn with_replications(mut self, n: u64) -> Self {
+        self.rule = StoppingRule::fixed(n);
+        self
+    }
+
+    /// Replaces the stopping rule.
+    #[must_use]
+    pub fn with_rule(mut self, rule: StoppingRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// The model under study.
+    pub fn model(&self) -> &SanModel {
+        &self.model
+    }
+
+    /// Estimates the expected total reward over `[0, horizon]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NonMarkovian`] for the Markov backend on a
+    /// non-exponential model, or any replication-level failure. A
+    /// [`Backend::BiasedMarkov`] backend is rejected as
+    /// [`SimError::NonMarkovian`]-adjacent misuse via panic — rewards
+    /// require an unbiased measure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is [`Backend::BiasedMarkov`].
+    pub fn estimate(
+        &self,
+        spec: &RewardSpec,
+        horizon: f64,
+        backend: Backend,
+    ) -> Result<RunningStats, SimError> {
+        let mut stats = RunningStats::new();
+        match backend {
+            Backend::BiasedMarkov(_) => {
+                panic!("reward estimation requires an unbiased backend")
+            }
+            Backend::Markov => {
+                let sim = MarkovSimulator::new(&self.model)?;
+                let mut rep = 0u64;
+                while !self.rule.is_satisfied(&stats) {
+                    let mut rng = replication_rng(self.seed, rep);
+                    let mut obs = RewardObserver::new(spec);
+                    sim.run_with_observer(horizon, &mut rng, &mut obs)?;
+                    stats.push(obs.total);
+                    rep += 1;
+                }
+            }
+            Backend::EventDriven => {
+                let sim = EventDrivenSimulator::new(&self.model);
+                let mut rep = 0u64;
+                while !self.rule.is_satisfied(&stats) {
+                    let mut rng = replication_rng(self.seed, rep);
+                    let mut obs = RewardObserver::new(spec);
+                    sim.run(horizon, &mut rng, &mut obs)?;
+                    stats.push(obs.total);
+                    rep += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+impl std::fmt::Debug for RewardStudy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RewardStudy")
+            .field("model", &self.model.name())
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahs_san::{Delay, SanBuilder};
+
+    fn repairable(fail: f64, repair: f64) -> (SanModel, ahs_san::PlaceId) {
+        let mut b = SanBuilder::new("fr");
+        let up = b.place_with_tokens("up", 1).unwrap();
+        let down = b.place("down").unwrap();
+        b.timed_activity("fail", Delay::exponential(fail))
+            .unwrap()
+            .input_place(up)
+            .output_place(down)
+            .build()
+            .unwrap();
+        b.timed_activity("repair", Delay::exponential(repair))
+            .unwrap()
+            .input_place(down)
+            .output_place(up)
+            .build()
+            .unwrap();
+        (b.build().unwrap(), down)
+    }
+
+    #[test]
+    fn rate_reward_matches_long_run_unavailability() {
+        let (model, down) = repairable(1.0, 3.0);
+        let spec = RewardSpec::rate(move |m| f64::from(u8::from(m.is_marked(down))));
+        let est = RewardStudy::new(model)
+            .with_seed(1)
+            .with_replications(3_000)
+            .estimate(&spec, 100.0, Backend::Markov)
+            .unwrap();
+        let frac = est.mean() / 100.0;
+        assert!((frac - 0.25).abs() < 0.01, "downtime fraction {frac}");
+    }
+
+    #[test]
+    fn impulse_reward_counts_firings() {
+        // Failure rate 2, repair 1000 (instant-ish): failures occur at
+        // ~rate 2 per unit time; count them over [0, 10].
+        let (model, _) = repairable(2.0, 1000.0);
+        let fail = model.find_activity("fail").unwrap();
+        let spec = RewardSpec::impulse(move |a, _| f64::from(u8::from(a == fail)));
+        let est = RewardStudy::new(model)
+            .with_seed(2)
+            .with_replications(2_000)
+            .estimate(&spec, 10.0, Backend::Markov)
+            .unwrap();
+        assert!((est.mean() - 20.0).abs() < 0.6, "count {}", est.mean());
+    }
+
+    #[test]
+    fn combined_rate_and_impulse() {
+        let (model, down) = repairable(1.0, 1.0);
+        let repair = model.find_activity("repair").unwrap();
+        // Cost = downtime + 0.5 per repair.
+        let spec = RewardSpec::rate(move |m| f64::from(u8::from(m.is_marked(down))))
+            .with_impulse(move |a, _| if a == repair { 0.5 } else { 0.0 });
+        let est = RewardStudy::new(model)
+            .with_seed(3)
+            .with_replications(3_000)
+            .estimate(&spec, 50.0, Backend::Markov)
+            .unwrap();
+        // Downtime ≈ 25; repairs ≈ 0.5/unit time · 50 = 25 → 12.5.
+        assert!((est.mean() - 37.5).abs() < 1.5, "cost {}", est.mean());
+    }
+
+    #[test]
+    fn both_backends_agree() {
+        let (model, down) = repairable(0.7, 2.0);
+        let spec1 = RewardSpec::rate(move |m| f64::from(u8::from(m.is_marked(down))));
+        let study = RewardStudy::new(model).with_seed(4).with_replications(4_000);
+        let a = study.estimate(&spec1, 30.0, Backend::Markov).unwrap();
+        let b = study.estimate(&spec1, 30.0, Backend::EventDriven).unwrap();
+        let ci_a = a.confidence_interval(0.99);
+        let ci_b = b.confidence_interval(0.99);
+        assert!(ci_a.overlaps(&ci_b), "{ci_a} vs {ci_b}");
+    }
+
+    #[test]
+    fn stopping_rule_applies() {
+        let (model, down) = repairable(1.0, 1.0);
+        let spec = RewardSpec::rate(move |m| f64::from(u8::from(m.is_marked(down))));
+        let est = RewardStudy::new(model)
+            .with_seed(5)
+            .with_rule(
+                StoppingRule::relative_precision(0.95, 0.05)
+                    .with_min_samples(100)
+                    .with_max_samples(50_000),
+            )
+            .estimate(&spec, 20.0, Backend::Markov)
+            .unwrap();
+        assert!(est.count() >= 100);
+        assert!(
+            est.confidence_interval(0.95).relative_half_width() <= 0.06,
+            "precision not reached: {}",
+            est.confidence_interval(0.95)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unbiased backend")]
+    fn biased_backend_rejected() {
+        let (model, _) = repairable(1.0, 1.0);
+        let spec = RewardSpec::rate(|_| 1.0);
+        let _ = RewardStudy::new(model).estimate(
+            &spec,
+            1.0,
+            Backend::BiasedMarkov(crate::BiasScheme::new()),
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! Multilevel splitting (fixed-effort) for rare first-passage
+//! probabilities.
+//!
+//! An *independent* rare-event method to cross-validate the
+//! importance-sampling estimator: instead of changing the measure,
+//! splitting decomposes the rare event into a chain of conditional
+//! events through an importance function
+//! `level: Marking → 0..=target_level`. Stage `k` runs a fixed effort
+//! of paths from (resampled) entry states of level `k`, estimating
+//! `p̂ₖ = P(reach level k+1 before the horizon | reached level k)`;
+//! the final estimate is `Π p̂ₖ`.
+//!
+//! The entry-state resampling makes the fixed-effort estimator
+//! consistent (not exactly unbiased at finite effort); the reported
+//! half-width is the standard per-stage binomial delta-method
+//! approximation. For the AHS model a natural importance function is
+//! the number of concurrently recovering vehicles, with the top level
+//! the marked `KO_total`.
+
+use ahs_san::{Marking, SanModel};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::error::SimError;
+use crate::rng::replication_rng;
+use crate::ssa::MarkovSimulator;
+
+/// Result of a splitting study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplittingEstimate {
+    /// Estimated probability of reaching the target level by the
+    /// horizon.
+    pub probability: f64,
+    /// Per-stage conditional probabilities `p̂ₖ`.
+    pub stage_probabilities: Vec<f64>,
+    /// Approximate relative standard error
+    /// `sqrt(Σ (1 − p̂ₖ)/(p̂ₖ·Nₖ))` (delta method, treating stages as
+    /// independent binomials).
+    pub relative_std_error: f64,
+    /// Paths run per stage.
+    pub effort: u64,
+}
+
+impl SplittingEstimate {
+    /// Approximate absolute half-width at ~95% confidence.
+    pub fn half_width(&self) -> f64 {
+        1.96 * self.relative_std_error * self.probability
+    }
+}
+
+/// Fixed-effort multilevel splitting on a Markovian SAN.
+///
+/// # Example
+///
+/// ```
+/// use ahs_des::SplittingStudy;
+/// use ahs_san::{Delay, SanBuilder};
+///
+/// // A 3-stage failure chain: reaching the end by t=1 is rare.
+/// let mut b = SanBuilder::new("chain");
+/// let mut places = vec![b.place_with_tokens("s0", 1)?];
+/// for i in 1..=3 {
+///     places.push(b.place(&format!("s{i}"))?);
+///     b.timed_activity(&format!("step{i}"), Delay::exponential(0.2))?
+///         .input_place(places[i - 1])
+///         .output_place(places[i])
+///         .build()?;
+/// }
+/// let model = b.build()?;
+/// let ps = places.clone();
+/// let study = SplittingStudy::new(model).with_seed(5).with_effort(2000);
+/// let est = study.estimate(
+///     move |m| ps.iter().rposition(|&p| m.is_marked(p)).unwrap_or(0),
+///     3,
+///     1.0,
+/// )?;
+/// // Exact: P(Erlang(3, 0.2) <= 1) ≈ 1.1e-3.
+/// assert!(est.probability > 2e-4 && est.probability < 5e-3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct SplittingStudy {
+    model: SanModel,
+    seed: u64,
+    effort: u64,
+}
+
+impl SplittingStudy {
+    /// Creates a study with a default effort of 10 000 paths per
+    /// stage.
+    pub fn new(model: SanModel) -> Self {
+        SplittingStudy {
+            model,
+            seed: 0x51117,
+            effort: 10_000,
+        }
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-stage effort (paths per level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `effort == 0`.
+    #[must_use]
+    pub fn with_effort(mut self, effort: u64) -> Self {
+        assert!(effort > 0, "per-stage effort must be positive");
+        self.effort = effort;
+        self
+    }
+
+    /// The model under study.
+    pub fn model(&self) -> &SanModel {
+        &self.model
+    }
+
+    /// Estimates `P(level reaches target_level by horizon)` where
+    /// `level_of` maps markings to importance levels (the initial
+    /// stable marking must map below `target_level`).
+    ///
+    /// # Errors
+    ///
+    /// Returns simulation-layer errors ([`SimError`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_level == 0` or the initial marking already
+    /// sits at or above the target level.
+    pub fn estimate<L>(
+        &self,
+        level_of: L,
+        target_level: usize,
+        horizon: f64,
+    ) -> Result<SplittingEstimate, SimError>
+    where
+        L: Fn(&Marking) -> usize,
+    {
+        assert!(target_level > 0, "target level must be positive");
+        let sim = MarkovSimulator::new(&self.model)?;
+        let mut rng_seq = 0_u64;
+        let next_rng = |seed: u64, seq: &mut u64| -> SmallRng {
+            *seq += 1;
+            replication_rng(seed, *seq)
+        };
+
+        // Entry states of the current stage: (marking, entry time).
+        let mut entries: Vec<(Marking, f64)> =
+            vec![(self.model.initial_marking().clone(), 0.0)];
+        assert!(
+            level_of(self.model.initial_marking()) < target_level,
+            "initial marking is already at or above the target level"
+        );
+
+        let mut stage_probabilities = Vec::new();
+        let mut rel_var = 0.0_f64;
+        let mut probability = 1.0_f64;
+
+        for stage in 0..target_level {
+            let mut next_entries: Vec<(Marking, f64)> = Vec::new();
+            let mut successes = 0_u64;
+            for _ in 0..self.effort {
+                let mut rng = next_rng(self.seed, &mut rng_seq);
+                // Resample an entry state uniformly (stage 0 has the
+                // single initial state).
+                let idx = if entries.len() == 1 {
+                    0
+                } else {
+                    rng.random_range(0..entries.len())
+                };
+                let (start, t0) = entries[idx].clone();
+                let lvl = &level_of;
+                let (outcome, final_marking) = sim.run_first_passage_from(
+                    start,
+                    t0,
+                    move |m| lvl(m) > stage,
+                    horizon,
+                    &mut rng,
+                )?;
+                if let Some(hit) = outcome.hit_time {
+                    successes += 1;
+                    next_entries.push((final_marking, hit));
+                }
+            }
+            let p_hat = successes as f64 / self.effort as f64;
+            stage_probabilities.push(p_hat);
+            probability *= p_hat;
+            if p_hat == 0.0 {
+                // Dead stage: the estimate collapses to zero.
+                return Ok(SplittingEstimate {
+                    probability: 0.0,
+                    stage_probabilities,
+                    relative_std_error: f64::INFINITY,
+                    effort: self.effort,
+                });
+            }
+            rel_var += (1.0 - p_hat) / (p_hat * self.effort as f64);
+            entries = next_entries;
+        }
+
+        Ok(SplittingEstimate {
+            probability,
+            stage_probabilities,
+            relative_std_error: rel_var.sqrt(),
+            effort: self.effort,
+        })
+    }
+}
+
+impl std::fmt::Debug for SplittingStudy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SplittingStudy")
+            .field("model", &self.model.name())
+            .field("effort", &self.effort)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahs_san::{Delay, PlaceId, SanBuilder};
+
+    /// A k-stage pure-death chain with per-stage rate `rate`.
+    fn chain(k: usize, rate: f64) -> (SanModel, Vec<PlaceId>) {
+        let mut b = SanBuilder::new("chain");
+        let mut places = vec![b.place_with_tokens("s0", 1).unwrap()];
+        for i in 1..=k {
+            places.push(b.place(&format!("s{i}")).unwrap());
+            b.timed_activity(&format!("step{i}"), Delay::exponential(rate))
+                .unwrap()
+                .input_place(places[i - 1])
+                .output_place(places[i])
+                .build()
+                .unwrap();
+        }
+        (b.build().unwrap(), places)
+    }
+
+    /// P(Erlang(k, rate) <= t).
+    fn erlang_cdf(k: usize, rate: f64, t: f64) -> f64 {
+        let x = rate * t;
+        let mut term = (-x).exp();
+        let mut cum = term;
+        for i in 1..k {
+            term *= x / i as f64;
+            cum += term;
+        }
+        1.0 - cum
+    }
+
+    #[test]
+    fn splitting_matches_erlang_tail() {
+        let (model, places) = chain(3, 0.3);
+        let exact = erlang_cdf(3, 0.3, 1.0);
+        assert!(exact < 5e-3, "regime check: {exact}");
+        let ps = places.clone();
+        let est = SplittingStudy::new(model)
+            .with_seed(11)
+            .with_effort(8_000)
+            .estimate(
+                move |m| ps.iter().rposition(|&p| m.is_marked(p)).unwrap_or(0),
+                3,
+                1.0,
+            )
+            .unwrap();
+        let rel = (est.probability - exact).abs() / exact;
+        assert!(
+            rel < 0.25,
+            "splitting {} vs exact {exact} (rel {rel})",
+            est.probability
+        );
+        assert_eq!(est.stage_probabilities.len(), 3);
+        assert!(est.relative_std_error < 0.2);
+    }
+
+    #[test]
+    fn dead_stage_returns_zero() {
+        // Rate so small nothing ever fires within the horizon.
+        let (model, places) = chain(2, 1e-12);
+        let ps = places.clone();
+        let est = SplittingStudy::new(model)
+            .with_seed(1)
+            .with_effort(200)
+            .estimate(
+                move |m| ps.iter().rposition(|&p| m.is_marked(p)).unwrap_or(0),
+                2,
+                1.0,
+            )
+            .unwrap();
+        assert_eq!(est.probability, 0.0);
+        assert_eq!(est.relative_std_error, f64::INFINITY);
+    }
+
+    #[test]
+    fn single_level_equals_plain_mc() {
+        let (model, places) = chain(1, 2.0);
+        let p1 = places[1];
+        let exact = 1.0 - (-2.0_f64).exp();
+        let est = SplittingStudy::new(model)
+            .with_seed(2)
+            .with_effort(20_000)
+            .estimate(move |m| usize::from(m.is_marked(p1)), 1, 1.0)
+            .unwrap();
+        assert!((est.probability - exact).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "target level must be positive")]
+    fn zero_target_rejected() {
+        let (model, _) = chain(1, 1.0);
+        let _ = SplittingStudy::new(model).estimate(|_| 0, 0, 1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Model-based property test: the lazily-cancelling binary-heap event
+//! queue must behave exactly like a naive sorted-list reference
+//! implementation under arbitrary schedule/cancel/pop sequences.
+
+use ahs_des::EventQueue;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule { slot: usize, time: f64 },
+    Cancel { slot: usize },
+    Pop,
+}
+
+fn op_strategy(slots: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..slots, 0f64..1000.0).prop_map(|(slot, time)| Op::Schedule { slot, time }),
+        (0..slots).prop_map(|slot| Op::Cancel { slot }),
+        Just(Op::Pop),
+    ]
+}
+
+/// Naive reference: a vector of (time, slot) kept sorted on demand.
+#[derive(Default)]
+struct Reference {
+    pending: Vec<(f64, usize)>,
+}
+
+impl Reference {
+    fn schedule(&mut self, time: f64, slot: usize) {
+        self.pending.push((time, slot));
+    }
+    fn cancel(&mut self, slot: usize) {
+        self.pending.retain(|&(_, s)| s != slot);
+    }
+    fn is_scheduled(&self, slot: usize) -> bool {
+        self.pending.iter().any(|&(_, s)| s == slot)
+    }
+    fn pop(&mut self) -> Option<(f64, usize)> {
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.0.partial_cmp(&b.0)
+                    .expect("finite")
+                    .then_with(|| a.1.cmp(&b.1))
+            })
+            .map(|(i, _)| i)?;
+        Some(self.pending.swap_remove(best))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn queue_matches_reference(ops in prop::collection::vec(op_strategy(6), 0..120)) {
+        let mut queue = EventQueue::new(6);
+        let mut reference = Reference::default();
+        for op in ops {
+            match op {
+                Op::Schedule { slot, time } => {
+                    // The queue forbids double-scheduling; mirror that.
+                    if !reference.is_scheduled(slot) {
+                        queue.schedule(time, slot);
+                        reference.schedule(time, slot);
+                    }
+                }
+                Op::Cancel { slot } => {
+                    queue.cancel(slot);
+                    reference.cancel(slot);
+                }
+                Op::Pop => {
+                    let got = queue.pop().map(|e| (e.time, e.activity));
+                    let want = reference.pop();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            for slot in 0..6 {
+                prop_assert_eq!(queue.is_scheduled(slot), reference.is_scheduled(slot));
+            }
+        }
+        // Drain both completely; orders must agree.
+        loop {
+            let got = queue.pop().map(|e| (e.time, e.activity));
+            let want = reference.pop();
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type of the platoon substrate.
+
+use crate::vehicle::{Lane, VehicleId};
+
+/// Errors from roster operations and maneuver simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum PlatoonError {
+    /// The platoon is at capacity.
+    PlatoonFull {
+        /// The capacity that was hit.
+        capacity: usize,
+    },
+    /// The vehicle is already a member.
+    AlreadyMember {
+        /// The duplicate vehicle.
+        vehicle: VehicleId,
+    },
+    /// The vehicle is not a member.
+    NotAMember {
+        /// The missing vehicle.
+        vehicle: VehicleId,
+    },
+    /// A split index was out of range.
+    InvalidSplit {
+        /// Requested index.
+        index: usize,
+        /// Platoon size.
+        len: usize,
+    },
+    /// Platoons in different lanes cannot merge.
+    LaneMismatch {
+        /// Lane of the receiving platoon.
+        expected: Lane,
+        /// Lane of the merged platoon.
+        actual: Lane,
+    },
+    /// A maneuver simulation produced a collision (vehicles overlapped).
+    Collision {
+        /// The rear vehicle of the colliding pair.
+        rear: VehicleId,
+        /// The front vehicle of the colliding pair.
+        front: VehicleId,
+        /// Simulation time of the first overlap, seconds.
+        at: f64,
+    },
+    /// A maneuver did not complete within its simulation budget.
+    ManeuverTimeout {
+        /// The budget, seconds.
+        budget: f64,
+    },
+}
+
+impl std::fmt::Display for PlatoonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatoonError::PlatoonFull { capacity } => {
+                write!(f, "platoon is full (capacity {capacity})")
+            }
+            PlatoonError::AlreadyMember { vehicle } => {
+                write!(f, "vehicle {vehicle} is already a member")
+            }
+            PlatoonError::NotAMember { vehicle } => {
+                write!(f, "vehicle {vehicle} is not a member")
+            }
+            PlatoonError::InvalidSplit { index, len } => {
+                write!(f, "cannot split a {len}-vehicle platoon at index {index}")
+            }
+            PlatoonError::LaneMismatch { expected, actual } => write!(
+                f,
+                "cannot merge platoon from lane {} into lane {}",
+                actual.0, expected.0
+            ),
+            PlatoonError::Collision { rear, front, at } => {
+                write!(f, "vehicle {rear} collided with {front} at t={at:.2}s")
+            }
+            PlatoonError::ManeuverTimeout { budget } => {
+                write!(f, "maneuver did not complete within {budget}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatoonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PlatoonError::Collision {
+            rear: VehicleId(3),
+            front: VehicleId(2),
+            at: 1.25,
+        };
+        assert_eq!(e.to_string(), "vehicle v3 collided with v2 at t=1.25s");
+    }
+}

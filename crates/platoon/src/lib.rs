@@ -1,0 +1,45 @@
+//! Kinematic platoon substrate for automated highway systems.
+//!
+//! The DSN 2009 safety study runs on top of the PATH platooning
+//! architecture: real vehicles with longitudinal/lateral controllers,
+//! intra-platoon gaps of 1–3 m, inter-platoon gaps of 30–60 m, and
+//! recovery maneuvers whose end-to-end durations (2–4 minutes) become
+//! the exponential maneuver rates (15–30 /hr) of the SAN models.
+//!
+//! This crate supplies that substrate in simulation: vehicle kinematics
+//! ([`Vehicle`]), spacing policies ([`SpacingPolicy`]), platoon rosters
+//! ([`Platoon`]), a longitudinal gap controller ([`GapController`]), the
+//! six recovery maneuvers of the paper built from atomic maneuvers
+//! ([`RecoveryManeuver`], [`ManeuverSimulator`]), and a duration model
+//! ([`DurationModel`]) that reproduces the 2–4 minute window and thus
+//! justifies the rates used by `ahs-core`.
+//!
+//! # Example
+//!
+//! ```
+//! use ahs_platoon::{DurationModel, RecoveryManeuver};
+//!
+//! let model = DurationModel::default();
+//! let stats = model.estimate(RecoveryManeuver::GentleStop, 400, 42);
+//! // Gentle stop ends within the paper's 2..4-minute window.
+//! assert!(stats.mean_seconds > 120.0 && stats.mean_seconds < 240.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod control;
+mod duration;
+mod error;
+mod maneuver;
+mod platoon;
+mod spacing;
+mod vehicle;
+
+pub use control::GapController;
+pub use duration::{DurationModel, DurationStats};
+pub use error::PlatoonError;
+pub use maneuver::{AtomicManeuver, ManeuverOutcomeKind, ManeuverSimulator, RecoveryManeuver};
+pub use platoon::{Platoon, PlatoonRole};
+pub use spacing::SpacingPolicy;
+pub use vehicle::{Lane, Vehicle, VehicleId};

@@ -1,0 +1,167 @@
+//! Activities: the transitions of a SAN.
+
+use crate::delay::Delay;
+use crate::gate::{InputGateId, OutputGateId};
+use crate::marking::Marking;
+use crate::place::PlaceId;
+
+/// Opaque handle to an activity within a [`SanModel`](crate::SanModel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActivityId(pub(crate) usize);
+
+impl ActivityId {
+    /// Index of this activity in the model's activity table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Timing behaviour of an activity.
+#[derive(Debug)]
+pub enum Timing {
+    /// A timed activity with the given delay distribution.
+    Timed(Delay),
+    /// An instantaneous activity; among simultaneously enabled
+    /// instantaneous activities, the highest `priority` fires first and
+    /// ties are broken proportionally to `weight`.
+    Instantaneous {
+        /// Selection priority (higher fires first).
+        priority: u32,
+        /// Tie-break weight among equal priorities.
+        weight: f64,
+    },
+}
+
+impl Timing {
+    /// Whether the activity is instantaneous.
+    pub fn is_instantaneous(&self) -> bool {
+        matches!(self, Timing::Instantaneous { .. })
+    }
+}
+
+/// Probability of one case of an activity.
+pub enum CaseProb {
+    /// A fixed probability.
+    Const(f64),
+    /// A probability computed from the marking at completion time.
+    MarkingDependent(Box<dyn Fn(&Marking) -> f64 + Send + Sync>),
+}
+
+impl CaseProb {
+    /// Evaluates the probability in the given marking.
+    pub fn eval(&self, marking: &Marking) -> f64 {
+        match self {
+            CaseProb::Const(p) => *p,
+            CaseProb::MarkingDependent(f) => f(marking),
+        }
+    }
+}
+
+impl std::fmt::Debug for CaseProb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaseProb::Const(p) => write!(f, "CaseProb::Const({p})"),
+            CaseProb::MarkingDependent(_) => write!(f, "CaseProb::MarkingDependent(..)"),
+        }
+    }
+}
+
+/// One case (probabilistic outcome branch) of an activity.
+///
+/// The `One_vehicle` maneuver activities use two cases — success
+/// (`v_OK`) and failure (escalate to the next maneuver) — with
+/// marking-dependent probabilities reflecting the state of the adjacent
+/// vehicles involved in the maneuver.
+#[derive(Debug)]
+pub struct Case {
+    pub(crate) probability: CaseProb,
+    pub(crate) output_arcs: Vec<(PlaceId, u64)>,
+    pub(crate) output_gates: Vec<OutputGateId>,
+}
+
+impl Case {
+    /// The case's output arcs `(place, tokens added)`.
+    pub fn output_arcs(&self) -> &[(PlaceId, u64)] {
+        &self.output_arcs
+    }
+
+    /// The case's output gates.
+    pub fn output_gates(&self) -> &[OutputGateId] {
+        &self.output_gates
+    }
+
+    /// Evaluates the case probability.
+    pub fn probability(&self, marking: &Marking) -> f64 {
+        self.probability.eval(marking)
+    }
+}
+
+/// An activity: timing, enabling structure, and completion cases.
+#[derive(Debug)]
+pub struct Activity {
+    pub(crate) name: String,
+    pub(crate) timing: Timing,
+    pub(crate) input_arcs: Vec<(PlaceId, u64)>,
+    pub(crate) input_gates: Vec<InputGateId>,
+    pub(crate) cases: Vec<Case>,
+}
+
+impl Activity {
+    /// Activity name (namespaced).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The activity's timing behaviour.
+    pub fn timing(&self) -> &Timing {
+        &self.timing
+    }
+
+    /// Input arcs `(place, tokens required/consumed)`.
+    pub fn input_arcs(&self) -> &[(PlaceId, u64)] {
+        &self.input_arcs
+    }
+
+    /// Input gates attached to the activity.
+    pub fn input_gates(&self) -> &[InputGateId] {
+        &self.input_gates
+    }
+
+    /// Completion cases (at least one).
+    pub fn cases(&self) -> &[Case] {
+        &self.cases
+    }
+
+    /// Whether the activity is instantaneous.
+    pub fn is_instantaneous(&self) -> bool {
+        self.timing.is_instantaneous()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{PlaceDecl, PlaceKind};
+
+    #[test]
+    fn case_prob_eval() {
+        let m = Marking::from_decls(&[PlaceDecl {
+            name: "p".into(),
+            kind: PlaceKind::Simple,
+            initial_tokens: 3,
+            initial_array: vec![],
+        }]);
+        assert_eq!(CaseProb::Const(0.25).eval(&m), 0.25);
+        let dep = CaseProb::MarkingDependent(Box::new(|m| {
+            1.0 / (1.0 + m.tokens(PlaceId(0)) as f64)
+        }));
+        assert!((dep.eval(&m) - 0.25).abs() < 1e-12);
+        assert!(format!("{dep:?}").contains("MarkingDependent"));
+    }
+
+    #[test]
+    fn timing_kind() {
+        assert!(Timing::Instantaneous { priority: 1, weight: 1.0 }.is_instantaneous());
+        assert!(!Timing::Timed(Delay::exponential(1.0)).is_instantaneous());
+    }
+}

@@ -1,0 +1,261 @@
+//! Structural sanity analysis of SAN models.
+
+use std::collections::HashSet;
+
+use crate::model::SanModel;
+
+/// Structural statistics and warnings about a model.
+///
+/// Gate predicates and functions are opaque closures, so the analysis is
+/// conservative: a place is reported *arc-isolated* when no arc touches
+/// it even though gates may still read or write it (common for shared
+/// bookkeeping places such as the paper's severity counters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuralReport {
+    /// Number of places.
+    pub num_places: usize,
+    /// Number of timed activities.
+    pub num_timed: usize,
+    /// Number of instantaneous activities.
+    pub num_instantaneous: usize,
+    /// Names of places no arc reads or writes (gates may still use
+    /// them).
+    pub arc_isolated_places: Vec<String>,
+    /// Names of activities with neither input arcs nor input gates:
+    /// once enabled they stay enabled forever (for a timed activity a
+    /// self-loop source; usually a modelling mistake).
+    pub always_enabled_activities: Vec<String>,
+    /// Names of activities whose firing cannot change any marking
+    /// through arcs (gates may still act).
+    pub arc_silent_activities: Vec<String>,
+}
+
+impl StructuralReport {
+    /// Whether no warnings were produced.
+    pub fn is_clean(&self) -> bool {
+        self.arc_isolated_places.is_empty()
+            && self.always_enabled_activities.is_empty()
+            && self.arc_silent_activities.is_empty()
+    }
+}
+
+/// A violation of a weighted token-conservation law.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConservationViolation {
+    /// Name of the offending activity.
+    pub activity: String,
+    /// Case index within the activity.
+    pub case: usize,
+    /// Net change of the weighted token sum when that case fires
+    /// (through arcs; gate functions are not analyzable).
+    pub delta: f64,
+}
+
+impl SanModel {
+    /// Checks a weighted token-conservation law (a candidate
+    /// P-semiflow): for every activity case, the weighted sum of arc
+    /// token changes must be zero. `weights` maps place index →
+    /// weight; missing places weigh zero.
+    ///
+    /// Only arc effects are analyzable — gate marking functions are
+    /// opaque closures, so a model that moves tokens through gates
+    /// (like the AHS severity counters) must be checked dynamically
+    /// instead (see the workspace's invariant property tests).
+    ///
+    /// Returns every violating `(activity, case)`.
+    pub fn check_conservation(&self, weights: &[(crate::PlaceId, f64)]) -> Vec<ConservationViolation> {
+        let mut w = vec![0.0_f64; self.num_places()];
+        for (p, weight) in weights {
+            w[p.index()] = *weight;
+        }
+        let mut violations = Vec::new();
+        for a in self.activities() {
+            let consumed: f64 = a
+                .input_arcs()
+                .iter()
+                .map(|(p, n)| w[p.index()] * *n as f64)
+                .sum();
+            for (case, c) in a.cases().iter().enumerate() {
+                let produced: f64 = c
+                    .output_arcs()
+                    .iter()
+                    .map(|(p, n)| w[p.index()] * *n as f64)
+                    .sum();
+                let delta = produced - consumed;
+                if delta.abs() > 1e-12 {
+                    violations.push(ConservationViolation {
+                        activity: a.name().to_owned(),
+                        case,
+                        delta,
+                    });
+                }
+            }
+        }
+        violations
+    }
+
+    /// Computes structural statistics and conservative warnings.
+    pub fn analyze(&self) -> StructuralReport {
+        let mut touched: HashSet<usize> = HashSet::new();
+        let mut always_enabled = Vec::new();
+        let mut arc_silent = Vec::new();
+
+        for a in self.activities() {
+            for (p, _) in a.input_arcs() {
+                touched.insert(p.index());
+            }
+            let mut writes = !a.input_arcs().is_empty();
+            for c in a.cases() {
+                for (p, _) in c.output_arcs() {
+                    touched.insert(p.index());
+                    writes = true;
+                }
+            }
+            if a.input_arcs().is_empty() && a.input_gates().is_empty() {
+                always_enabled.push(a.name().to_owned());
+            }
+            let has_gates = !a.input_gates().is_empty()
+                || a.cases().iter().any(|c| !c.output_gates().is_empty());
+            if !writes && !has_gates {
+                arc_silent.push(a.name().to_owned());
+            }
+        }
+
+        let arc_isolated_places = self
+            .places()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !touched.contains(i))
+            .map(|(_, d)| d.name().to_owned())
+            .collect();
+
+        StructuralReport {
+            num_places: self.num_places(),
+            num_timed: self.timed_activities().len(),
+            num_instantaneous: self.instantaneous_activities().len(),
+            arc_isolated_places,
+            always_enabled_activities: always_enabled,
+            arc_silent_activities: arc_silent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::SanBuilder;
+    use crate::delay::Delay;
+
+    #[test]
+    fn clean_model_reports_clean() {
+        let mut b = SanBuilder::new("clean");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place("q").unwrap();
+        b.timed_activity("a", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .output_place(q)
+            .build()
+            .unwrap();
+        let r = b.build().unwrap().analyze();
+        assert!(r.is_clean(), "unexpected warnings: {r:?}");
+        assert_eq!(r.num_places, 2);
+        assert_eq!(r.num_timed, 1);
+        assert_eq!(r.num_instantaneous, 0);
+    }
+
+    #[test]
+    fn isolated_place_detected() {
+        let mut b = SanBuilder::new("iso");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        b.place("floating").unwrap();
+        b.timed_activity("a", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .build()
+            .unwrap();
+        let r = b.build().unwrap().analyze();
+        assert_eq!(r.arc_isolated_places, vec!["floating".to_owned()]);
+    }
+
+    #[test]
+    fn always_enabled_detected() {
+        let mut b = SanBuilder::new("ae");
+        let q = b.place("q").unwrap();
+        b.timed_activity("source", Delay::exponential(1.0))
+            .unwrap()
+            .output_place(q)
+            .build()
+            .unwrap();
+        let r = b.build().unwrap().analyze();
+        assert_eq!(r.always_enabled_activities, vec!["source".to_owned()]);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn conservation_law_holds_for_closed_cycle() {
+        let mut b = SanBuilder::new("cycle");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place("q").unwrap();
+        b.timed_activity("pq", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .output_place(q)
+            .build()
+            .unwrap();
+        b.timed_activity("qp", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(q)
+            .output_place(p)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        assert!(model
+            .check_conservation(&[(p, 1.0), (q, 1.0)])
+            .is_empty());
+    }
+
+    #[test]
+    fn conservation_violation_reported_per_case() {
+        let mut b = SanBuilder::new("leaky");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place("q").unwrap();
+        // Case 0 conserves, case 1 duplicates the token.
+        b.timed_activity("split", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .case(0.5)
+            .output_place(q)
+            .case(0.5)
+            .output_arc(q, 2)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let v = model.check_conservation(&[(p, 1.0), (q, 1.0)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].case, 1);
+        assert!((v[0].delta - 1.0).abs() < 1e-12);
+        assert_eq!(v[0].activity, "split");
+
+        // Weighting q at ½ makes case 1 conserve but breaks case 0.
+        let v = model.check_conservation(&[(p, 1.0), (q, 0.5)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].case, 0);
+    }
+
+    #[test]
+    fn arc_silent_detected() {
+        let mut b = SanBuilder::new("silent");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let g = b.predicate_gate("guard", move |m| m.is_marked(p));
+        b.timed_activity("noop", Delay::exponential(1.0))
+            .unwrap()
+            .input_gate(g)
+            .build()
+            .unwrap();
+        let r = b.build().unwrap().analyze();
+        // Gate-only activity: not arc-silent (has gates), but also not
+        // always-enabled (has an input gate).
+        assert!(r.arc_silent_activities.is_empty());
+        assert!(r.always_enabled_activities.is_empty());
+    }
+}

@@ -1,0 +1,634 @@
+//! Incremental construction of SAN models, including `Join`/`Rep`-style
+//! composition through namespaces and shared places.
+
+use std::collections::HashMap;
+
+use crate::activity::{Activity, ActivityId, Case, CaseProb, Timing};
+use crate::delay::Delay;
+use crate::error::SanError;
+use crate::gate::{InputGate, InputGateId, OutputGate, OutputGateId};
+use crate::marking::Marking;
+use crate::model::SanModel;
+use crate::place::{PlaceDecl, PlaceId, PlaceKind};
+
+/// Builder for [`SanModel`]s.
+///
+/// Composition follows the Möbius pattern: `Rep` and `Join` do not copy
+/// submodels, they *merge state* — replicas share designated places and
+/// keep private copies of the rest. Here that is expressed directly:
+///
+/// * [`SanBuilder::join`] opens a named scope; places and activities
+///   declared inside get a `scope.`-qualified name;
+/// * [`SanBuilder::replicate`] runs a module-building closure `count`
+///   times under `name[i].` scopes;
+/// * [`SanBuilder::shared_place`] (and variants) create-or-look-up a
+///   place by *global* name, ignoring the current scope — these are the
+///   shared state variables of a Join.
+///
+/// # Example
+///
+/// ```
+/// use ahs_san::{Delay, SanBuilder};
+///
+/// let mut b = SanBuilder::new("pool");
+/// let bus = b.shared_place("bus")?; // shared by all replicas
+/// b.replicate("worker", 3, |b, _i| {
+///     let idle = b.place_with_tokens("idle", 1)?;
+///     b.timed_activity("work", Delay::exponential(1.0))?
+///         .input_place(idle)
+///         .output_place(bus)
+///         .build()?;
+///     Ok(())
+/// })?;
+/// let model = b.build()?;
+/// assert_eq!(model.num_places(), 4); // bus + 3 private `idle`s
+/// assert_eq!(model.num_activities(), 3);
+/// # Ok::<(), ahs_san::SanError>(())
+/// ```
+pub struct SanBuilder {
+    name: String,
+    prefix: Vec<String>,
+    places: Vec<PlaceDecl>,
+    place_names: HashMap<String, PlaceId>,
+    input_gates: Vec<InputGate>,
+    output_gates: Vec<OutputGate>,
+    activities: Vec<Activity>,
+    activity_names: HashMap<String, ActivityId>,
+}
+
+impl SanBuilder {
+    /// Creates an empty builder for a model with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SanBuilder {
+            name: name.into(),
+            prefix: Vec::new(),
+            places: Vec::new(),
+            place_names: HashMap::new(),
+            input_gates: Vec::new(),
+            output_gates: Vec::new(),
+            activities: Vec::new(),
+            activity_names: HashMap::new(),
+        }
+    }
+
+    fn qualify(&self, name: &str) -> String {
+        if self.prefix.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{}.{}", self.prefix.join("."), name)
+        }
+    }
+
+    fn add_place(&mut self, qualified: String, decl: PlaceDecl) -> Result<PlaceId, SanError> {
+        if self.place_names.contains_key(&qualified) {
+            return Err(SanError::DuplicatePlace { name: qualified });
+        }
+        let id = PlaceId(self.places.len());
+        self.place_names.insert(qualified, id);
+        self.places.push(decl);
+        Ok(id)
+    }
+
+    /// Declares an empty simple place in the current scope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicatePlace`] if the qualified name exists.
+    pub fn place(&mut self, name: &str) -> Result<PlaceId, SanError> {
+        self.place_with_tokens(name, 0)
+    }
+
+    /// Declares a simple place with an initial token count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicatePlace`] if the qualified name exists.
+    pub fn place_with_tokens(&mut self, name: &str, tokens: u64) -> Result<PlaceId, SanError> {
+        let q = self.qualify(name);
+        self.add_place(
+            q.clone(),
+            PlaceDecl {
+                name: q,
+                kind: PlaceKind::Simple,
+                initial_tokens: tokens,
+                initial_array: vec![],
+            },
+        )
+    }
+
+    /// Declares an extended (array) place of the given length,
+    /// initialized to zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicatePlace`] if the qualified name exists.
+    pub fn extended_place(&mut self, name: &str, len: usize) -> Result<PlaceId, SanError> {
+        self.extended_place_init(name, vec![0; len])
+    }
+
+    /// Declares an extended place with explicit initial contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicatePlace`] if the qualified name exists.
+    pub fn extended_place_init(
+        &mut self,
+        name: &str,
+        initial: Vec<i64>,
+    ) -> Result<PlaceId, SanError> {
+        let q = self.qualify(name);
+        self.add_place(
+            q.clone(),
+            PlaceDecl {
+                name: q,
+                kind: PlaceKind::Extended { len: initial.len() },
+                initial_tokens: 0,
+                initial_array: initial,
+            },
+        )
+    }
+
+    /// Creates or looks up a *shared* simple place by global name
+    /// (ignores the current scope). The first call creates the place
+    /// with zero tokens; later calls return the same handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicatePlace`] if the global name exists
+    /// but refers to an extended place.
+    pub fn shared_place(&mut self, name: &str) -> Result<PlaceId, SanError> {
+        self.shared_place_with_tokens(name, 0)
+    }
+
+    /// Creates or looks up a shared simple place; `tokens` only applies
+    /// on first creation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicatePlace`] on kind mismatch.
+    pub fn shared_place_with_tokens(
+        &mut self,
+        name: &str,
+        tokens: u64,
+    ) -> Result<PlaceId, SanError> {
+        if let Some(&id) = self.place_names.get(name) {
+            if self.places[id.0].kind != PlaceKind::Simple {
+                return Err(SanError::DuplicatePlace { name: name.into() });
+            }
+            return Ok(id);
+        }
+        self.add_place(
+            name.to_owned(),
+            PlaceDecl {
+                name: name.to_owned(),
+                kind: PlaceKind::Simple,
+                initial_tokens: tokens,
+                initial_array: vec![],
+            },
+        )
+    }
+
+    /// Creates or looks up a shared extended place by global name;
+    /// `initial` only applies on first creation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicatePlace`] on kind or length mismatch.
+    pub fn shared_extended_place(
+        &mut self,
+        name: &str,
+        initial: Vec<i64>,
+    ) -> Result<PlaceId, SanError> {
+        if let Some(&id) = self.place_names.get(name) {
+            if self.places[id.0].kind != (PlaceKind::Extended { len: initial.len() }) {
+                return Err(SanError::DuplicatePlace { name: name.into() });
+            }
+            return Ok(id);
+        }
+        self.add_place(
+            name.to_owned(),
+            PlaceDecl {
+                name: name.to_owned(),
+                kind: PlaceKind::Extended { len: initial.len() },
+                initial_tokens: 0,
+                initial_array: initial,
+            },
+        )
+    }
+
+    /// Looks up a place by fully-qualified global name.
+    pub fn find_place(&self, qualified_name: &str) -> Option<PlaceId> {
+        self.place_names.get(qualified_name).copied()
+    }
+
+    /// Registers an input gate (enabling predicate + marking function).
+    pub fn input_gate<P, F>(&mut self, name: &str, predicate: P, function: F) -> InputGateId
+    where
+        P: Fn(&Marking) -> bool + Send + Sync + 'static,
+        F: Fn(&mut Marking) + Send + Sync + 'static,
+    {
+        let id = InputGateId(self.input_gates.len());
+        self.input_gates.push(InputGate {
+            name: self.qualify(name),
+            predicate: Box::new(predicate),
+            function: Box::new(function),
+        });
+        id
+    }
+
+    /// Registers a pure-predicate input gate (identity marking function).
+    pub fn predicate_gate<P>(&mut self, name: &str, predicate: P) -> InputGateId
+    where
+        P: Fn(&Marking) -> bool + Send + Sync + 'static,
+    {
+        self.input_gate(name, predicate, |_| {})
+    }
+
+    /// Registers an output gate (marking function).
+    pub fn output_gate<F>(&mut self, name: &str, function: F) -> OutputGateId
+    where
+        F: Fn(&mut Marking) + Send + Sync + 'static,
+    {
+        let id = OutputGateId(self.output_gates.len());
+        self.output_gates.push(OutputGate {
+            name: self.qualify(name),
+            function: Box::new(function),
+        });
+        id
+    }
+
+    /// Starts a timed activity with the given delay distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicateActivity`] on a name clash or
+    /// [`SanError::InvalidDelay`] on bad distribution parameters.
+    pub fn timed_activity(
+        &mut self,
+        name: &str,
+        delay: Delay,
+    ) -> Result<ActivityBuilder<'_>, SanError> {
+        let q = self.qualify(name);
+        if self.activity_names.contains_key(&q) {
+            return Err(SanError::DuplicateActivity { name: q });
+        }
+        if let Err(reason) = delay.validate() {
+            return Err(SanError::InvalidDelay { activity: q, reason });
+        }
+        Ok(ActivityBuilder::new(self, q, Timing::Timed(delay)))
+    }
+
+    /// Starts an instantaneous activity with selection priority and
+    /// tie-break weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::DuplicateActivity`] on a name clash or
+    /// [`SanError::InvalidWeight`] if `weight` is not positive.
+    pub fn instant_activity(
+        &mut self,
+        name: &str,
+        priority: u32,
+        weight: f64,
+    ) -> Result<ActivityBuilder<'_>, SanError> {
+        let q = self.qualify(name);
+        if self.activity_names.contains_key(&q) {
+            return Err(SanError::DuplicateActivity { name: q });
+        }
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(SanError::InvalidWeight { activity: q, weight });
+        }
+        Ok(ActivityBuilder::new(self, q, Timing::Instantaneous { priority, weight }))
+    }
+
+    /// Runs `f` inside a named scope (`Join` composition): declarations
+    /// made by `f` are qualified with `scope.`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error from `f`.
+    pub fn join<F>(&mut self, scope: &str, f: F) -> Result<(), SanError>
+    where
+        F: FnOnce(&mut SanBuilder) -> Result<(), SanError>,
+    {
+        self.prefix.push(scope.to_owned());
+        let result = f(self);
+        self.prefix.pop();
+        result
+    }
+
+    /// Runs `f` `count` times under scopes `scope[0]` … `scope[count-1]`
+    /// (`Rep` composition). Shared places created inside via
+    /// [`SanBuilder::shared_place`] are common to all replicas; scoped
+    /// places are private per replica.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from `f`.
+    pub fn replicate<F>(&mut self, scope: &str, count: usize, mut f: F) -> Result<(), SanError>
+    where
+        F: FnMut(&mut SanBuilder, usize) -> Result<(), SanError>,
+    {
+        for i in 0..count {
+            self.join(&format!("{scope}[{i}]"), |b| f(b, i))?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::EmptyModel`] if no places or no activities
+    /// were declared.
+    pub fn build(self) -> Result<SanModel, SanError> {
+        if self.places.is_empty() || self.activities.is_empty() {
+            return Err(SanError::EmptyModel);
+        }
+        let initial = Marking::from_decls(&self.places);
+        Ok(SanModel::new(
+            self.name,
+            self.places,
+            self.input_gates,
+            self.output_gates,
+            self.activities,
+            initial,
+        ))
+    }
+}
+
+impl std::fmt::Debug for SanBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SanBuilder")
+            .field("name", &self.name)
+            .field("places", &self.places.len())
+            .field("activities", &self.activities.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for a single activity; created by
+/// [`SanBuilder::timed_activity`] / [`SanBuilder::instant_activity`].
+///
+/// Output arcs and gates attach to the *current case*. Until
+/// [`ActivityBuilder::case`] is called an implicit probability-1 case is
+/// used; calling `case` starts an explicit case (the implicit case must
+/// then be empty).
+#[must_use = "call .build() to register the activity"]
+pub struct ActivityBuilder<'b> {
+    builder: &'b mut SanBuilder,
+    name: String,
+    timing: Timing,
+    input_arcs: Vec<(PlaceId, u64)>,
+    input_gates: Vec<InputGateId>,
+    cases: Vec<Case>,
+    explicit_cases: bool,
+}
+
+impl<'b> ActivityBuilder<'b> {
+    fn new(builder: &'b mut SanBuilder, name: String, timing: Timing) -> Self {
+        ActivityBuilder {
+            builder,
+            name,
+            timing,
+            input_arcs: Vec::new(),
+            input_gates: Vec::new(),
+            cases: vec![Case {
+                probability: CaseProb::Const(1.0),
+                output_arcs: Vec::new(),
+                output_gates: Vec::new(),
+            }],
+            explicit_cases: false,
+        }
+    }
+
+    /// Adds an input arc requiring (and consuming) one token.
+    pub fn input_place(self, place: PlaceId) -> Self {
+        self.input_arc(place, 1)
+    }
+
+    /// Adds an input arc requiring (and consuming) `tokens` tokens.
+    pub fn input_arc(mut self, place: PlaceId, tokens: u64) -> Self {
+        self.input_arcs.push((place, tokens));
+        self
+    }
+
+    /// Attaches an input gate.
+    pub fn input_gate(mut self, gate: InputGateId) -> Self {
+        self.input_gates.push(gate);
+        self
+    }
+
+    /// Starts a new case with a fixed probability.
+    pub fn case(mut self, probability: f64) -> Self {
+        self.start_case(CaseProb::Const(probability));
+        self
+    }
+
+    /// Starts a new case with a marking-dependent probability.
+    pub fn case_fn<F>(mut self, probability: F) -> Self
+    where
+        F: Fn(&Marking) -> f64 + Send + Sync + 'static,
+    {
+        self.start_case(CaseProb::MarkingDependent(Box::new(probability)));
+        self
+    }
+
+    fn start_case(&mut self, probability: CaseProb) {
+        if !self.explicit_cases {
+            // Replace the implicit case — it must still be empty.
+            let implicit = &self.cases[0];
+            assert!(
+                implicit.output_arcs.is_empty() && implicit.output_gates.is_empty(),
+                "activity `{}`: outputs were attached before the first explicit case",
+                self.name
+            );
+            self.cases.clear();
+            self.explicit_cases = true;
+        }
+        self.cases.push(Case {
+            probability,
+            output_arcs: Vec::new(),
+            output_gates: Vec::new(),
+        });
+    }
+
+    fn current_case(&mut self) -> &mut Case {
+        self.cases.last_mut().expect("at least one case always exists")
+    }
+
+    /// Adds an output arc depositing one token (to the current case).
+    pub fn output_place(self, place: PlaceId) -> Self {
+        self.output_arc(place, 1)
+    }
+
+    /// Adds an output arc depositing `tokens` tokens (current case).
+    pub fn output_arc(mut self, place: PlaceId, tokens: u64) -> Self {
+        self.current_case().output_arcs.push((place, tokens));
+        self
+    }
+
+    /// Attaches an output gate (current case).
+    pub fn output_gate(mut self, gate: OutputGateId) -> Self {
+        self.current_case().output_gates.push(gate);
+        self
+    }
+
+    /// Registers the activity with the model builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::NoCases`] if explicit cases were started but
+    /// none completed, or [`SanError::InvalidCaseDistribution`] if all
+    /// case probabilities are constants that do not sum to 1 (within
+    /// 1e-9; marking-dependent distributions are validated at firing
+    /// time instead).
+    pub fn build(self) -> Result<ActivityId, SanError> {
+        if self.cases.is_empty() {
+            return Err(SanError::NoCases { activity: self.name });
+        }
+        let const_sum: Option<f64> = self
+            .cases
+            .iter()
+            .map(|c| match &c.probability {
+                CaseProb::Const(p) => Some(*p),
+                CaseProb::MarkingDependent(_) => None,
+            })
+            .sum();
+        if let Some(sum) = const_sum {
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(SanError::InvalidCaseDistribution {
+                    activity: self.name,
+                    sum,
+                });
+            }
+        }
+        let id = ActivityId(self.builder.activities.len());
+        self.builder.activity_names.insert(self.name.clone(), id);
+        self.builder.activities.push(Activity {
+            name: self.name,
+            timing: self.timing,
+            input_arcs: self.input_arcs,
+            input_gates: self.input_gates,
+            cases: self.cases,
+        });
+        Ok(id)
+    }
+}
+
+impl std::fmt::Debug for ActivityBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActivityBuilder")
+            .field("name", &self.name)
+            .field("cases", &self.cases.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_place_rejected() {
+        let mut b = SanBuilder::new("m");
+        b.place("p").unwrap();
+        assert_eq!(
+            b.place("p").unwrap_err(),
+            SanError::DuplicatePlace { name: "p".into() }
+        );
+    }
+
+    #[test]
+    fn scoped_names_do_not_clash() {
+        let mut b = SanBuilder::new("m");
+        b.place("p").unwrap();
+        b.join("sub", |b| {
+            b.place("p")?; // qualified as sub.p
+            Ok(())
+        })
+        .unwrap();
+        assert!(b.find_place("p").is_some());
+        assert!(b.find_place("sub.p").is_some());
+    }
+
+    #[test]
+    fn shared_place_is_shared_across_replicas() {
+        let mut b = SanBuilder::new("m");
+        let mut seen = Vec::new();
+        b.replicate("r", 3, |b, _| {
+            seen.push(b.shared_place("bus")?);
+            b.place("private")?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen[0], seen[1]);
+        assert_eq!(seen[1], seen[2]);
+        assert!(b.find_place("r[0].private").is_some());
+        assert!(b.find_place("r[2].private").is_some());
+        assert!(b.find_place("r[3].private").is_none());
+    }
+
+    #[test]
+    fn shared_place_kind_mismatch_rejected() {
+        let mut b = SanBuilder::new("m");
+        b.shared_extended_place("arr", vec![0, 0]).unwrap();
+        assert!(b.shared_place("arr").is_err());
+        assert!(b.shared_extended_place("arr", vec![0]).is_err());
+        assert!(b.shared_extended_place("arr", vec![5, 5]).is_ok());
+    }
+
+    #[test]
+    fn empty_model_rejected() {
+        let b = SanBuilder::new("m");
+        assert_eq!(b.build().unwrap_err(), SanError::EmptyModel);
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        let mut b = SanBuilder::new("m");
+        b.place("p").unwrap();
+        let err = b.timed_activity("a", Delay::exponential(-1.0)).unwrap_err();
+        assert!(matches!(err, SanError::InvalidDelay { .. }));
+    }
+
+    #[test]
+    fn case_probabilities_must_sum_to_one() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let err = b
+            .timed_activity("a", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .case(0.3)
+            .case(0.3)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SanError::InvalidCaseDistribution { .. }));
+    }
+
+    #[test]
+    fn duplicate_activity_rejected() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        b.timed_activity("a", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            b.timed_activity("a", Delay::exponential(1.0)),
+            Err(SanError::DuplicateActivity { .. })
+        ));
+    }
+
+    #[test]
+    fn instant_weight_validated() {
+        let mut b = SanBuilder::new("m");
+        b.place("p").unwrap();
+        assert!(matches!(
+            b.instant_activity("i", 0, 0.0),
+            Err(SanError::InvalidWeight { .. })
+        ));
+    }
+}

@@ -1,0 +1,115 @@
+//! Input and output gates.
+
+use crate::marking::Marking;
+
+/// Opaque handle to an input gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputGateId(pub(crate) usize);
+
+/// Opaque handle to an output gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OutputGateId(pub(crate) usize);
+
+/// An input gate: an enabling predicate over the marking plus a marking
+/// function executed when a connected activity completes.
+///
+/// In the paper's `One_vehicle` model the gates `IGi` encode maneuver
+/// priorities ("when a higher priority maneuver is activated, all lower
+/// priority maneuvers associated with the same vehicle are inhibited")
+/// as predicates, and the `fi`/`fmi` gates update severity bookkeeping as
+/// marking functions.
+pub struct InputGate {
+    pub(crate) name: String,
+    pub(crate) predicate: Box<dyn Fn(&Marking) -> bool + Send + Sync>,
+    pub(crate) function: Box<dyn Fn(&mut Marking) + Send + Sync>,
+}
+
+impl InputGate {
+    /// Gate name (namespaced).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the enabling predicate.
+    pub fn holds(&self, marking: &Marking) -> bool {
+        (self.predicate)(marking)
+    }
+
+    /// Applies the gate's marking function.
+    pub fn apply(&self, marking: &mut Marking) {
+        (self.function)(marking)
+    }
+}
+
+impl std::fmt::Debug for InputGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InputGate").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+/// An output gate: a marking function executed on activity completion
+/// (after case selection, for the chosen case).
+pub struct OutputGate {
+    pub(crate) name: String,
+    pub(crate) function: Box<dyn Fn(&mut Marking) + Send + Sync>,
+}
+
+impl OutputGate {
+    /// Gate name (namespaced).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Applies the gate's marking function.
+    pub fn apply(&self, marking: &mut Marking) {
+        (self.function)(marking)
+    }
+}
+
+impl std::fmt::Debug for OutputGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutputGate").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::{PlaceDecl, PlaceId, PlaceKind};
+
+    fn one_place_marking(tokens: u64) -> Marking {
+        Marking::from_decls(&[PlaceDecl {
+            name: "p".into(),
+            kind: PlaceKind::Simple,
+            initial_tokens: tokens,
+            initial_array: vec![],
+        }])
+    }
+
+    #[test]
+    fn input_gate_predicate_and_function() {
+        let g = InputGate {
+            name: "guard".into(),
+            predicate: Box::new(|m| m.tokens(PlaceId(0)) >= 2),
+            function: Box::new(|m| m.set_tokens(PlaceId(0), 0)),
+        };
+        let mut m = one_place_marking(3);
+        assert!(g.holds(&m));
+        g.apply(&mut m);
+        assert_eq!(m.tokens(PlaceId(0)), 0);
+        assert!(!g.holds(&m));
+        assert_eq!(g.name(), "guard");
+        assert!(format!("{g:?}").contains("guard"));
+    }
+
+    #[test]
+    fn output_gate_function() {
+        let g = OutputGate {
+            name: "og".into(),
+            function: Box::new(|m| m.add_tokens(PlaceId(0), 5)),
+        };
+        let mut m = one_place_marking(0);
+        g.apply(&mut m);
+        assert_eq!(m.tokens(PlaceId(0)), 5);
+    }
+}

@@ -1,0 +1,243 @@
+//! Markings: the state of a SAN.
+
+use crate::place::{PlaceDecl, PlaceId, PlaceKind};
+
+/// The contents of one place.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PlaceValue {
+    /// Token count of a simple place.
+    Tokens(u64),
+    /// Contents of an extended (array) place.
+    Array(Vec<i64>),
+}
+
+/// A complete marking: one [`PlaceValue`] per declared place.
+///
+/// Markings are plain data — hashable and comparable — so they can serve
+/// directly as CTMC states during state-space exploration.
+///
+/// Accessors take [`PlaceId`]s handed out by the builder. The `tokens` /
+/// `set_tokens` family addresses simple places; `array` / `array_mut`
+/// address extended places. Using the wrong accessor for a place's kind
+/// panics: this is a programming error in model construction, not a
+/// runtime condition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Marking {
+    values: Vec<PlaceValue>,
+}
+
+impl Marking {
+    /// Builds the initial marking from declarations.
+    pub(crate) fn from_decls(decls: &[PlaceDecl]) -> Self {
+        let values = decls
+            .iter()
+            .map(|d| match d.kind {
+                PlaceKind::Simple => PlaceValue::Tokens(d.initial_tokens),
+                PlaceKind::Extended { .. } => PlaceValue::Array(d.initial_array.clone()),
+            })
+            .collect();
+        Marking { values }
+    }
+
+    /// Number of places.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the marking covers zero places.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw value of a place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of bounds.
+    pub fn value(&self, p: PlaceId) -> &PlaceValue {
+        &self.values[p.0]
+    }
+
+    /// Token count of a simple place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of bounds or refers to an extended place.
+    pub fn tokens(&self, p: PlaceId) -> u64 {
+        match &self.values[p.0] {
+            PlaceValue::Tokens(n) => *n,
+            PlaceValue::Array(_) => panic!(
+                "place {} is extended; use array()/array_mut() to access it",
+                p.0
+            ),
+        }
+    }
+
+    /// Sets the token count of a simple place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of bounds or refers to an extended place.
+    pub fn set_tokens(&mut self, p: PlaceId, n: u64) {
+        match &mut self.values[p.0] {
+            PlaceValue::Tokens(t) => *t = n,
+            PlaceValue::Array(_) => panic!(
+                "place {} is extended; use array()/array_mut() to access it",
+                p.0
+            ),
+        }
+    }
+
+    /// Adds tokens to a simple place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on kind mismatch or token-count overflow.
+    pub fn add_tokens(&mut self, p: PlaceId, n: u64) {
+        let cur = self.tokens(p);
+        self.set_tokens(p, cur.checked_add(n).expect("token count overflow"));
+    }
+
+    /// Removes tokens from a simple place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on kind mismatch or if fewer than `n` tokens are present —
+    /// firing an activity whose input arcs are not satisfied is an
+    /// engine bug, not a model condition.
+    pub fn remove_tokens(&mut self, p: PlaceId, n: u64) {
+        let cur = self.tokens(p);
+        assert!(
+            cur >= n,
+            "cannot remove {n} tokens from place {} holding {cur}",
+            p.0
+        );
+        self.set_tokens(p, cur - n);
+    }
+
+    /// Contents of an extended place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of bounds or refers to a simple place.
+    pub fn array(&self, p: PlaceId) -> &[i64] {
+        match &self.values[p.0] {
+            PlaceValue::Array(a) => a,
+            PlaceValue::Tokens(_) => panic!(
+                "place {} is simple; use tokens()/set_tokens() to access it",
+                p.0
+            ),
+        }
+    }
+
+    /// Mutable contents of an extended place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of bounds or refers to a simple place.
+    pub fn array_mut(&mut self, p: PlaceId) -> &mut [i64] {
+        match &mut self.values[p.0] {
+            PlaceValue::Array(a) => a,
+            PlaceValue::Tokens(_) => panic!(
+                "place {} is simple; use tokens()/set_tokens() to access it",
+                p.0
+            ),
+        }
+    }
+
+    /// Whether a simple place holds at least one token.
+    ///
+    /// # Panics
+    ///
+    /// Panics on kind mismatch.
+    pub fn is_marked(&self, p: PlaceId) -> bool {
+        self.tokens(p) > 0
+    }
+
+    /// Total tokens across all simple places (diagnostic).
+    pub fn total_tokens(&self) -> u64 {
+        self.values
+            .iter()
+            .map(|v| match v {
+                PlaceValue::Tokens(n) => *n,
+                PlaceValue::Array(_) => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decls() -> Vec<PlaceDecl> {
+        vec![
+            PlaceDecl {
+                name: "p".into(),
+                kind: PlaceKind::Simple,
+                initial_tokens: 2,
+                initial_array: vec![],
+            },
+            PlaceDecl {
+                name: "arr".into(),
+                kind: PlaceKind::Extended { len: 3 },
+                initial_tokens: 0,
+                initial_array: vec![1, -2, 3],
+            },
+        ]
+    }
+
+    #[test]
+    fn initial_marking_reflects_decls() {
+        let m = Marking::from_decls(&decls());
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.tokens(PlaceId(0)), 2);
+        assert_eq!(m.array(PlaceId(1)), &[1, -2, 3]);
+        assert_eq!(m.total_tokens(), 2);
+    }
+
+    #[test]
+    fn token_arithmetic() {
+        let mut m = Marking::from_decls(&decls());
+        m.add_tokens(PlaceId(0), 3);
+        assert_eq!(m.tokens(PlaceId(0)), 5);
+        m.remove_tokens(PlaceId(0), 5);
+        assert!(!m.is_marked(PlaceId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove")]
+    fn underflow_panics() {
+        let mut m = Marking::from_decls(&decls());
+        m.remove_tokens(PlaceId(0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "is extended")]
+    fn kind_mismatch_panics() {
+        let m = Marking::from_decls(&decls());
+        let _ = m.tokens(PlaceId(1));
+    }
+
+    #[test]
+    fn array_mutation() {
+        let mut m = Marking::from_decls(&decls());
+        m.array_mut(PlaceId(1))[0] = 42;
+        assert_eq!(m.array(PlaceId(1)), &[42, -2, 3]);
+    }
+
+    #[test]
+    fn markings_hash_and_compare() {
+        use std::collections::HashSet;
+        let a = Marking::from_decls(&decls());
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.set_tokens(PlaceId(0), 99);
+        assert_ne!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        set.insert(b.clone());
+        set.insert(a.clone());
+        assert_eq!(set.len(), 2);
+    }
+}

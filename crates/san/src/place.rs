@@ -1,0 +1,70 @@
+//! Place declarations and identifiers.
+
+/// Opaque handle to a place within a [`SanModel`](crate::SanModel).
+///
+/// Handles are only meaningful for the model (or
+/// [`SanBuilder`](crate::SanBuilder)) that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlaceId(pub(crate) usize);
+
+impl PlaceId {
+    /// Index of this place in the model's place table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The kind of state a place holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlaceKind {
+    /// A plain token counter (standard Petri-net place).
+    Simple,
+    /// A Möbius-style *extended place*: a fixed-length array of signed
+    /// integers. The paper uses these for the `platoon1`/`platoon2`
+    /// position arrays and the per-class maneuver lists of the Severity
+    /// model.
+    Extended {
+        /// Number of array slots.
+        len: usize,
+    },
+}
+
+/// Declaration of one place: name, kind, and initial contents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlaceDecl {
+    pub(crate) name: String,
+    pub(crate) kind: PlaceKind,
+    pub(crate) initial_tokens: u64,
+    pub(crate) initial_array: Vec<i64>,
+}
+
+impl PlaceDecl {
+    /// The fully-qualified (namespaced) place name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The place kind.
+    pub fn kind(&self) -> PlaceKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_id_roundtrip() {
+        let id = PlaceId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id, PlaceId(7));
+        assert!(PlaceId(3) < PlaceId(4));
+    }
+
+    #[test]
+    fn kinds_compare() {
+        assert_ne!(PlaceKind::Simple, PlaceKind::Extended { len: 1 });
+        assert_eq!(PlaceKind::Extended { len: 2 }, PlaceKind::Extended { len: 2 });
+    }
+}

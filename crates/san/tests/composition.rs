@@ -1,0 +1,150 @@
+//! Integration tests of the Rep/Join-style composition operators:
+//! nested scopes, shared-state semantics, and a miniature composed
+//! dependability model in the style of the paper's Figure 9.
+
+use ahs_san::{Delay, Marking, SanBuilder};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn nested_joins_qualify_names_hierarchically() {
+    let mut b = SanBuilder::new("nested");
+    b.join("outer", |b| {
+        b.place("p")?;
+        b.join("inner", |b| {
+            b.place("p")?;
+            Ok(())
+        })?;
+        b.replicate("leaf", 2, |b, _| {
+            b.place("p")?;
+            Ok(())
+        })
+    })
+    .unwrap();
+    assert!(b.find_place("outer.p").is_some());
+    assert!(b.find_place("outer.inner.p").is_some());
+    assert!(b.find_place("outer.leaf[0].p").is_some());
+    assert!(b.find_place("outer.leaf[1].p").is_some());
+    assert!(b.find_place("p").is_none());
+}
+
+#[test]
+fn shared_places_ignore_scope() {
+    let mut b = SanBuilder::new("shared");
+    let mut ids = Vec::new();
+    b.join("a", |b| {
+        ids.push(b.shared_place("bus")?);
+        b.join("deep", |b| {
+            ids.push(b.shared_place("bus")?);
+            Ok(())
+        })
+    })
+    .unwrap();
+    ids.push(b.shared_place("bus").unwrap());
+    assert!(ids.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn replicas_interact_only_through_shared_places() {
+    // Three replicated producers feed one shared buffer; a consumer
+    // drains it. Token conservation across the composition.
+    let mut b = SanBuilder::new("prodcons");
+    let buffer = b.shared_place("buffer").unwrap();
+    b.replicate("producer", 3, |b, _| {
+        let idle = b.place_with_tokens("idle", 1).unwrap();
+        let busy = b.place("busy").unwrap();
+        b.timed_activity("start", Delay::exponential(2.0))?
+            .input_place(idle)
+            .output_place(busy)
+            .build()?;
+        b.timed_activity("emit", Delay::exponential(5.0))?
+            .input_place(busy)
+            .output_place(idle)
+            .output_place(buffer)
+            .build()?;
+        Ok(())
+    })
+    .unwrap();
+    let consumed = b.place("consumed").unwrap();
+    b.timed_activity("consume", Delay::exponential(10.0))
+        .unwrap()
+        .input_place(buffer)
+        .output_place(consumed)
+        .build()
+        .unwrap();
+    let model = b.build().unwrap();
+
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut m = model.initial_marking().clone();
+    let mut emitted = 0u64;
+    for _ in 0..500 {
+        let enabled = model.enabled_timed(&m);
+        if enabled.is_empty() {
+            break;
+        }
+        let a = enabled[emitted as usize % enabled.len()];
+        if model.activity(a).name().ends_with("emit") {
+            emitted += 1;
+        }
+        let case = model.select_case(a, &m, &mut rng).unwrap();
+        model.fire(a, case, &mut m);
+        // Invariant: everything emitted is in the buffer or consumed.
+        assert_eq!(m.tokens(buffer) + m.tokens(consumed), emitted);
+        // Each producer still holds exactly one token across idle/busy.
+        for i in 0..3 {
+            let idle = model.find_place(&format!("producer[{i}].idle")).unwrap();
+            let busy = model.find_place(&format!("producer[{i}].busy")).unwrap();
+            assert_eq!(m.tokens(idle) + m.tokens(busy), 1);
+        }
+    }
+    assert!(emitted > 50, "simulation should make progress, got {emitted}");
+}
+
+#[test]
+fn figure9_style_composition_shape() {
+    // Rep(One_vehicle, 2n) ⋈ Severity ⋈ Dynamicity: checks that the
+    // composed structure has the expected element counts and that
+    // shared severity counters are visible to every replica.
+    let n = 3usize;
+    let mut b = SanBuilder::new("figure9");
+    let class_a = b.shared_place("class_A").unwrap();
+    let ko_total = b.shared_place("KO_total").unwrap();
+
+    b.replicate("one_vehicle", 2 * n, |b, _| {
+        let ok = b.place_with_tokens("cc", 1)?;
+        let sm = b.place("sm")?;
+        let a = class_a;
+        let og = b.output_gate("count", move |m: &mut Marking| m.add_tokens(a, 1));
+        b.timed_activity("L", Delay::exponential(1e-3))?
+            .input_place(ok)
+            .output_place(sm)
+            .output_gate(og)
+            .build()?;
+        Ok(())
+    })
+    .unwrap();
+
+    let gate = b.predicate_gate("catastrophic", move |m: &Marking| {
+        m.tokens(class_a) >= 2 && !m.is_marked(ko_total)
+    });
+    b.instant_activity("to_KO", 10, 1.0)
+        .unwrap()
+        .input_gate(gate)
+        .output_place(ko_total)
+        .build()
+        .unwrap();
+
+    let model = b.build().unwrap();
+    assert_eq!(model.num_activities(), 2 * n + 1);
+    // Two failures anywhere trip the shared detector.
+    let mut m = model.initial_marking().clone();
+    let l0 = model.find_activity("one_vehicle[0].L").unwrap();
+    let l4 = model.find_activity("one_vehicle[4].L").unwrap();
+    let mut rng = SmallRng::seed_from_u64(0);
+    model.fire(l0, 0, &mut m);
+    model.stabilize(&mut m, &mut rng).unwrap();
+    assert!(!m.is_marked(ko_total));
+    model.fire(l4, 0, &mut m);
+    model.stabilize(&mut m, &mut rng).unwrap();
+    assert!(m.is_marked(ko_total));
+}

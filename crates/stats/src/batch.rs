@@ -1,0 +1,118 @@
+//! Batch-means estimation for correlated (steady-state) output series.
+
+use crate::ci::ConfidenceInterval;
+use crate::welford::RunningStats;
+
+/// Batch-means estimator: groups a correlated output stream into fixed
+/// size batches and treats the batch averages as approximately i.i.d.
+/// observations.
+///
+/// Used for steady-state measures (the transient `S(t)` study uses
+/// independent replications instead; batch means backs the steady-state
+/// utilization checks of the dynamicity model).
+///
+/// # Example
+///
+/// ```
+/// use ahs_stats::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(10);
+/// for i in 0..100 {
+///     bm.push(f64::from(i % 4));
+/// }
+/// assert_eq!(bm.completed_batches(), 10);
+/// assert!((bm.mean() - 1.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_count: u64,
+    batches: RunningStats,
+}
+
+impl BatchMeans {
+    /// Creates an estimator with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batches: RunningStats::new(),
+        }
+    }
+
+    /// Adds one raw observation.
+    pub fn push(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batches.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn completed_batches(&self) -> u64 {
+        self.batches.count()
+    }
+
+    /// Mean over completed batches.
+    pub fn mean(&self) -> f64 {
+        self.batches.mean()
+    }
+
+    /// Confidence interval treating batch means as i.i.d.
+    pub fn confidence_interval(&self, confidence: f64) -> ConfidenceInterval {
+        self.batches.confidence_interval(confidence)
+    }
+
+    /// The batch-level statistics.
+    pub fn batch_stats(&self) -> &RunningStats {
+        &self.batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_batch_not_counted() {
+        let mut bm = BatchMeans::new(4);
+        bm.push(1.0);
+        bm.push(1.0);
+        bm.push(1.0);
+        assert_eq!(bm.completed_batches(), 0);
+        bm.push(1.0);
+        assert_eq!(bm.completed_batches(), 1);
+        assert_eq!(bm.mean(), 1.0);
+    }
+
+    #[test]
+    fn batch_means_reduce_variance_of_correlated_stream() {
+        // An alternating stream is perfectly negatively correlated at
+        // lag 1; batch means of even size have zero variance.
+        let mut bm = BatchMeans::new(2);
+        let mut raw = RunningStats::new();
+        for i in 0..1000 {
+            let x = (i % 2) as f64;
+            bm.push(x);
+            raw.push(x);
+        }
+        assert!(bm.batch_stats().sample_variance() < 1e-12);
+        assert!(raw.sample_variance() > 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn rejects_zero_batch() {
+        BatchMeans::new(0);
+    }
+}

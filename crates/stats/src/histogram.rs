@@ -1,0 +1,196 @@
+//! Fixed-bin histograms for duration and count distributions.
+
+/// A fixed-width-bin histogram over a closed range, with underflow and
+/// overflow buckets.
+///
+/// Used for diagnostics such as maneuver-duration distributions from the
+/// kinematic substrate and first-passage-time spreads.
+///
+/// # Example
+///
+/// ```
+/// use ahs_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// for x in [0.5, 1.5, 1.7, 9.9, 12.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bin_count(1), 2);
+/// assert_eq!(h.overflow(), 1);
+/// assert!((h.quantile(0.5) - 1.5).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`, either bound is non-finite, or
+    /// `bins == 0`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Self {
+        assert!(low.is_finite() && high.is_finite(), "bounds must be finite");
+        assert!(low < high, "low must be below high");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            low,
+            high,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        if x < self.low {
+            self.underflow += 1;
+        } else if x >= self.high {
+            self.overflow += 1;
+        } else {
+            let w = (self.high - self.low) / self.bins.len() as f64;
+            let idx = ((x - self.low) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all recorded observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Observations in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_low(&self, i: usize) -> f64 {
+        self.low + (self.high - self.low) * i as f64 / self.bins.len() as f64
+    }
+
+    /// Approximate quantile by linear interpolation within the bin that
+    /// crosses the target cumulative count. Under/overflow observations
+    /// clamp to the range bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]` or the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        assert!(self.count > 0, "quantile of an empty histogram");
+        let target = q * self.count as f64;
+        let mut cum = self.underflow as f64;
+        if cum >= target {
+            return self.low;
+        }
+        let w = (self.high - self.low) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = cum + c as f64;
+            if next >= target && c > 0 {
+                let frac = (target - cum) / c as f64;
+                return self.bin_low(i) + frac * w;
+            }
+            cum = next;
+        }
+        self.high
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_fill_correctly() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.0, 0.9, 1.0, 2.5, 3.999] {
+            h.record(x);
+        }
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.1);
+        h.record(1.0);
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn quantile_median_of_uniform_fill() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let med = h.quantile(0.5);
+        assert!((med - 50.0).abs() < 2.0, "median {med} too far from 50");
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn mean_matches_inputs() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(2.0);
+        h.record(4.0);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "low must be below high")]
+    fn rejects_inverted_range() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

@@ -1,0 +1,191 @@
+//! Stopping rules for sequential simulation experiments.
+
+use crate::welford::RunningStats;
+
+/// When to stop collecting replications.
+///
+/// The paper's criterion is "at least 10 000 simulation batches,
+/// converging within 95% probability in a 0.1 relative interval"; that is
+/// expressed here as
+/// `StoppingRule::relative_precision(0.95, 0.1).with_min_samples(10_000)`.
+///
+/// # Example
+///
+/// ```
+/// use ahs_stats::{RunningStats, StoppingRule};
+///
+/// let rule = StoppingRule::relative_precision(0.95, 0.1)
+///     .with_min_samples(100)
+///     .with_max_samples(1_000_000);
+/// let mut stats = RunningStats::new();
+/// stats.extend(std::iter::repeat(3.0).take(100));
+/// assert!(rule.is_satisfied(&stats)); // zero variance converges instantly
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoppingRule {
+    confidence: f64,
+    relative_half_width: Option<f64>,
+    min_samples: u64,
+    max_samples: Option<u64>,
+}
+
+impl StoppingRule {
+    /// Stop once the `confidence`-level interval half-width falls below
+    /// `relative` times the estimated mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)` or `relative <= 0`.
+    pub fn relative_precision(confidence: f64, relative: f64) -> Self {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence level must lie strictly between 0 and 1, got {confidence}"
+        );
+        assert!(relative > 0.0, "relative precision must be positive");
+        StoppingRule {
+            confidence,
+            relative_half_width: Some(relative),
+            min_samples: 2,
+            max_samples: None,
+        }
+    }
+
+    /// Stop after exactly `n` samples, regardless of precision.
+    pub fn fixed(n: u64) -> Self {
+        StoppingRule {
+            confidence: 0.95,
+            relative_half_width: None,
+            min_samples: n,
+            max_samples: Some(n),
+        }
+    }
+
+    /// Requires at least `n` samples before the precision criterion may
+    /// trigger.
+    pub fn with_min_samples(mut self, n: u64) -> Self {
+        self.min_samples = n.max(2);
+        self
+    }
+
+    /// Caps the number of samples; the rule is satisfied at the cap even
+    /// if the precision target was not reached (callers can detect this
+    /// through [`StoppingRule::precision_reached`]).
+    pub fn with_max_samples(mut self, n: u64) -> Self {
+        self.max_samples = Some(n);
+        self
+    }
+
+    /// Confidence level of the precision criterion.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// Minimum number of samples demanded.
+    pub fn min_samples(&self) -> u64 {
+        self.min_samples
+    }
+
+    /// Maximum number of samples allowed, if capped.
+    pub fn max_samples(&self) -> Option<u64> {
+        self.max_samples
+    }
+
+    /// Whether the precision target (ignoring the cap) is met.
+    pub fn precision_reached(&self, stats: &RunningStats) -> bool {
+        match self.relative_half_width {
+            None => true,
+            Some(target) => {
+                if stats.count() < 2 {
+                    return false;
+                }
+                let ci = stats.confidence_interval(self.confidence);
+                // A mean of exactly zero with zero spread is converged
+                // (e.g. rare event never observed under plain MC: the
+                // caller must widen max_samples or switch estimator).
+                ci.half_width() == 0.0 || ci.relative_half_width() <= target
+            }
+        }
+    }
+
+    /// Whether sampling may stop given the current statistics.
+    pub fn is_satisfied(&self, stats: &RunningStats) -> bool {
+        if stats.count() < self.min_samples {
+            return false;
+        }
+        if let Some(max) = self.max_samples {
+            if stats.count() >= max {
+                return true;
+            }
+        }
+        self.precision_reached(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rule_stops_exactly_at_n() {
+        let rule = StoppingRule::fixed(5);
+        let mut s = RunningStats::new();
+        for i in 0..4 {
+            s.push(i as f64);
+            assert!(!rule.is_satisfied(&s), "stopped early at {}", i + 1);
+        }
+        s.push(4.0);
+        assert!(rule.is_satisfied(&s));
+    }
+
+    #[test]
+    fn min_samples_blocks_early_stop() {
+        let rule = StoppingRule::relative_precision(0.95, 0.5).with_min_samples(10);
+        let mut s = RunningStats::new();
+        s.extend(std::iter::repeat(1.0).take(9));
+        assert!(!rule.is_satisfied(&s));
+        s.push(1.0);
+        assert!(rule.is_satisfied(&s));
+    }
+
+    #[test]
+    fn max_samples_forces_stop() {
+        // Alternating 0/1 data has large relative error early on.
+        let rule = StoppingRule::relative_precision(0.95, 1e-6).with_max_samples(20);
+        let mut s = RunningStats::new();
+        for i in 0..20 {
+            s.push((i % 2) as f64);
+        }
+        assert!(rule.is_satisfied(&s));
+        assert!(!rule.precision_reached(&s));
+    }
+
+    #[test]
+    fn precision_criterion_tightens_with_samples() {
+        let rule = StoppingRule::relative_precision(0.95, 0.05);
+        let mut s = RunningStats::new();
+        // mean 10, sd 1: needs roughly (1.96 / (0.05*10))^2 ≈ 16 samples.
+        let mut satisfied_at = None;
+        for i in 0..200 {
+            s.push(10.0 + if i % 2 == 0 { 1.0 } else { -1.0 });
+            if satisfied_at.is_none() && rule.is_satisfied(&s) {
+                satisfied_at = Some(i + 1);
+            }
+        }
+        let n = satisfied_at.expect("rule never satisfied");
+        assert!((4..=64).contains(&n), "converged at unexpected n={n}");
+    }
+
+    #[test]
+    fn zero_mean_without_hits_counts_as_converged_half_width_zero() {
+        let rule = StoppingRule::relative_precision(0.95, 0.1).with_min_samples(5);
+        let mut s = RunningStats::new();
+        s.extend(std::iter::repeat(0.0).take(5));
+        assert!(rule.is_satisfied(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "relative precision must be positive")]
+    fn rejects_nonpositive_precision() {
+        StoppingRule::relative_precision(0.95, 0.0);
+    }
+}

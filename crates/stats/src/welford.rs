@@ -1,0 +1,369 @@
+//! Running first and second moments (Welford's algorithm).
+
+use crate::ci::{student_t_quantile, ConfidenceInterval};
+
+/// Numerically stable running mean and variance of a stream of samples.
+///
+/// Uses Welford's online algorithm so that very long replication runs do
+/// not lose precision to catastrophic cancellation. Two accumulators can
+/// be [merged](RunningStats::merge), which is what the parallel
+/// replication runner uses to combine per-worker results.
+///
+/// # Example
+///
+/// ```
+/// use ahs_stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// s.extend([1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every sample from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+
+    /// Number of samples observed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`n - 1` denominator); `0.0` for fewer
+    /// than two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (`n` denominator); `0.0` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.sample_variance() / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observed sample; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observed sample; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Two-sided Student-t confidence interval on the mean at the given
+    /// confidence level (e.g. `0.95`).
+    ///
+    /// With fewer than two samples the interval is degenerate (half-width
+    /// zero for an empty accumulator, infinite for a single sample).
+    pub fn confidence_interval(&self, confidence: f64) -> ConfidenceInterval {
+        if self.count == 0 {
+            return ConfidenceInterval::degenerate(0.0);
+        }
+        if self.count == 1 {
+            return ConfidenceInterval::new(self.mean, f64::INFINITY, confidence);
+        }
+        let t = student_t_quantile(confidence, self.count - 1);
+        ConfidenceInterval::new(self.mean, t * self.std_error(), confidence)
+    }
+
+    /// Combines two accumulators as if every sample had been pushed into
+    /// one (Chan et al. parallel variance update).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Running moments of weighted samples, used by importance-sampling
+/// estimators where each replication carries a likelihood ratio.
+///
+/// The estimator treats each `(value, weight)` pair as the i.i.d.
+/// observation `value * weight`, which is the unbiased importance-sampling
+/// estimator of the original expectation. The accumulator additionally
+/// tracks the weight distribution so that degenerate biasing schemes (a
+/// handful of enormous weights) can be diagnosed via
+/// [`effective_sample_size`](WeightedStats::effective_sample_size).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WeightedStats {
+    product: RunningStats,
+    weight_sum: f64,
+    weight_sq_sum: f64,
+}
+
+impl WeightedStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        WeightedStats::default()
+    }
+
+    /// Adds one weighted sample.
+    pub fn push(&mut self, value: f64, weight: f64) {
+        self.product.push(value * weight);
+        self.weight_sum += weight;
+        self.weight_sq_sum += weight * weight;
+    }
+
+    /// Number of samples observed.
+    pub fn count(&self) -> u64 {
+        self.product.count()
+    }
+
+    /// Unbiased estimate of the target expectation.
+    pub fn mean(&self) -> f64 {
+        self.product.mean()
+    }
+
+    /// Sample variance of the weighted observations.
+    pub fn sample_variance(&self) -> f64 {
+        self.product.sample_variance()
+    }
+
+    /// Standard error of the estimate.
+    pub fn std_error(&self) -> f64 {
+        self.product.std_error()
+    }
+
+    /// Confidence interval on the target expectation.
+    pub fn confidence_interval(&self, confidence: f64) -> ConfidenceInterval {
+        self.product.confidence_interval(confidence)
+    }
+
+    /// Kish effective sample size `(Σw)² / Σw²`; small values relative to
+    /// [`count`](WeightedStats::count) indicate weight degeneracy.
+    pub fn effective_sample_size(&self) -> f64 {
+        if self.weight_sq_sum == 0.0 {
+            0.0
+        } else {
+            self.weight_sum * self.weight_sum / self.weight_sq_sum
+        }
+    }
+
+    /// Mean of the weights; should be close to `1.0` for an unbiased
+    /// change of measure applied to the whole sample path.
+    pub fn mean_weight(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            self.weight_sum / self.count() as f64
+        }
+    }
+
+    /// The underlying statistics of the weighted observations
+    /// `value * weight`, e.g. for feeding a
+    /// [`StoppingRule`](crate::StoppingRule).
+    pub fn product_stats(&self) -> &RunningStats {
+        &self.product
+    }
+
+    /// Combines two accumulators.
+    pub fn merge(&mut self, other: &WeightedStats) {
+        self.product.merge(&other.product);
+        self.weight_sum += other.weight_sum;
+        self.weight_sq_sum += other.weight_sq_sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = RunningStats::new();
+        s.push(7.5);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), 7.5);
+        assert_eq!(s.max(), 7.5);
+    }
+
+    #[test]
+    fn mean_and_variance_match_direct_formulas() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        s.extend(xs);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        all.extend(xs.iter().copied());
+
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        a.extend(xs[..20].iter().copied());
+        b.extend(xs[20..].iter().copied());
+        a.merge(&b);
+
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-10);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = RunningStats::new();
+        s.extend([1.0, 2.0, 3.0]);
+        let before = s;
+        s.merge(&RunningStats::new());
+        assert_eq!(s, before);
+
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn confidence_interval_covers_mean() {
+        let mut s = RunningStats::new();
+        s.extend((0..1000).map(|i| f64::from(i % 100)));
+        let ci = s.confidence_interval(0.95);
+        assert!(ci.contains(s.mean()));
+        assert!(ci.half_width() > 0.0);
+        assert!(ci.half_width() < 5.0);
+    }
+
+    #[test]
+    fn weighted_unit_weights_match_plain() {
+        let xs = [0.0, 1.0, 1.0, 0.0, 1.0];
+        let mut w = WeightedStats::new();
+        let mut p = RunningStats::new();
+        for &x in &xs {
+            w.push(x, 1.0);
+            p.push(x);
+        }
+        assert_eq!(w.mean(), p.mean());
+        assert_eq!(w.sample_variance(), p.sample_variance());
+        assert!((w.effective_sample_size() - 5.0).abs() < 1e-12);
+        assert!((w.mean_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_recovers_rare_probability() {
+        // Estimate P(X = 1) = 0.01 by sampling a biased Bernoulli(0.5)
+        // and weighting: weight = p/q on hits, (1-p)/(1-q) on misses.
+        let (p, q) = (0.01, 0.5);
+        let mut w = WeightedStats::new();
+        for i in 0..10_000 {
+            let hit = i % 2 == 0; // deterministic "half hits" stand-in
+            if hit {
+                w.push(1.0, p / q);
+            } else {
+                w.push(0.0, (1.0 - p) / (1.0 - q));
+            }
+        }
+        assert!((w.mean() - p / 2.0 / q).abs() < 1e-12); // 0.5 of samples hit
+        assert!(w.effective_sample_size() > 1000.0);
+    }
+
+    #[test]
+    fn weighted_merge_equals_sequential() {
+        let mut a = WeightedStats::new();
+        let mut b = WeightedStats::new();
+        let mut all = WeightedStats::new();
+        for i in 0..40 {
+            let (v, w) = ((i % 3) as f64, 1.0 + (i % 5) as f64 / 10.0);
+            all.push(v, w);
+            if i < 17 {
+                a.push(v, w);
+            } else {
+                b.push(v, w);
+            }
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.effective_sample_size() - all.effective_sample_size()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,52 @@
+//! Mean time to unsafety (MTTU) — an MTTF-style counterpart of the
+//! paper's `S(t)`, computed *exactly* on a small AHS configuration by
+//! enumerating the composed SAN's CTMC, and cross-checked against the
+//! simulated unsafety slope (`S(t) ≈ t / MTTU` for `t ≪ MTTU`).
+//!
+//! ```text
+//! cargo run --release --example mean_time_to_unsafety
+//! ```
+
+use ahs_safety::core::{AhsModel, Params, UnsafetyEvaluator};
+use ahs_safety::ctmc::{expected_hitting_time_from_start, SanMarkovModel, StateSpace};
+use ahs_safety::stats::TimeGrid;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two single-vehicle platoons with fast failures: small enough to
+    // enumerate exactly.
+    let params = Params::builder().n(1).lambda(0.05).build()?;
+    let model = AhsModel::build(&params)?;
+    let ko = model.handles().ko_total;
+
+    let adapter = SanMarkovModel::new(model.san())?;
+    let space = StateSpace::explore(&adapter, 500_000)?;
+    println!(
+        "composed SAN for n=1: {} places, {} activities, {} reachable stable markings",
+        model.san().num_places(),
+        model.san().num_activities(),
+        space.len()
+    );
+
+    let mttu =
+        expected_hitting_time_from_start(&space, |m| m.is_marked(ko), 1e-10, 1_000_000)?;
+    println!("exact mean time to unsafety: {mttu:.1} hours");
+
+    // Short-horizon check: S(t) ~ t / MTTU while t << MTTU.
+    let grid = TimeGrid::new(vec![2.0, 6.0]);
+    let curve = UnsafetyEvaluator::new(params)
+        .with_seed(3)
+        .with_replications(40_000)
+        .evaluate(&grid)?;
+    println!("\n t (h)   simulated S(t)   t / MTTU");
+    for p in curve.points() {
+        println!(
+            "{:>5.1}   {:.4e}       {:.4e}",
+            p.x,
+            p.y,
+            p.x / mttu
+        );
+    }
+    println!("\nthe linearized hazard matches the simulated unsafety while");
+    println!("t remains far below the mean time to unsafety.");
+    Ok(())
+}

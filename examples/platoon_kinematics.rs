@@ -1,0 +1,55 @@
+//! Exercises the kinematic substrate: simulates each of the six
+//! recovery maneuvers of Table 1 on an 8-vehicle platoon and derives
+//! the end-to-end duration statistics that justify the paper's
+//! 15–30 /hr maneuver rates (durations of 2–4 minutes).
+//!
+//! ```text
+//! cargo run --release --example platoon_kinematics
+//! ```
+
+use ahs_safety::platoon::{
+    DurationModel, ManeuverOutcomeKind, ManeuverSimulator, RecoveryManeuver, SpacingPolicy,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let policy = SpacingPolicy::nominal();
+    policy.validate().map_err(std::io::Error::other)?;
+    println!(
+        "spacing policy: intra {} m, inter {} m, cruise {} m/s",
+        policy.intra_gap, policy.inter_gap, policy.cruise_speed
+    );
+    println!(
+        "platooning capacity gain for n=10: x{:.2}\n",
+        policy.capacity_ratio(10, 5.0)
+    );
+
+    // Pure kinematics: the physical part of each maneuver.
+    println!("kinematic phase only (8-vehicle platoon, faulty vehicle #4):");
+    let sim = ManeuverSimulator::new(policy).with_exit_distance(1000.0);
+    for m in RecoveryManeuver::ALL {
+        let ManeuverOutcomeKind::Completed { duration, min_gap } = sim.simulate(m, 8, 4)?;
+        println!(
+            "  {:<6} {:6.1} s   (smallest gap observed: {:5.2} m)",
+            m.abbreviation(),
+            duration,
+            min_gap
+        );
+    }
+
+    // End-to-end: kinematics + coordination rounds + highway clearing.
+    println!("\nend-to-end durations (coordination + kinematics + clearing):");
+    let model = DurationModel::default();
+    println!("  maneuver   mean     std      rate");
+    for (m, stats) in model.estimate_all(300, 42) {
+        println!(
+            "  {:<6} {:7.1} s {:6.1} s  {:5.1}/hr",
+            m.abbreviation(),
+            stats.mean_seconds,
+            stats.std_seconds,
+            stats.rate_per_hour()
+        );
+    }
+    println!("\nall means fall in the paper's 2-4 minute window (15-30/hr),");
+    println!("which is where ahs-core's default maneuver rates come from.");
+    Ok(())
+}

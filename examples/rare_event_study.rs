@@ -1,0 +1,57 @@
+//! Demonstrates why importance sampling is load-bearing: at the
+//! paper's λ = 1e-5/hr the unsafety is ~1e-8 and plain Monte Carlo
+//! sees nothing, while balanced failure biasing with likelihood-ratio
+//! weighting estimates it with a usable confidence interval from the
+//! same replication budget.
+//!
+//! ```text
+//! cargo run --release --example rare_event_study
+//! ```
+
+use ahs_safety::core::{BiasMode, Params, UnsafetyEvaluator};
+use ahs_safety::stats::TimeGrid;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = Params::builder().n(8).lambda(1e-5).build()?;
+    let grid = TimeGrid::new(vec![6.0]);
+    let budget = 20_000;
+
+    println!("S(6h) for n = 8, lambda = 1e-5/hr, {budget} replications each:\n");
+
+    // Plain Monte Carlo: expect zero hits.
+    let plain = UnsafetyEvaluator::new(params.clone())
+        .with_seed(1)
+        .with_replications(budget)
+        .with_bias(BiasMode::None)
+        .evaluate(&grid)?;
+    let p = plain.points()[0];
+    println!("plain MC:             {:.4e} ± {:.1e}  (hits are ~impossible)", p.y, p.half_width);
+
+    // Dynamic two-level importance sampling (the default).
+    let eval = UnsafetyEvaluator::new(params.clone())
+        .with_seed(2)
+        .with_replications(budget);
+    println!(
+        "dynamic boosts:       x{:.0} while healthy, x{:.0} while a recovery runs",
+        eval.first_level_boost(grid.horizon()),
+        eval.second_level_boost()
+    );
+    let biased = eval.evaluate(&grid)?;
+    let b = biased.points()[0];
+    println!("dynamic IS:           {:.4e} ± {:.1e}", b.y, b.half_width);
+
+    // A constant boost, for comparison: also unbiased, but its weights
+    // collapse over long horizons (see ahs-bench --bin is_diagnostics).
+    let fixed = UnsafetyEvaluator::new(params)
+        .with_seed(3)
+        .with_replications(budget)
+        .with_bias(BiasMode::Fixed(2_000.0))
+        .evaluate(&grid)?;
+    let f = fixed.points()[0];
+    println!("constant x2000 boost: {:.4e} ± {:.1e}  (late-horizon mass undersampled)", f.y, f.half_width);
+
+    println!("\nboth biased estimators use exact likelihood ratios; the dynamic");
+    println!("scheme boosts hard only while a maneuver window is open, which is");
+    println!("when the concurrent second failure of Table 2 can actually occur.");
+    Ok(())
+}

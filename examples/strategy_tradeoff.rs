@@ -1,0 +1,51 @@
+//! Compares the four coordination strategies of Table 3 (the study
+//! behind the paper's Figures 14–15): decentralized/centralized
+//! inter- and intra-platoon coordination.
+//!
+//! ```text
+//! cargo run --release --example strategy_tradeoff
+//! ```
+
+use ahs_safety::core::{involved_vehicles, Params, Strategy, UnsafetyEvaluator};
+use ahs_safety::platoon::RecoveryManeuver;
+use ahs_safety::stats::TimeGrid;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The mechanism: centralized coordination involves more vehicles
+    // per maneuver (paper §2.2.1's TIE-E example).
+    println!("vehicles involved in TIE-E for platoons of 10 + 10:");
+    for s in Strategy::ALL {
+        println!(
+            "  {}: {}",
+            s,
+            involved_vehicles(
+                RecoveryManeuver::TakeImmediateExitEscorted,
+                s,
+                10,
+                10
+            )
+        );
+    }
+
+    // The consequence: unsafety ordering DD <= DC <= CD <= CC, with a
+    // modest gap (the paper's Figure 14). λ is raised above the
+    // paper's 1e-5 so a quick run has tight intervals.
+    println!("\nS(6h) per strategy (n = 10, lambda = 1e-4/hr):");
+    let grid = TimeGrid::new(vec![6.0]);
+    for s in Strategy::ALL {
+        let params = Params::builder()
+            .n(10)
+            .lambda(1e-4)
+            .strategy(s)
+            .build()?;
+        let curve = UnsafetyEvaluator::new(params)
+            .with_seed(14)
+            .with_replications(30_000)
+            .evaluate(&grid)?;
+        let p = curve.points()[0];
+        println!("  {}: {:.4e} ± {:.1e}", s, p.y, p.half_width);
+    }
+    println!("\nexpected shape: DD safest, CC least safe; the inter-platoon");
+    println!("choice (D_ vs C_) moves the curve more than the intra choice.");
+    Ok(())
+}

@@ -1,0 +1,277 @@
+//! `ahs` — command-line front end for the AHS safety library.
+//!
+//! ```text
+//! ahs evaluate [--n N] [--lambda L] [--strategy DD|DC|CD|CC]
+//!              [--platoons P] [--horizon H] [--points K]
+//!              [--reps R | --paper] [--seed S] [--plain]
+//! ahs durations [--samples N] [--seed S]
+//! ahs involved [--n N]
+//! ahs dot [--n N] [--platoons P]
+//! ahs help
+//! ```
+
+use std::process::ExitCode;
+
+use ahs_safety::core::{
+    involved_vehicles, AhsModel, BiasMode, Params, Strategy, UnsafetyEvaluator, MANEUVERS,
+};
+use ahs_safety::platoon::DurationModel;
+use ahs_safety::stats::{StoppingRule, TimeGrid};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "evaluate" => cmd_evaluate(rest),
+        "durations" => cmd_durations(rest),
+        "involved" => cmd_involved(rest),
+        "dot" => cmd_dot(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+ahs — safety evaluation of Automated Highway Systems (DSN 2009 reproduction)
+
+commands:
+  evaluate    estimate the unsafety curve S(t) for a configuration
+  durations   estimate end-to-end maneuver durations from the kinematic substrate
+  involved    show per-strategy maneuver involvement counts
+  dot         export the composed SAN model as Graphviz DOT
+  help        show this message
+
+evaluate flags:
+  --n N           max vehicles per platoon        (default 10)
+  --lambda L      base failure rate per hour      (default 1e-5)
+  --strategy S    DD | DC | CD | CC               (default DD)
+  --platoons P    number of platoons, 2..=8       (default 2)
+  --horizon H     longest trip duration in hours  (default 10)
+  --points K      number of grid points           (default 5)
+  --reps R        fixed replication count         (default: paper rule)
+  --paper         the paper's stopping rule (>=10k reps, 95%/0.1 rel.)
+  --seed S        master seed                     (default 2009)
+  --plain         plain Monte Carlo instead of dynamic importance sampling";
+
+/// Pulls `--key value` pairs and bare flags out of `args`.
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags { args }
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    fn value(&self, flag: &str) -> Result<Option<&'a str>, String> {
+        match self.args.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(i) => match self.args.get(i + 1) {
+                Some(v) => Ok(Some(v)),
+                None => Err(format!("flag {flag} expects a value")),
+            },
+        }
+    }
+
+    fn parse<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.value(flag)? {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("invalid value `{v}` for {flag}: {e}")),
+        }
+    }
+}
+
+fn parse_params(f: &Flags<'_>) -> Result<Params, String> {
+    let strategy = match f.value("--strategy")?.unwrap_or("DD") {
+        "DD" | "dd" => Strategy::Dd,
+        "DC" | "dc" => Strategy::Dc,
+        "CD" | "cd" => Strategy::Cd,
+        "CC" | "cc" => Strategy::Cc,
+        other => return Err(format!("unknown strategy `{other}` (use DD/DC/CD/CC)")),
+    };
+    Params::builder()
+        .n(f.parse("--n", 10usize)?)
+        .lambda(f.parse("--lambda", 1e-5)?)
+        .platoons(f.parse("--platoons", 2usize)?)
+        .strategy(strategy)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let f = Flags::new(args);
+    let params = parse_params(&f)?;
+    let horizon: f64 = f.parse("--horizon", 10.0)?;
+    let points: usize = f.parse("--points", 5usize)?;
+    if horizon <= 0.0 || points < 1 {
+        return Err("need a positive horizon and at least one grid point".into());
+    }
+    let grid = if points == 1 {
+        TimeGrid::new(vec![horizon])
+    } else {
+        TimeGrid::linspace(horizon / points as f64, horizon, points)
+    };
+
+    let mut eval = UnsafetyEvaluator::new(params.clone())
+        .with_seed(f.parse("--seed", 2009u64)?);
+    if f.has("--plain") {
+        eval = eval.with_bias(BiasMode::None);
+    }
+    eval = if f.has("--paper") {
+        eval.with_rule(
+            StoppingRule::relative_precision(0.95, 0.1)
+                .with_min_samples(10_000)
+                .with_max_samples(2_000_000),
+        )
+    } else {
+        eval.with_replications(f.parse("--reps", 20_000u64)?)
+    };
+
+    println!(
+        "AHS: {} platoons × up to {} vehicles, lambda={:.1e}/hr, strategy {}",
+        params.platoons, params.n, params.lambda, params.strategy
+    );
+    if !f.has("--plain") {
+        println!(
+            "dynamic importance sampling: x{:.0} healthy / x{:.0} during recovery",
+            eval.first_level_boost(grid.horizon()),
+            eval.second_level_boost()
+        );
+    }
+    let curve = eval.evaluate(&grid).map_err(|e| e.to_string())?;
+    println!("\ntrip (h)     S(t)         95% half-width");
+    for p in curve.points() {
+        println!("{:>7.2}   {:.4e}    {:.2e}", p.x, p.y, p.half_width);
+    }
+    println!(
+        "\n{} replications, precision target {}",
+        curve.replications(),
+        if curve.converged() { "reached" } else { "not evaluated (fixed budget)" }
+    );
+    Ok(())
+}
+
+fn cmd_durations(args: &[String]) -> Result<(), String> {
+    let f = Flags::new(args);
+    let samples: u32 = f.parse("--samples", 400u32)?;
+    let seed: u64 = f.parse("--seed", 42u64)?;
+    let model = DurationModel::default();
+    println!("maneuver   mean (s)   std (s)   rate (/hr)");
+    for (m, stats) in model.estimate_all(samples, seed) {
+        println!(
+            "{:<8} {:>9.1} {:>9.1} {:>11.1}",
+            m.abbreviation(),
+            stats.mean_seconds,
+            stats.std_seconds,
+            stats.rate_per_hour()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_involved(args: &[String]) -> Result<(), String> {
+    let f = Flags::new(args);
+    let n: usize = f.parse("--n", 10usize)?;
+    println!("vehicles involved per maneuver (platoons of {n} + {n}):\n");
+    print!("{:<8}", "");
+    for s in Strategy::ALL {
+        print!("{:>6}", s.name());
+    }
+    println!();
+    for m in MANEUVERS {
+        print!("{:<8}", m.abbreviation());
+        for s in Strategy::ALL {
+            print!("{:>6}", involved_vehicles(m, s, n, n));
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let f = Flags::new(args);
+    let params = parse_params(&f)?;
+    let model = AhsModel::build(&params).map_err(|e| e.to_string())?;
+    print!("{}", model.san().to_dot());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn flags_parse_values_and_switches() {
+        let a = args(&["--n", "6", "--paper", "--lambda", "2e-4"]);
+        let f = Flags::new(&a);
+        assert!(f.has("--paper"));
+        assert!(!f.has("--plain"));
+        assert_eq!(f.parse("--n", 10usize).unwrap(), 6);
+        assert_eq!(f.parse("--lambda", 1e-5).unwrap(), 2e-4);
+        assert_eq!(f.parse("--seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let a = args(&["--n"]);
+        let f = Flags::new(&a);
+        assert!(f.value("--n").is_err());
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let a = args(&["--n", "many"]);
+        let f = Flags::new(&a);
+        assert!(f.parse("--n", 1usize).is_err());
+    }
+
+    #[test]
+    fn strategies_parse_case_insensitively() {
+        for (txt, expect) in [
+            ("DD", Strategy::Dd),
+            ("dc", Strategy::Dc),
+            ("CD", Strategy::Cd),
+            ("cc", Strategy::Cc),
+        ] {
+            let a = args(&["--strategy", txt]);
+            let p = parse_params(&Flags::new(&a)).unwrap();
+            assert_eq!(p.strategy, expect);
+        }
+        let a = args(&["--strategy", "XY"]);
+        assert!(parse_params(&Flags::new(&a)).is_err());
+    }
+
+    #[test]
+    fn invalid_params_surface_as_errors() {
+        let a = args(&["--platoons", "1"]);
+        assert!(parse_params(&Flags::new(&a)).is_err());
+        let a = args(&["--lambda", "-1"]);
+        assert!(parse_params(&Flags::new(&a)).is_err());
+    }
+}

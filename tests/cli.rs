@@ -1,0 +1,81 @@
+//! End-to-end tests of the `ahs` command-line binary.
+
+use std::process::Command;
+
+fn ahs() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ahs"))
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = ahs().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for cmd in ["evaluate", "durations", "involved", "dot"] {
+        assert!(text.contains(cmd), "help should mention `{cmd}`");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = ahs().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn involved_prints_the_strategy_matrix() {
+    let out = ahs()
+        .args(["involved", "--n", "6"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for token in ["DD", "DC", "CD", "CC", "TIE-E", "AS"] {
+        assert!(text.contains(token), "missing `{token}` in:\n{text}");
+    }
+}
+
+#[test]
+fn dot_exports_graphviz() {
+    let out = ahs()
+        .args(["dot", "--n", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("vehicle[0].present"));
+    assert!(text.contains("KO_total"));
+}
+
+#[test]
+fn evaluate_runs_a_small_study() {
+    let out = ahs()
+        .args([
+            "evaluate", "--n", "2", "--lambda", "5e-3", "--reps", "500", "--points", "2",
+            "--horizon", "4", "--seed", "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("S(t)"));
+    assert!(text.contains("replications"));
+}
+
+#[test]
+fn evaluate_rejects_bad_strategy() {
+    let out = ahs()
+        .args(["evaluate", "--strategy", "ZZ"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown strategy"));
+}
