@@ -50,7 +50,10 @@ fn bench_event_backend(c: &mut Criterion) {
     let sim = EventDrivenSimulator::new(&model);
     let mut rng = SmallRng::seed_from_u64(2);
     c.bench_function("event_queue_run_100h_5comp", |b| {
-        b.iter(|| sim.run(black_box(100.0), &mut rng, &mut NullObserver).unwrap())
+        b.iter(|| {
+            sim.run(black_box(100.0), &mut rng, &mut NullObserver)
+                .unwrap()
+        })
     });
 }
 

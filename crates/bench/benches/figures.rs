@@ -3,9 +3,7 @@
 //! up in `cargo bench`. Full-scale runs are the `fig10`…`fig15`
 //! binaries.
 
-use ahs_bench::{
-    fig10, fig11, fig12, fig13, fig14, fig15, maneuver_durations, tables, RunConfig,
-};
+use ahs_bench::{fig10, fig11, fig12, fig13, fig14, fig15, maneuver_durations, tables, RunConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -2,8 +2,8 @@
 //! writing CSVs under results/. Flags: --paper --reps N --seed S --threads T.
 
 use ahs_bench::{
-    ext_platoons, fig10, fig11, fig12, fig13, fig14, fig15, figure_to_markdown,
-    maneuver_durations, tables, write_results, RunConfig,
+    ext_platoons, fig10, fig11, fig12, fig13, fig14, fig15, figure_to_markdown, maneuver_durations,
+    tables, write_results, RunConfig,
 };
 use ahs_stats::format_markdown;
 

@@ -40,14 +40,11 @@ fn main() {
     let params = Params::builder().n(8).lambda(lambda).build().unwrap();
     let model = AhsModel::build(&params).unwrap();
     let h = model.handles().clone();
-    let scheme =
-        BiasScheme::new().with_multipliers(h.failure_activities.iter().copied(), boost);
-    let sim = MarkovSimulator::new(model.san())
-        .unwrap()
-        .with_bias(scheme);
+    let scheme = BiasScheme::new().with_multipliers(h.failure_activities.iter().copied(), boost);
+    let sim = MarkovSimulator::new(model.san()).unwrap().with_bias(scheme);
 
     let mut hits = Histogram::new(0.0, horizon, 10);
-    let mut weights_by_bin = vec![0.0f64; 10];
+    let mut weights_by_bin = [0.0f64; 10];
     let mut no_hit = 0u64;
     let mut events_total = 0u64;
     for rep in 0..reps {
@@ -72,14 +69,14 @@ fn main() {
         events_total as f64 / reps as f64
     );
     println!("bin(t)      hits   sum(weight)   S-contrib");
-    for b in 0..10 {
+    for (b, w) in weights_by_bin.iter().enumerate() {
         println!(
             "[{:4.1},{:4.1})  {:5}   {:10.3e}   {:.3e}",
             b as f64 * horizon / 10.0,
             (b + 1) as f64 * horizon / 10.0,
             hits.bin_count(b),
-            weights_by_bin[b],
-            weights_by_bin[b] / reps as f64
+            w,
+            w / reps as f64
         );
     }
 }

@@ -36,7 +36,10 @@ fn main() {
         let m = trip_measures(&params, 10.0, reps, seed).expect("measure estimation failed");
         t.push_row(vec![
             format!("{lambda:.0e}"),
-            format!("{:.3e} ± {:.1e}", m.expected_maneuvers, m.expected_maneuvers_hw),
+            format!(
+                "{:.3e} ± {:.1e}",
+                m.expected_maneuvers, m.expected_maneuvers_hw
+            ),
             format!(
                 "{:.3e} ± {:.1e}",
                 m.recovery_time_fraction, m.recovery_time_fraction_hw

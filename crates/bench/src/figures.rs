@@ -308,7 +308,10 @@ pub fn maneuver_durations(samples: u32, seed: u64) -> Table {
             format!("{:.1}", stats.mean_seconds),
             format!("{:.1}", stats.std_seconds),
             format!("{:.1}", stats.rate_per_hour()),
-            format!("{}", stats.mean_seconds >= 120.0 && stats.mean_seconds <= 240.0),
+            format!(
+                "{}",
+                stats.mean_seconds >= 120.0 && stats.mean_seconds <= 240.0
+            ),
         ])
         .expect("row width matches header");
     }

@@ -24,8 +24,7 @@ mod output;
 mod runner;
 
 pub use figures::{
-    ext_platoons, fig10, fig11, fig12, fig13, fig14, fig15, maneuver_durations, sensitivity,
-    tables,
+    ext_platoons, fig10, fig11, fig12, fig13, fig14, fig15, maneuver_durations, sensitivity, tables,
 };
 pub use output::{figure_to_csv, figure_to_markdown, write_results};
 pub use runner::{FigureResult, RunConfig, Series, SeriesPoint};

@@ -82,8 +82,18 @@ mod tests {
             series: vec![Series {
                 label: "a".into(),
                 points: vec![
-                    SeriesPoint { x: 1.0, y: 0.5, half_width: 0.01, samples: 10 },
-                    SeriesPoint { x: 2.0, y: 0.75, half_width: 0.02, samples: 10 },
+                    SeriesPoint {
+                        x: 1.0,
+                        y: 0.5,
+                        half_width: 0.01,
+                        samples: 10,
+                    },
+                    SeriesPoint {
+                        x: 2.0,
+                        y: 0.75,
+                        half_width: 0.02,
+                        samples: 10,
+                    },
                 ],
             }],
         }

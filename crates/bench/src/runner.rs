@@ -95,7 +95,9 @@ impl RunConfig {
                     i += 1;
                     cfg.threads = args[i].parse().expect("--threads takes an integer");
                 }
-                other => panic!("unknown argument `{other}` (expected --paper/--reps/--seed/--threads)"),
+                other => {
+                    panic!("unknown argument `{other}` (expected --paper/--reps/--seed/--threads)")
+                }
             }
             i += 1;
         }

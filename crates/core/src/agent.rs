@@ -12,9 +12,7 @@ use ahs_stats::{Curve, TimeGrid};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::failure::{
-    class_of_maneuver, escalation_of, maneuver_priority, FailureMode,
-};
+use crate::failure::{class_of_maneuver, escalation_of, maneuver_priority, FailureMode};
 use crate::params::Params;
 use crate::severity::{is_catastrophic, SeverityCount};
 use crate::strategy::involved_vehicles;
@@ -88,10 +86,7 @@ impl AgentSimulator {
                             events.push((p.failure_rate(fm), Event::Fail(v, fm)));
                         }
                         if platoon == 1 && operating_p1 > 0 {
-                            events.push((
-                                p.leave_rate / operating_p1 as f64,
-                                Event::Leave(v),
-                            ));
+                            events.push((p.leave_rate / operating_p1 as f64, Event::Leave(v)));
                         }
                         if adjacent(platoon, p.platoons)
                             .iter()
@@ -107,20 +102,14 @@ impl AgentSimulator {
                                 events.push((p.failure_rate(fm), Event::Fail(v, fm)));
                             }
                         }
-                        events.push((
-                            p.maneuver_rates.rate(active),
-                            Event::Complete(v),
-                        ));
+                        events.push((p.maneuver_rates.rate(active), Event::Complete(v)));
                     }
                     AgentState::Done => {
                         events.push((p.back_rate, Event::Back(v)));
                     }
                     AgentState::Out => {
                         if out_count > 0 && (1..=p.platoons).any(|k| counts[k] < n) {
-                            events.push((
-                                p.join_rate / out_count as f64,
-                                Event::Join(v),
-                            ));
+                            events.push((p.join_rate / out_count as f64, Event::Join(v)));
                         }
                     }
                 }
@@ -219,13 +208,10 @@ impl AgentSimulator {
             .filter(|a| matches!(a, AgentState::Recovering(..)))
             .count();
         let present_others = present.saturating_sub(1).max(1);
-        let impaired_others = recovering.saturating_sub(usize::from(matches!(
-            agents[v],
-            AgentState::Recovering(..)
-        )));
+        let impaired_others =
+            recovering.saturating_sub(usize::from(matches!(agents[v], AgentState::Recovering(..))));
         let frac = impaired_others as f64 / present_others as f64;
-        (p.maneuver_base_failure
-            + p.impairment_penalty * involved.saturating_sub(1) as f64 * frac)
+        (p.maneuver_base_failure + p.impairment_penalty * involved.saturating_sub(1) as f64 * frac)
             .clamp(0.0, 0.95)
     }
 
@@ -305,7 +291,10 @@ fn pick(events: &[(f64, Event)], total: f64, rng: &mut SmallRng) -> Event {
         }
         u -= r;
     }
-    events.last().expect("total rate positive implies non-empty").1
+    events
+        .last()
+        .expect("total rate positive implies non-empty")
+        .1
 }
 
 #[cfg(test)]

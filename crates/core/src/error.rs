@@ -66,7 +66,10 @@ mod tests {
             name: "lambda",
             reason: "must be positive".into(),
         };
-        assert_eq!(e.to_string(), "invalid parameter `lambda`: must be positive");
+        assert_eq!(
+            e.to_string(),
+            "invalid parameter `lambda`: must be positive"
+        );
         assert!(std::error::Error::source(&e).is_none());
 
         let e: AhsError = SanError::EmptyModel.into();

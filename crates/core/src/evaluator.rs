@@ -182,8 +182,7 @@ impl UnsafetyEvaluator {
     /// total small bounds the number of irrelevant `1/boost`
     /// likelihood factors per path.
     pub fn first_level_boost(&self, horizon_hours: f64) -> f64 {
-        let fleet_rate =
-            self.params.total_vehicles() as f64 * self.params.total_failure_rate();
+        let fleet_rate = self.params.total_vehicles() as f64 * self.params.total_failure_rate();
         (1.5 / (fleet_rate * horizon_hours)).clamp(1.0, 1e7)
     }
 
@@ -192,8 +191,7 @@ impl UnsafetyEvaluator {
     /// (`1/μ̄`), making the concurrent second failure of Table 2
     /// likely while a recovery is in progress. Clamped to `[1, 1e7]`.
     pub fn second_level_boost(&self) -> f64 {
-        let fleet_rate =
-            self.params.total_vehicles() as f64 * self.params.total_failure_rate();
+        let fleet_rate = self.params.total_vehicles() as f64 * self.params.total_failure_rate();
         let mean_window_hours = 1.0 / self.params.maneuver_rates.mean_rate();
         (0.8 / (fleet_rate * mean_window_hours)).clamp(1.0, 1e7)
     }
@@ -277,7 +275,10 @@ mod tests {
         let e = UnsafetyEvaluator::new(p);
         let b1_10 = e.first_level_boost(10.0);
         let b1_2 = e.first_level_boost(2.0);
-        assert!(b1_2 > b1_10, "shorter horizon needs a larger first-level boost");
+        assert!(
+            b1_2 > b1_10,
+            "shorter horizon needs a larger first-level boost"
+        );
         let fleet = 16.0 * 14.0 * 1e-5;
         assert!((b1_10 - 1.5 / (fleet * 10.0)).abs() < 1e-6);
         // The second level is far more aggressive than the first.
@@ -285,7 +286,11 @@ mod tests {
 
         let p = Params::builder().lambda(1.0).build().unwrap();
         let e = UnsafetyEvaluator::new(p);
-        assert_eq!(e.first_level_boost(10.0), 1.0, "no boost needed for large λ");
+        assert_eq!(
+            e.first_level_boost(10.0),
+            1.0,
+            "no boost needed for large λ"
+        );
         assert_eq!(e.second_level_boost(), 1.0);
     }
 
@@ -344,8 +349,18 @@ mod tests {
     fn curve_lookup_at() {
         let curve = UnsafetyCurve {
             points: vec![
-                UnsafetyPoint { x: 2.0, y: 0.1, half_width: 0.0, samples: 1 },
-                UnsafetyPoint { x: 6.0, y: 0.2, half_width: 0.0, samples: 1 },
+                UnsafetyPoint {
+                    x: 2.0,
+                    y: 0.1,
+                    half_width: 0.0,
+                    samples: 1,
+                },
+                UnsafetyPoint {
+                    x: 6.0,
+                    y: 0.2,
+                    half_width: 0.0,
+                    samples: 1,
+                },
             ],
             replications: 2,
             converged: true,

@@ -245,7 +245,10 @@ mod tests {
 
     #[test]
     fn rate_multipliers_match_section_4_1() {
-        let mults: Vec<f64> = FailureMode::ALL.iter().map(|f| f.rate_multiplier()).collect();
+        let mults: Vec<f64> = FailureMode::ALL
+            .iter()
+            .map(|f| f.rate_multiplier())
+            .collect();
         assert_eq!(mults, vec![1.0, 2.0, 2.0, 2.0, 3.0, 4.0]);
     }
 

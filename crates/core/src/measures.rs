@@ -68,9 +68,8 @@ pub fn trip_measures(
         .iter()
         .map(|a| a.index())
         .collect();
-    let spec = RewardSpec::impulse(move |a, _| {
-        f64::from(u8::from(maneuver_set.contains(&a.index())))
-    });
+    let spec =
+        RewardSpec::impulse(move |a, _| f64::from(u8::from(maneuver_set.contains(&a.index()))));
     let maneuvers = RewardStudy::new(san)
         .with_seed(seed)
         .with_replications(replications)
@@ -102,9 +101,7 @@ pub fn trip_measures(
         })
         .collect();
     let _ = handles;
-    let spec = RewardSpec::impulse(move |a, _| {
-        f64::from(u8::from(ko_backs.contains(&a.index())))
-    });
+    let spec = RewardSpec::impulse(move |a, _| f64::from(u8::from(ko_backs.contains(&a.index()))));
     let lost = RewardStudy::new(san)
         .with_seed(seed ^ 2)
         .with_replications(replications)

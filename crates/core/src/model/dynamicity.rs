@@ -35,18 +35,16 @@ pub(crate) fn add_activities(
     Ok(())
 }
 
-fn add_join(
-    b: &mut SanBuilder,
-    v: usize,
-    refs: &Refs,
-    params: &Params,
-) -> Result<(), SanError> {
+fn add_join(b: &mut SanBuilder, v: usize, refs: &Refs, params: &Params) -> Result<(), SanError> {
     let vp = refs.vehicles[v];
     let cap = refs.capacity;
     let num_platoons = refs.num_platoons();
 
     let gate_refs = refs.clone();
-    let space_gate = b.predicate_gate("join_space", move |m: &Marking| {
+    let space_touches: Vec<_> = std::iter::once(refs.ko_total)
+        .chain(refs.platoon_indicators())
+        .collect();
+    let space_gate = b.predicate_gate_touching("join_space", space_touches, move |m: &Marking| {
         !m.is_marked(gate_refs.ko_total)
             && (1..=num_platoons as u64).any(|k| gate_refs.platoon_size(m, k) < cap)
     });
@@ -54,20 +52,23 @@ fn add_join(
     // Global join rate shared among the waiting vehicles.
     let rate_refs = refs.clone();
     let join_rate = params.join_rate;
-    let delay = Delay::exponential_fn(move |m: &Marking| {
-        join_rate / rate_refs.out_count(m).max(1) as f64
-    });
+    let delay =
+        Delay::exponential_fn(move |m: &Marking| join_rate / rate_refs.out_count(m).max(1) as f64);
 
     // One case per platoon, uniform over platoons with space. Gates
     // must exist before the activity chain borrows the builder.
     let mut gates = Vec::with_capacity(num_platoons);
     for k in 1..=num_platoons as u64 {
         let og_refs = refs.clone();
-        gates.push(b.output_gate(&format!("join_p{k}"), move |m: &mut Marking| {
-            m.set_tokens(vp.platoon, k);
-            m.add_tokens(vp.present, 1);
-            array_append(m.array_mut(og_refs.array_place(k)), v as i64 + 1);
-        }));
+        gates.push(b.output_gate_touching(
+            &format!("join_p{k}"),
+            [vp.platoon, vp.present, refs.array_place(k)],
+            move |m: &mut Marking| {
+                m.set_tokens(vp.platoon, k);
+                m.add_tokens(vp.present, 1);
+                array_append(m.array_mut(og_refs.array_place(k)), v as i64 + 1);
+            },
+        ));
     }
     let mut ab = b
         .timed_activity("join", delay)?
@@ -93,17 +94,16 @@ fn add_join(
     Ok(())
 }
 
-fn add_leave(
-    b: &mut SanBuilder,
-    v: usize,
-    refs: &Refs,
-    params: &Params,
-) -> Result<(), SanError> {
+fn add_leave(b: &mut SanBuilder, v: usize, refs: &Refs, params: &Params) -> Result<(), SanError> {
     let vp = refs.vehicles[v];
 
     // Operating (no active maneuver) in platoon 1, system not frozen.
     let gate_refs = refs.clone();
-    let gate = b.predicate_gate("leave_operating", move |m: &Marking| {
+    let gate_touches: Vec<_> = [refs.ko_total, vp.present, vp.platoon]
+        .into_iter()
+        .chain(vp.maneuvers)
+        .collect();
+    let gate = b.predicate_gate_touching("leave_operating", gate_touches, move |m: &Marking| {
         !m.is_marked(gate_refs.ko_total)
             && m.is_marked(vp.present)
             && m.tokens(vp.platoon) == 1
@@ -118,12 +118,16 @@ fn add_leave(
     });
 
     let og_refs = refs.clone();
-    let og = b.output_gate("leave_out", move |m: &mut Marking| {
-        m.set_tokens(vp.present, 0);
-        m.set_tokens(vp.platoon, 0);
-        array_remove(m.array_mut(og_refs.array_place(1)), v as i64 + 1);
-        m.add_tokens(vp.out, 1);
-    });
+    let og = b.output_gate_touching(
+        "leave_out",
+        [vp.present, vp.platoon, refs.array_place(1), vp.out],
+        move |m: &mut Marking| {
+            m.set_tokens(vp.present, 0);
+            m.set_tokens(vp.platoon, 0);
+            array_remove(m.array_mut(og_refs.array_place(1)), v as i64 + 1);
+            m.add_tokens(vp.out, 1);
+        },
+    );
 
     b.timed_activity("leave", delay)?
         .input_gate(gate)
@@ -158,17 +162,17 @@ fn open_adjacent(refs: &Refs, m: &Marking, v: usize) -> Vec<u64> {
         .collect()
 }
 
-fn add_change(
-    b: &mut SanBuilder,
-    v: usize,
-    refs: &Refs,
-    params: &Params,
-) -> Result<(), SanError> {
+fn add_change(b: &mut SanBuilder, v: usize, refs: &Refs, params: &Params) -> Result<(), SanError> {
     let vp = refs.vehicles[v];
 
     // Operating, and an adjacent platoon has space.
     let gate_refs = refs.clone();
-    let gate = b.predicate_gate("change_possible", move |m: &Marking| {
+    let gate_touches: Vec<_> = [refs.ko_total, vp.present]
+        .into_iter()
+        .chain(vp.maneuvers)
+        .chain(refs.platoon_indicators())
+        .collect();
+    let gate = b.predicate_gate_touching("change_possible", gate_touches, move |m: &Marking| {
         !m.is_marked(gate_refs.ko_total)
             && m.is_marked(vp.present)
             && gate_refs.active_slot(m, v).is_none()
@@ -180,20 +184,31 @@ fn add_change(
     let mut gates = Vec::with_capacity(2);
     for d in 0..2usize {
         let move_refs = refs.clone();
-        gates.push(b.output_gate(&format!("change_move_{d}"), move |m: &mut Marking| {
-            let from = m.tokens(vp.platoon);
-            if from == 0 {
-                return;
-            }
-            let to = if d == 0 { from.saturating_sub(1) } else { from + 1 };
-            if to == 0 || to as usize > move_refs.num_platoons() {
-                return;
-            }
-            let id = v as i64 + 1;
-            array_remove(m.array_mut(move_refs.array_place(from)), id);
-            array_append(m.array_mut(move_refs.array_place(to)), id);
-            m.set_tokens(vp.platoon, to);
-        }));
+        let move_touches: Vec<_> = std::iter::once(vp.platoon)
+            .chain(refs.platoon_arrays.iter().copied())
+            .collect();
+        gates.push(b.output_gate_touching(
+            &format!("change_move_{d}"),
+            move_touches,
+            move |m: &mut Marking| {
+                let from = m.tokens(vp.platoon);
+                if from == 0 {
+                    return;
+                }
+                let to = if d == 0 {
+                    from.saturating_sub(1)
+                } else {
+                    from + 1
+                };
+                if to == 0 || to as usize > move_refs.num_platoons() {
+                    return;
+                }
+                let id = v as i64 + 1;
+                array_remove(m.array_mut(move_refs.array_place(from)), id);
+                array_append(m.array_mut(move_refs.array_place(to)), id);
+                m.set_tokens(vp.platoon, to);
+            },
+        ));
     }
     let mut ab = b
         .timed_activity("change", Delay::exponential(params.change_rate))?
@@ -363,8 +378,14 @@ mod tests {
         let r1 = san.exponential_rate(join0, &m).unwrap();
         san.fire(leave1, 0, &mut m);
         let r2 = san.exponential_rate(join0, &m).unwrap();
-        assert!((r1 - 12.0).abs() < 1e-9, "single waiter gets full rate, got {r1}");
-        assert!((r2 - 6.0).abs() < 1e-9, "two waiters split the rate, got {r2}");
+        assert!(
+            (r1 - 12.0).abs() < 1e-9,
+            "single waiter gets full rate, got {r1}"
+        );
+        assert!(
+            (r2 - 6.0).abs() < 1e-9,
+            "two waiters split the rate, got {r2}"
+        );
     }
 
     #[test]

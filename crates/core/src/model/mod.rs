@@ -153,6 +153,12 @@ impl Refs {
         self.platoon_arrays.len()
     }
 
+    /// Every vehicle's platoon-indicator place — the read set of the
+    /// platoon-size helpers, used in gate `touches` declarations.
+    pub fn platoon_indicators(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        self.vehicles.iter().map(|vp| vp.platoon)
+    }
+
     /// The occupancy-array place of platoon `which` (1-based).
     ///
     /// # Panics
@@ -247,6 +253,10 @@ impl AhsModel {
     pub fn build(params: &Params) -> Result<Self, AhsError> {
         params.validate()?;
         let mut b = SanBuilder::new("ahs");
+        // Every gate carries a `touches` declaration, so the builder's
+        // strict checks (and the linter's gate-purity pass) can verify
+        // the model instead of trusting it.
+        b.validate_strict();
 
         // Configuration: all places and the initial marking.
         let (refs, vehicles) = configuration::build_places(&mut b, params)?;

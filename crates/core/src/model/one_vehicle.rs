@@ -56,8 +56,19 @@ fn add_failure_mode(
     // Enabling: present, system not yet frozen in KO_total, and the new
     // maneuver would outrank whatever is active.
     let guard_refs = refs.clone();
-    let gate = b.input_gate(
+    let gate_touches: Vec<_> = [
+        refs.ko_total,
+        vp.present,
+        refs.class_a,
+        refs.class_b,
+        refs.class_c,
+    ]
+    .into_iter()
+    .chain(vp.maneuvers)
+    .collect();
+    let gate = b.input_gate_touching(
         &format!("f{}", fm.index() + 1),
+        gate_touches,
         move |m: &Marking| {
             !m.is_marked(guard_refs.ko_total)
                 && m.is_marked(vp.present)
@@ -80,10 +91,17 @@ fn add_failure_mode(
 
     // Output: start the maneuver and account its severity class.
     let out_refs = refs.clone();
-    let og = b.output_gate(&format!("fm{}", fm.index() + 1), move |m: &mut Marking| {
-        m.add_tokens(vp.maneuvers[slot], 1);
-        m.add_tokens(out_refs.class_place(class_of_maneuver(MANEUVERS[slot])), 1);
-    });
+    let og = b.output_gate_touching(
+        &format!("fm{}", fm.index() + 1),
+        [
+            vp.maneuvers[slot],
+            refs.class_place(class_of_maneuver(MANEUVERS[slot])),
+        ],
+        move |m: &mut Marking| {
+            m.add_tokens(vp.maneuvers[slot], 1);
+            m.add_tokens(out_refs.class_place(class_of_maneuver(MANEUVERS[slot])), 1);
+        },
+    );
 
     b.timed_activity(&format!("L{}", fm.index() + 1), Delay::exponential(rate))?
         .input_gate(gate)
@@ -149,39 +167,58 @@ fn add_maneuver(
 
     // Success: the vehicle exits the highway safely.
     let ok_refs = refs.clone();
-    let og_ok = b.output_gate(&format!("og_ok_{}", maneuver.abbreviation()), {
+    let ok_touches: Vec<_> = [refs.class_place(class), vp.present, vp.ok, vp.platoon]
+        .into_iter()
+        .chain(refs.platoon_arrays.iter().copied())
+        .collect();
+    let og_ok = b.output_gate_touching(
+        &format!("og_ok_{}", maneuver.abbreviation()),
+        ok_touches,
         move |m: &mut Marking| {
             m.remove_tokens(ok_refs.class_place(class), 1);
             m.set_tokens(vp.present, 0);
             m.add_tokens(vp.ok, 1);
             release_platoon_slot(&ok_refs, m, v);
-        }
-    });
+        },
+    );
 
-    // Failure: escalate, or v_KO after a failed Aided Stop.
+    // Failure: escalate, or v_KO after a failed Aided Stop. The touch
+    // set depends statically on whether the maneuver escalates.
     let fail_refs = refs.clone();
-    let og_fail = b.output_gate(&format!("og_fail_{}", maneuver.abbreviation()), {
-        move |m: &mut Marking| {
-            m.remove_tokens(fail_refs.class_place(class), 1);
-            match escalation_of(maneuver) {
-                Some(next) => {
-                    let next_slot = maneuver_slot(next);
-                    m.add_tokens(vp.maneuvers[next_slot], 1);
-                    m.add_tokens(
-                        fail_refs.class_place(class_of_maneuver(next)),
-                        1,
-                    );
-                }
-                None => {
-                    // The vehicle becomes a stopped free agent; the
-                    // platoons continue without it (paper §3.2.1).
-                    m.set_tokens(vp.present, 0);
-                    m.add_tokens(vp.ko, 1);
-                    release_platoon_slot(&fail_refs, m, v);
+    let mut fail_touches = vec![refs.class_place(class)];
+    match escalation_of(maneuver) {
+        Some(next) => {
+            fail_touches.push(vp.maneuvers[maneuver_slot(next)]);
+            fail_touches.push(refs.class_place(class_of_maneuver(next)));
+        }
+        None => {
+            fail_touches.extend([vp.present, vp.ko, vp.platoon]);
+            fail_touches.extend(refs.platoon_arrays.iter().copied());
+        }
+    }
+    let og_fail = b.output_gate_touching(
+        &format!("og_fail_{}", maneuver.abbreviation()),
+        fail_touches,
+        {
+            move |m: &mut Marking| {
+                m.remove_tokens(fail_refs.class_place(class), 1);
+                match escalation_of(maneuver) {
+                    Some(next) => {
+                        let next_slot = maneuver_slot(next);
+                        m.add_tokens(vp.maneuvers[next_slot], 1);
+                        m.add_tokens(fail_refs.class_place(class_of_maneuver(next)), 1);
+                    }
+                    None => {
+                        // The vehicle becomes a stopped free agent; the
+                        // platoons continue without it (paper §3.2.1).
+                        m.set_tokens(vp.present, 0);
+                        m.add_tokens(vp.ko, 1);
+                        release_platoon_slot(&fail_refs, m, v);
+                    }
                 }
             }
-        }
-    });
+        },
+    );
 
     let p_fail_success = Arc::clone(&p_fail);
     let freeze = freeze_gate(b, &format!("freeze_{}", maneuver.abbreviation()), refs);
@@ -200,12 +237,7 @@ fn add_maneuver(
 
 /// The `back_to` activities (Figure 5): a slot released through `v_OK`
 /// or `v_KO` becomes available for a new vehicle to join.
-fn add_back_to(
-    b: &mut SanBuilder,
-    v: usize,
-    refs: &Refs,
-    params: &Params,
-) -> Result<(), SanError> {
+fn add_back_to(b: &mut SanBuilder, v: usize, refs: &Refs, params: &Params) -> Result<(), SanError> {
     let vp = refs.vehicles[v];
     let freeze = freeze_gate(b, "back_freeze", refs);
     b.timed_activity("back_to_ok", Delay::exponential(params.back_rate))?
@@ -224,13 +256,9 @@ fn add_back_to(
 
 /// A pure predicate gate that freezes an activity once `KO_total` is
 /// marked — the unsafe state is absorbing for the whole system.
-pub(crate) fn freeze_gate(
-    b: &mut SanBuilder,
-    name: &str,
-    refs: &Refs,
-) -> ahs_san::InputGateId {
+pub(crate) fn freeze_gate(b: &mut SanBuilder, name: &str, refs: &Refs) -> ahs_san::InputGateId {
     let ko = refs.ko_total;
-    b.predicate_gate(name, move |m: &Marking| !m.is_marked(ko))
+    b.predicate_gate_touching(name, [ko], move |m: &Marking| !m.is_marked(ko))
 }
 
 /// Clears the vehicle's platoon membership: indicator to 0 and removal
@@ -357,8 +385,16 @@ mod tests {
 
     #[test]
     fn failure_probability_increases_with_impairment_and_strategy() {
-        let params_dd = Params::builder().n(10).strategy(Strategy::Dd).build().unwrap();
-        let params_cc = Params::builder().n(10).strategy(Strategy::Cc).build().unwrap();
+        let params_dd = Params::builder()
+            .n(10)
+            .strategy(Strategy::Dd)
+            .build()
+            .unwrap();
+        let params_cc = Params::builder()
+            .n(10)
+            .strategy(Strategy::Cc)
+            .build()
+            .unwrap();
         let model = AhsModel::build(&params_dd).unwrap();
         let san = model.san();
         let mut m = san.initial_marking().clone();

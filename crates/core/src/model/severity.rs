@@ -13,11 +13,15 @@ use crate::severity::is_catastrophic;
 /// unsafe state.
 pub(crate) fn add_to_ko(b: &mut SanBuilder, refs: &Refs) -> Result<(), SanError> {
     let gate_refs = refs.clone();
-    let ko_allocation = b.predicate_gate("KO_allocation", move |m: &Marking| {
-        !m.is_marked(gate_refs.ko_total) && is_catastrophic(gate_refs.severity_counts(m))
-    });
+    let ko_allocation = b.predicate_gate_touching(
+        "KO_allocation",
+        [refs.ko_total, refs.class_a, refs.class_b, refs.class_c],
+        move |m: &Marking| {
+            !m.is_marked(gate_refs.ko_total) && is_catastrophic(gate_refs.severity_counts(m))
+        },
+    );
     let ko_total = refs.ko_total;
-    let og_ko = b.output_gate("OG_KO", move |m: &mut Marking| {
+    let og_ko = b.output_gate_touching("OG_KO", [ko_total], move |m: &mut Marking| {
         m.add_tokens(ko_total, 1);
     });
     b.instant_activity("to_KO", 100, 1.0)?

@@ -187,10 +187,7 @@ impl Params {
         if !(2..=8).contains(&self.platoons) {
             return Err(AhsError::InvalidParameter {
                 name: "platoons",
-                reason: format!(
-                    "the model supports 2 to 8 platoons, got {}",
-                    self.platoons
-                ),
+                reason: format!("the model supports 2 to 8 platoons, got {}", self.platoons),
             });
         }
         self.maneuver_rates.validate()?;
@@ -373,7 +370,10 @@ mod tests {
         assert!(Params::builder().lambda(0.0).build().is_err());
         assert!(Params::builder().n(0).build().is_err());
         assert!(Params::builder().n(100).build().is_err());
-        assert!(Params::builder().maneuver_base_failure(1.0).build().is_err());
+        assert!(Params::builder()
+            .maneuver_base_failure(1.0)
+            .build()
+            .is_err());
         assert!(Params::builder().impairment_penalty(-0.1).build().is_err());
         assert!(Params::builder().join_rate(f64::NAN).build().is_err());
         let mut rates = ManeuverRates::nominal();

@@ -45,9 +45,7 @@ impl CatastrophicSituation {
             CatastrophicSituation::St1 => counts.a >= 2,
             CatastrophicSituation::St2 => {
                 counts.a >= 1
-                    && (counts.b >= 2
-                        || (counts.b >= 1 && counts.c >= 1)
-                        || counts.c >= 3)
+                    && (counts.b >= 2 || (counts.b >= 1 && counts.c >= 1) || counts.c >= 3)
             }
             CatastrophicSituation::St3 => counts.b + counts.c >= 4,
         }
@@ -143,8 +141,14 @@ mod tests {
     #[test]
     fn safe_boundary_states() {
         // The largest non-catastrophic configurations.
-        for counts in [sc(0, 0, 0), sc(1, 0, 0), sc(1, 1, 0), sc(1, 0, 2), sc(0, 3, 0), sc(0, 1, 2)]
-        {
+        for counts in [
+            sc(0, 0, 0),
+            sc(1, 0, 0),
+            sc(1, 1, 0),
+            sc(1, 0, 2),
+            sc(0, 3, 0),
+            sc(0, 1, 2),
+        ] {
             assert!(!is_catastrophic(counts), "{counts:?} should be safe");
         }
     }

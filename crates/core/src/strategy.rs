@@ -190,10 +190,7 @@ mod tests {
                     for other in 0..=12 {
                         let inv = involved_vehicles(m, s, own, other);
                         assert!(inv >= 1);
-                        assert!(
-                            inv <= own + other,
-                            "{m} {s} own={own} other={other}: {inv}"
-                        );
+                        assert!(inv <= own + other, "{m} {s} own={own} other={other}: {inv}");
                     }
                 }
             }
@@ -227,10 +224,7 @@ mod tests {
         let weighted = |s: Strategy| -> f64 {
             crate::FailureMode::ALL
                 .iter()
-                .map(|fm| {
-                    fm.rate_multiplier()
-                        * involved_vehicles(fm.maneuver(), s, 10, 10) as f64
-                })
+                .map(|fm| fm.rate_multiplier() * involved_vehicles(fm.maneuver(), s, 10, 10) as f64)
                 .sum()
         };
         let inter_effect = weighted(Strategy::Cd) - weighted(Strategy::Dd);

@@ -53,11 +53,7 @@ fn san_model_matches_agent_simulator() {
 #[test]
 fn san_model_matches_exact_ctmc_for_n1() {
     // n = 1: two single-vehicle platoons — small enough to enumerate.
-    let params = Params::builder()
-        .lambda(0.1)
-        .n(1)
-        .build()
-        .unwrap();
+    let params = Params::builder().lambda(0.1).n(1).build().unwrap();
     let model = AhsModel::build(&params).unwrap();
     let ko = model.handles().ko_total;
 

@@ -30,9 +30,7 @@ fn check_invariants(model: &AhsModel, m: &Marking) -> Result<(), String> {
     let mut members: Vec<Vec<i64>> = vec![Vec::new(); platoons];
 
     for (v, vp) in h.vehicles.iter().enumerate() {
-        let marked: Vec<usize> = (0..6)
-            .filter(|&s| m.is_marked(vp.maneuvers[s]))
-            .collect();
+        let marked: Vec<usize> = (0..6).filter(|&s| m.is_marked(vp.maneuvers[s])).collect();
         if marked.len() > 1 {
             return Err(format!("vehicle {v} has {} active maneuvers", marked.len()));
         }
@@ -136,7 +134,7 @@ proptest! {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut m = san.initial_marking().clone();
         san.stabilize(&mut m, &mut rng).unwrap();
-        check_invariants(&model, &m).map_err(|e| TestCaseError::fail(e))?;
+        check_invariants(&model, &m).map_err(TestCaseError::fail)?;
 
         for step in 0..steps {
             let enabled = san.enabled_timed(&m);

@@ -105,6 +105,99 @@ impl<S: Clone + Eq + Hash> StateSpace<S> {
         })
     }
 
+    /// Explores the reachable state space like
+    /// [`StateSpace::explore`], but *truncates* instead of failing when
+    /// the budget is exceeded: successors that would create a state
+    /// beyond `max_states` are dropped, and the returned flag reports
+    /// whether exploration was `complete` (`true`) or truncated
+    /// (`false`).
+    ///
+    /// A truncated space is a sound under-approximation of
+    /// reachability: every state in it is genuinely reachable, but
+    /// transitions out of the kept set (and anything beyond) are
+    /// absent. This is the form the `ahs-lint` reachability passes
+    /// consume — a partial answer with an explicit "incomplete" marker
+    /// beats an all-or-nothing error for diagnostics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidRate`] on a negative or non-finite
+    /// rate.
+    pub fn explore_truncated<M>(model: &M, max_states: usize) -> Result<(Self, bool), CtmcError>
+    where
+        M: MarkovModel<State = S>,
+    {
+        let mut index: HashMap<S, usize> = HashMap::new();
+        let mut states: Vec<S> = Vec::new();
+        let mut initial_pairs: Vec<(usize, f64)> = Vec::new();
+        let mut complete = true;
+
+        for (s, p) in model.initial_states() {
+            let i = match index.get(&s) {
+                Some(&i) => i,
+                None if states.len() < max_states => {
+                    let i = states.len();
+                    index.insert(s.clone(), i);
+                    states.push(s);
+                    i
+                }
+                None => {
+                    complete = false;
+                    continue;
+                }
+            };
+            initial_pairs.push((i, p));
+        }
+
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+        let mut frontier = 0usize;
+        while frontier < states.len() {
+            let state = states[frontier].clone();
+            for (succ, rate) in model.transitions(&state) {
+                if !rate.is_finite() || rate < 0.0 {
+                    return Err(CtmcError::InvalidRate { rate });
+                }
+                if rate == 0.0 {
+                    continue;
+                }
+                let j = match index.get(&succ) {
+                    Some(&j) => j,
+                    None if states.len() < max_states => {
+                        let j = states.len();
+                        index.insert(succ.clone(), j);
+                        states.push(succ);
+                        j
+                    }
+                    None => {
+                        complete = false;
+                        continue;
+                    }
+                };
+                if j != frontier {
+                    triplets.push((frontier, j, rate));
+                }
+            }
+            frontier += 1;
+        }
+
+        let n = states.len();
+        let rates = SparseMatrix::from_triplets(n, triplets);
+        let exit_rates = rates.row_sums();
+        let mut initial = vec![0.0; n];
+        for (i, p) in initial_pairs {
+            initial[i] += p;
+        }
+        Ok((
+            StateSpace {
+                states,
+                initial,
+                rates,
+                exit_rates,
+            },
+            complete,
+        ))
+    }
+
     /// Number of states.
     pub fn len(&self) -> usize {
         self.states.len()
@@ -164,7 +257,7 @@ impl<S: Clone + Eq + Hash> StateSpace<S> {
         F: Fn(&S) -> bool,
     {
         let n = self.len();
-        let absorb: Vec<bool> = self.states.iter().map(|s| pred(s)).collect();
+        let absorb: Vec<bool> = self.states.iter().map(pred).collect();
         let triplets = (0..n)
             .filter(|&r| !absorb[r])
             .flat_map(|r| self.rates.row(r).map(move |(c, v)| (r, c, v)))
@@ -210,7 +303,11 @@ mod tests {
 
     #[test]
     fn explores_full_chain() {
-        let m = BirthDeath { cap: 5, lambda: 1.0, mu: 2.0 };
+        let m = BirthDeath {
+            cap: 5,
+            lambda: 1.0,
+            mu: 2.0,
+        };
         let space = StateSpace::explore(&m, 100).unwrap();
         assert_eq!(space.len(), 6);
         assert_eq!(space.initial()[0], 1.0);
@@ -222,7 +319,11 @@ mod tests {
 
     #[test]
     fn budget_enforced() {
-        let m = BirthDeath { cap: 1000, lambda: 1.0, mu: 1.0 };
+        let m = BirthDeath {
+            cap: 1000,
+            lambda: 1.0,
+            mu: 1.0,
+        };
         assert!(matches!(
             StateSpace::explore(&m, 10),
             Err(CtmcError::StateSpaceTooLarge { budget: 10 })
@@ -231,7 +332,11 @@ mod tests {
 
     #[test]
     fn absorbing_removes_outflow() {
-        let m = BirthDeath { cap: 3, lambda: 1.0, mu: 1.0 };
+        let m = BirthDeath {
+            cap: 3,
+            lambda: 1.0,
+            mu: 1.0,
+        };
         let space = StateSpace::explore(&m, 100).unwrap();
         let abs = space.absorbing(|&s| s == 3);
         let idx3 = abs.states().iter().position(|&s| s == 3).unwrap();

@@ -55,7 +55,7 @@ where
     F: Fn(&S) -> bool,
 {
     let n = space.len();
-    let is_target: Vec<bool> = space.states().iter().map(|s| target(s)).collect();
+    let is_target: Vec<bool> = space.states().iter().map(target).collect();
 
     // Identify states that can reach the target (backward reachability
     // over the rate graph); the rest have infinite hitting time.
@@ -181,17 +181,28 @@ mod tests {
 
     #[test]
     fn single_component_mttf_is_inverse_rate() {
-        let m = FailRepair { fail: 0.25, repair: 1.0, components: 1 };
+        let m = FailRepair {
+            fail: 0.25,
+            repair: 1.0,
+            components: 1,
+        };
         let space = crate::StateSpace::explore(&m, 10).unwrap();
-        let mttf =
-            expected_hitting_time_from_start(&space, |&s| s == 1, 1e-12, 100_000).unwrap();
+        let mttf = expected_hitting_time_from_start(&space, |&s| s == 1, 1e-12, 100_000).unwrap();
         assert!((mttf - 4.0).abs() < 1e-9);
     }
 
     #[test]
     fn repair_extends_the_mttf() {
-        let no_repair = FailRepair { fail: 1.0, repair: 0.0, components: 2 };
-        let with_repair = FailRepair { fail: 1.0, repair: 5.0, components: 2 };
+        let no_repair = FailRepair {
+            fail: 1.0,
+            repair: 0.0,
+            components: 2,
+        };
+        let with_repair = FailRepair {
+            fail: 1.0,
+            repair: 5.0,
+            components: 2,
+        };
         let s1 = crate::StateSpace::explore(&no_repair, 10).unwrap();
         let s2 = crate::StateSpace::explore(&with_repair, 10).unwrap();
         let t1 = expected_hitting_time_from_start(&s1, |&s| s == 2, 1e-12, 100_000).unwrap();

@@ -19,7 +19,10 @@ impl SparseMatrix {
     /// # Panics
     ///
     /// Panics if any coordinate is out of range.
-    pub fn from_triplets(n: usize, triplets: impl IntoIterator<Item = (usize, usize, f64)>) -> Self {
+    pub fn from_triplets(
+        n: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Self {
         let mut per_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
         for (r, c, v) in triplets {
             assert!(r < n && c < n, "triplet ({r}, {c}) out of range for n={n}");
@@ -87,8 +90,7 @@ impl SparseMatrix {
         assert_eq!(x.len(), self.n, "input length mismatch");
         assert_eq!(out.len(), self.n, "output length mismatch");
         out.fill(0.0);
-        for r in 0..self.n {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
@@ -101,7 +103,9 @@ impl SparseMatrix {
     /// Sum of each row (diagnostic: rows of a stochastic matrix sum to
     /// 1).
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.n).map(|r| self.row(r).map(|(_, v)| v).sum()).collect()
+        (0..self.n)
+            .map(|r| self.row(r).map(|(_, v)| v).sum())
+            .collect()
     }
 }
 
@@ -111,7 +115,10 @@ mod tests {
 
     #[test]
     fn triplets_build_and_dedupe() {
-        let m = SparseMatrix::from_triplets(3, vec![(0, 1, 2.0), (0, 1, 3.0), (2, 0, 1.0), (1, 1, 0.0)]);
+        let m = SparseMatrix::from_triplets(
+            3,
+            vec![(0, 1, 2.0), (0, 1, 3.0), (2, 0, 1.0), (1, 1, 0.0)],
+        );
         assert_eq!(m.n(), 3);
         assert_eq!(m.nnz(), 2);
         let row0: Vec<_> = m.row(0).collect();

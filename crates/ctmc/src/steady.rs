@@ -37,11 +37,7 @@ pub fn steady_state<S: Clone + Eq + Hash>(
         for v in &mut next {
             *v /= norm;
         }
-        residual = pi
-            .iter()
-            .zip(next.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        residual = pi.iter().zip(next.iter()).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut pi, &mut next);
         if residual < tol {
             return Ok(pi);
@@ -119,7 +115,11 @@ mod tests {
 
     #[test]
     fn non_convergence_reported() {
-        let m = Mm1k { lambda: 1.0, mu: 3.0, k: 50 };
+        let m = Mm1k {
+            lambda: 1.0,
+            mu: 3.0,
+            k: 50,
+        };
         let space = crate::StateSpace::explore(&m, 100).unwrap();
         // One iteration cannot converge on a 51-state chain.
         assert!(matches!(

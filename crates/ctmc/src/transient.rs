@@ -18,7 +18,10 @@ use crate::sparse::SparseMatrix;
 /// Panics if `lambda` is negative or non-finite, or `tol` is not in
 /// `(0, 1)`.
 pub fn poisson_weights(lambda: f64, tol: f64) -> (usize, Vec<f64>) {
-    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be non-negative");
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "lambda must be non-negative"
+    );
     assert!(tol > 0.0 && tol < 1.0, "tolerance must be in (0, 1)");
     if lambda == 0.0 {
         return (0, vec![1.0]);
@@ -159,9 +162,7 @@ mod tests {
                 // Compare a few entries with the direct formula.
                 for (i, &wi) in w.iter().enumerate() {
                     let k = left + i;
-                    let direct = (-lam + (k as f64) * lam.ln()
-                        - ln_factorial(k))
-                    .exp();
+                    let direct = (-lam + (k as f64) * lam.ln() - ln_factorial(k)).exp();
                     assert!(
                         (wi - direct).abs() < 1e-9,
                         "λ={lam} k={k}: {wi} vs {direct}"
@@ -185,16 +186,16 @@ mod tests {
     #[test]
     fn two_state_availability_matches_closed_form() {
         let (lam, mu) = (1.0, 4.0);
-        let m = TwoState { fail: lam, repair: mu };
+        let m = TwoState {
+            fail: lam,
+            repair: mu,
+        };
         let space = crate::StateSpace::explore(&m, 10).unwrap();
         for &t in &[0.0, 0.1, 0.5, 2.0, 10.0] {
             let pi = transient_distribution(&space, t, 1e-12);
             let p_down = space.probability(&pi, |s| !*s);
             let exact = lam / (lam + mu) * (1.0 - (-(lam + mu) * t).exp());
-            assert!(
-                (p_down - exact).abs() < 1e-9,
-                "t={t}: {p_down} vs {exact}"
-            );
+            assert!((p_down - exact).abs() < 1e-9, "t={t}: {p_down} vs {exact}");
             let total: f64 = pi.iter().sum();
             assert!((total - 1.0).abs() < 1e-9);
         }
@@ -204,7 +205,10 @@ mod tests {
     fn large_qt_does_not_underflow() {
         // Rates of 500/h over t=10 → qt ≈ 5100, where naive e^{-qt}
         // underflows to zero.
-        let m = TwoState { fail: 500.0, repair: 500.0 };
+        let m = TwoState {
+            fail: 500.0,
+            repair: 500.0,
+        };
         let space = crate::StateSpace::explore(&m, 10).unwrap();
         let pi = transient_distribution(&space, 10.0, 1e-10);
         let p_down = space.probability(&pi, |s| !*s);
@@ -214,7 +218,10 @@ mod tests {
     #[test]
     fn first_passage_via_absorbing_chain() {
         // Pure failure chain: up -> down at rate λ; absorbing at down.
-        let m = TwoState { fail: 0.3, repair: 100.0 };
+        let m = TwoState {
+            fail: 0.3,
+            repair: 100.0,
+        };
         let space = crate::StateSpace::explore(&m, 10).unwrap();
         let abs = space.absorbing(|s| !*s);
         let pi = transient_distribution(&abs, 2.0, 1e-12);

@@ -104,11 +104,7 @@ fn ctmc_matches_importance_sampling_in_rare_regime() {
         .with_fixed_replications(150_000)
         .with_threads(4);
     let est = study
-        .first_passage(
-            move |m| m.is_marked(ko),
-            &grid,
-            Backend::BiasedMarkov(bias),
-        )
+        .first_passage(move |m| m.is_marked(ko), &grid, Backend::BiasedMarkov(bias))
         .unwrap();
     let pt = &est.curve.points(0.999)[0];
     let rel = (pt.y - numeric).abs() / numeric;

@@ -42,8 +42,11 @@ use ahs_san::{ActivityId, Marking};
 #[derive(Clone, Default)]
 pub struct BiasScheme {
     multipliers: HashMap<usize, f64>,
-    state_factor: Option<Arc<dyn Fn(&Marking) -> f64 + Send + Sync>>,
+    state_factor: Option<Arc<StateFactorFn>>,
 }
+
+/// Marking-dependent bias multiplier applied on top of per-activity ones.
+type StateFactorFn = dyn Fn(&Marking) -> f64 + Send + Sync;
 
 impl std::fmt::Debug for BiasScheme {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

@@ -49,12 +49,7 @@ impl<'m> EventDrivenSimulator<'m> {
         self.model
     }
 
-    fn sample_delay<R: Rng + ?Sized>(
-        &self,
-        a: ActivityId,
-        marking: &Marking,
-        rng: &mut R,
-    ) -> f64 {
+    fn sample_delay<R: Rng + ?Sized>(&self, a: ActivityId, marking: &Marking, rng: &mut R) -> f64 {
         match self.model.activity(a).timing() {
             Timing::Timed(d) => d.sample(marking, rng),
             Timing::Instantaneous { .. } => {
@@ -446,7 +441,10 @@ mod tests {
         let q = b.place("q").unwrap();
         b.timed_activity(
             "step",
-            Delay::Weibull { shape: 1.0, scale: 0.5 },
+            Delay::Weibull {
+                shape: 1.0,
+                scale: 0.5,
+            },
         )
         .unwrap()
         .input_place(p)

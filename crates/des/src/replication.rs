@@ -481,11 +481,7 @@ mod tests {
             .unwrap();
         for (pt, &t) in est.curve.points(0.95).iter().zip(grid.points()) {
             let truth = 0.2 * (1.0 - (-5.0_f64 * t).exp());
-            assert!(
-                (pt.y - truth).abs() < 0.015,
-                "t={t}: {} vs {truth}",
-                pt.y
-            );
+            assert!((pt.y - truth).abs() < 0.015, "t={t}: {} vs {truth}", pt.y);
         }
     }
 
@@ -499,7 +495,9 @@ mod tests {
             .build()
             .unwrap();
         let model = b.build().unwrap();
-        let study = Study::new(model).with_fixed_replications(10).with_threads(2);
+        let study = Study::new(model)
+            .with_fixed_replications(10)
+            .with_threads(2);
         let grid = TimeGrid::new(vec![1.0]);
         let err = study
             .first_passage(|_| false, &grid, Backend::Markov)

@@ -50,9 +50,14 @@ use crate::EventDrivenSimulator;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct RewardSpec {
-    rate: Option<Box<dyn Fn(&Marking) -> f64 + Send + Sync>>,
-    impulse: Option<Box<dyn Fn(ActivityId, &Marking) -> f64 + Send + Sync>>,
+    rate: Option<Box<RateFn>>,
+    impulse: Option<Box<ImpulseFn>>,
 }
+
+/// Rate-reward component: evaluated on the current marking.
+type RateFn = dyn Fn(&Marking) -> f64 + Send + Sync;
+/// Impulse-reward component: evaluated when an activity fires.
+type ImpulseFn = dyn Fn(ActivityId, &Marking) -> f64 + Send + Sync;
 
 impl RewardSpec {
     /// A pure rate reward: `∫ f(X(t)) dt`.
@@ -330,7 +335,9 @@ mod tests {
     fn both_backends_agree() {
         let (model, down) = repairable(0.7, 2.0);
         let spec1 = RewardSpec::rate(move |m| f64::from(u8::from(m.is_marked(down))));
-        let study = RewardStudy::new(model).with_seed(4).with_replications(4_000);
+        let study = RewardStudy::new(model)
+            .with_seed(4)
+            .with_replications(4_000);
         let a = study.estimate(&spec1, 30.0, Backend::Markov).unwrap();
         let b = study.estimate(&spec1, 30.0, Backend::EventDriven).unwrap();
         let ci_a = a.confidence_interval(0.99);

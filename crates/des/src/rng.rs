@@ -8,8 +8,7 @@ use rand::SeedableRng;
 /// pairs always yield the same stream, making studies reproducible
 /// regardless of how replications are scheduled across threads.
 pub fn split_seed(master: u64, index: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index.wrapping_add(1)));
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -39,7 +38,9 @@ mod tests {
     fn different_indices_differ() {
         let mut a = replication_rng(42, 0);
         let mut b = replication_rng(42, 1);
-        let same = (0..16).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..16)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert!(same < 2);
     }
 

@@ -149,8 +149,7 @@ impl SplittingStudy {
         };
 
         // Entry states of the current stage: (marking, entry time).
-        let mut entries: Vec<(Marking, f64)> =
-            vec![(self.model.initial_marking().clone(), 0.0)];
+        let mut entries: Vec<(Marking, f64)> = vec![(self.model.initial_marking().clone(), 0.0)];
         assert!(
             level_of(self.model.initial_marking()) < target_level,
             "initial marking is already at or above the target level"

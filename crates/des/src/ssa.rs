@@ -60,10 +60,7 @@ impl<'m> MarkovSimulator<'m> {
     /// non-exponential delay.
     pub fn new(model: &'m SanModel) -> Result<Self, SimError> {
         for &a in model.timed_activities() {
-            if model
-                .exponential_rate(a, model.initial_marking())
-                .is_none()
-            {
+            if model.exponential_rate(a, model.initial_marking()).is_none() {
                 // Distinguish "not exponential" from marking-dependent
                 // rates (which evaluate fine on any marking).
                 if !matches!(
@@ -134,8 +131,14 @@ impl<'m> MarkovSimulator<'m> {
         R: Rng + ?Sized,
         F: Fn(&Marking) -> bool,
     {
-        self.run_first_passage_from(self.model.initial_marking().clone(), 0.0, target, horizon, rng)
-            .map(|(outcome, _)| outcome)
+        self.run_first_passage_from(
+            self.model.initial_marking().clone(),
+            0.0,
+            target,
+            horizon,
+            rng,
+        )
+        .map(|(outcome, _)| outcome)
     }
 
     /// Runs one replication from an explicit starting state `(marking,
@@ -384,10 +387,7 @@ impl<'m> MarkovSimulator<'m> {
         let mut rates = Vec::with_capacity(8);
         let mut total_true = 0.0;
         let mut total_biased = 0.0;
-        let state_factor = self
-            .bias
-            .as_ref()
-            .map_or(1.0, |b| b.state_factor(marking));
+        let state_factor = self.bias.as_ref().map_or(1.0, |b| b.state_factor(marking));
         for &a in &self.timed {
             if !self.model.is_enabled(a, marking) {
                 continue;
@@ -523,9 +523,7 @@ mod tests {
         let mut mean_w = 0.0;
         let n = 50_000;
         for _ in 0..n {
-            let out = sim
-                .run_first_passage(|_| false, 1.0, &mut rng)
-                .unwrap();
+            let out = sim.run_first_passage(|_| false, 1.0, &mut rng).unwrap();
             mean_w += out.final_weight;
         }
         mean_w /= f64::from(n);

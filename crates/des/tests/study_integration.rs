@@ -92,7 +92,9 @@ fn state_dependent_bias_is_unbiased() {
         .with_seed(32)
         .with_fixed_replications(80_000)
         .with_threads(2);
-    let plain = study.first_passage(&target, &grid, Backend::Markov).unwrap();
+    let plain = study
+        .first_passage(&target, &grid, Backend::Markov)
+        .unwrap();
     let dynamic = study
         .first_passage(&target, &grid, Backend::BiasedMarkov(scheme))
         .unwrap();

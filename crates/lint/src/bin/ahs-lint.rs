@@ -1,0 +1,223 @@
+//! `ahs-lint` — lint SAN models from the command line.
+//!
+//! ```text
+//! ahs-lint [MODEL...] [--format text|json] [--n N] [--platoons P]
+//!          [--max-states S] [--max-samples K] [--allow PATTERN]... [--list]
+//! ```
+//!
+//! `MODEL` is one of the four paper strategies (`dd`, `dc`, `cd`, `cc`),
+//! `all` (the default: every strategy), `clean-demo`, or one of the
+//! deliberately broken fixtures (`broken-case-sum`, `broken-orphan`,
+//! `broken-rate`, `broken-gate`).
+//!
+//! Exit code: `0` when no model produced an error-severity diagnostic,
+//! `1` when at least one did, `2` on usage errors. Warnings and notes
+//! never affect the exit code — this is what the CI gate runs.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use ahs_core::{AhsModel, Params, Strategy};
+use ahs_lint::{fixtures, LintConfig, Linter};
+use ahs_san::SanModel;
+
+/// Best-effort stdout line: `println!` panics (exit 101) when the
+/// reader closes the pipe early (`ahs-lint … | head`); a lint report cut
+/// short is not an error.
+macro_rules! outln {
+    ($($fmt:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($fmt)*);
+    };
+}
+
+const USAGE: &str = "\
+ahs-lint — static model verification for AHS stochastic activity networks
+
+usage: ahs-lint [MODEL...] [flags]
+
+models:
+  dd | dc | cd | cc   one composed AHS strategy model
+  all                 every strategy model (default)
+  clean-demo          small model with no defects
+  broken-case-sum     marking-dependent case probabilities summing to 0.9
+  broken-orphan       place no arc or gate can touch
+  broken-rate         marking-dependent rate that goes negative
+  broken-gate         impure predicate gate + undeclared gate access
+
+flags:
+  --format F          text (default) or json (one report object per line)
+  --n N               vehicles per platoon for strategy models (default 2)
+  --platoons P        number of platoons, 2..=8 (default 2)
+  --max-states S      reachability state budget (default 4096)
+  --max-samples K     per-element marking sample cap (default 256)
+  --allow PATTERN     extra allowlisted absorbing place-name substring
+                      (strategy models always allow v_KO and KO_total)
+  --no-default-allow  drop the built-in v_KO/KO_total allowlist
+  --list              list model names and exit
+
+exit code: 0 = no errors, 1 = at least one error diagnostic, 2 = usage";
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses arguments, lints every requested model, prints the reports.
+/// Returns `Ok(true)` when no error-severity diagnostic was produced.
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut models: Vec<String> = Vec::new();
+    let mut format = Format::Text;
+    let mut n = 2usize;
+    let mut platoons = 2usize;
+    let mut max_states = LintConfig::default().max_states;
+    let mut max_samples = LintConfig::default().max_samples;
+    let mut extra_allow: Vec<String> = Vec::new();
+    let mut default_allow = true;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" | "help" => {
+                outln!("{USAGE}");
+                return Ok(true);
+            }
+            "--list" => {
+                for name in MODEL_NAMES {
+                    outln!("{name}");
+                }
+                return Ok(true);
+            }
+            "--format" => {
+                format = match next_value(&mut it, "--format")? {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--n" => n = parse(next_value(&mut it, "--n")?, "--n")?,
+            "--platoons" => platoons = parse(next_value(&mut it, "--platoons")?, "--platoons")?,
+            "--max-states" => {
+                max_states = parse(next_value(&mut it, "--max-states")?, "--max-states")?;
+            }
+            "--max-samples" => {
+                max_samples = parse(next_value(&mut it, "--max-samples")?, "--max-samples")?;
+            }
+            "--allow" => extra_allow.push(next_value(&mut it, "--allow")?.to_owned()),
+            "--no-default-allow" => default_allow = false,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            name => models.push(name.to_ascii_lowercase()),
+        }
+    }
+    if models.is_empty() || models.iter().any(|m| m == "all") {
+        models = vec!["dd".into(), "dc".into(), "cd".into(), "cc".into()];
+    }
+
+    let mut any_error = false;
+    for name in &models {
+        let (model, is_strategy) = build_model(name, n, platoons)?;
+        let mut allowlist = extra_allow.clone();
+        if is_strategy && default_allow {
+            allowlist.extend(LintConfig::ahs_allowlist());
+        }
+        let linter = Linter::with_config(LintConfig {
+            max_states,
+            max_samples,
+            absorbing_allowlist: allowlist,
+            ..LintConfig::default()
+        });
+        let mut report = linter.lint(&model);
+        // All four strategy variants build a SAN called "ahs"; label the
+        // report with the CLI key so `all --format json` stays tellable
+        // apart.
+        report.model = name.clone();
+        match format {
+            Format::Text => {
+                outln!("{report}\n");
+            }
+            Format::Json => {
+                outln!("{}", report.to_json());
+            }
+        }
+        any_error |= report.has_errors();
+    }
+    Ok(!any_error)
+}
+
+#[derive(Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+}
+
+const MODEL_NAMES: [&str; 10] = [
+    "dd",
+    "dc",
+    "cd",
+    "cc",
+    "all",
+    "clean-demo",
+    "broken-case-sum",
+    "broken-orphan",
+    "broken-rate",
+    "broken-gate",
+];
+
+/// Builds the named model; the flag says whether it is an AHS strategy
+/// model (and should get the default sink allowlist).
+fn build_model(name: &str, n: usize, platoons: usize) -> Result<(SanModel, bool), String> {
+    let strategy = match name {
+        "dd" => Some(Strategy::Dd),
+        "dc" => Some(Strategy::Dc),
+        "cd" => Some(Strategy::Cd),
+        "cc" => Some(Strategy::Cc),
+        _ => None,
+    };
+    if let Some(strategy) = strategy {
+        let params = Params::builder()
+            .n(n)
+            .platoons(platoons)
+            .strategy(strategy)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let (san, _) = AhsModel::build(&params)
+            .map_err(|e| format!("building `{name}`: {e}"))?
+            .into_san();
+        return Ok((san, true));
+    }
+    let model = match name {
+        "clean-demo" => fixtures::clean_demo(),
+        "broken-case-sum" => fixtures::broken_case_sum(),
+        "broken-orphan" => fixtures::broken_orphan(),
+        "broken-rate" => fixtures::broken_rate(),
+        "broken-gate" => fixtures::broken_gate(),
+        other => return Err(format!("unknown model `{other}` (try --list)")),
+    };
+    Ok((model, false))
+}
+
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| format!("flag {flag} expects a value"))
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| format!("invalid value `{value}` for {flag}: {e}"))
+}

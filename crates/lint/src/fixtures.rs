@@ -1,0 +1,147 @@
+//! Deliberately broken (and one clean) demonstration models.
+//!
+//! These back the `ahs-lint` CLI's `broken-*` model names and the
+//! crate's integration tests: each fixture triggers exactly one family
+//! of defect, so `ahs-lint broken-rate` is a one-command demo of the
+//! delay-sanity pass — and a CI canary that the pass still fires.
+
+use ahs_san::{Delay, SanBuilder, SanModel};
+
+/// A small, fully lint-clean model: a failure/repair cycle with a
+/// declared bookkeeping gate. Linting it (with no allowlist) yields no
+/// diagnostics at all.
+pub fn clean_demo() -> SanModel {
+    let mut b = SanBuilder::new("clean-demo");
+    let up = b.place_with_tokens("up", 1).expect("fresh builder");
+    let down = b.place("down").expect("fresh builder");
+    let failures = b.place("failures").expect("fresh builder");
+    // Saturating counter keeps the state space finite, so exploration
+    // completes and the linter can certify the model outright.
+    let count = b.output_gate_touching("count_failure", [failures], move |m| {
+        if m.tokens(failures) < 5 {
+            m.add_tokens(failures, 1);
+        }
+    });
+    b.timed_activity("fail", Delay::exponential(1e-3))
+        .expect("fresh name")
+        .input_place(up)
+        .output_place(down)
+        .output_gate(count)
+        .build()
+        .expect("valid activity");
+    b.timed_activity("repair", Delay::exponential(0.5))
+        .expect("fresh name")
+        .input_place(down)
+        .output_place(up)
+        .build()
+        .expect("valid activity");
+    b.build().expect("clean model builds")
+}
+
+/// Case-probability defect: a marking-dependent case distribution that
+/// sums to 0.9 in every marking. The builder cannot see through the
+/// closures; the linter samples reachable markings and reports it.
+pub fn broken_case_sum() -> SanModel {
+    let mut b = SanBuilder::new("broken-case-sum");
+    let ready = b.place_with_tokens("ready", 1).expect("fresh builder");
+    let ok = b.place("ok").expect("fresh builder");
+    let ko = b.place("ko").expect("fresh builder");
+    b.timed_activity("maneuver", Delay::exponential(1.0))
+        .expect("fresh name")
+        .input_place(ready)
+        .case_fn(|_| 0.6)
+        .output_place(ok)
+        .case_fn(|_| 0.3)
+        .output_place(ko)
+        .build()
+        .expect("builder accepts opaque cases");
+    b.timed_activity("reset_ok", Delay::exponential(1.0))
+        .expect("fresh name")
+        .input_place(ok)
+        .output_place(ready)
+        .build()
+        .expect("valid activity");
+    b.timed_activity("reset_ko", Delay::exponential(1.0))
+        .expect("fresh name")
+        .input_place(ko)
+        .output_place(ready)
+        .build()
+        .expect("valid activity");
+    b.build().expect("model builds")
+}
+
+/// Structural defect: a place nothing can ever touch — no arc reaches
+/// it and the model has no gates that could.
+pub fn broken_orphan() -> SanModel {
+    let mut b = SanBuilder::new("broken-orphan");
+    let p = b.place_with_tokens("p", 1).expect("fresh builder");
+    let q = b.place("q").expect("fresh builder");
+    b.place("forgotten").expect("fresh builder");
+    b.timed_activity("pq", Delay::exponential(1.0))
+        .expect("fresh name")
+        .input_place(p)
+        .output_place(q)
+        .build()
+        .expect("valid activity");
+    b.timed_activity("qp", Delay::exponential(1.0))
+        .expect("fresh name")
+        .input_place(q)
+        .output_place(p)
+        .build()
+        .expect("valid activity");
+    b.build().expect("model builds")
+}
+
+/// Delay defect: a marking-dependent exponential rate that goes
+/// negative in a reachable marking (classic off-by-one in a
+/// load-proportional rate).
+pub fn broken_rate() -> SanModel {
+    let mut b = SanBuilder::new("broken-rate");
+    let slots = b.place_with_tokens("slots", 2).expect("fresh builder");
+    let used = b.place("used").expect("fresh builder");
+    b.timed_activity(
+        "claim",
+        Delay::exponential_fn(move |m| m.tokens(slots) as f64 - 3.0),
+    )
+    .expect("fresh name")
+    .input_place(slots)
+    .output_place(used)
+    .build()
+    .expect("valid activity");
+    b.timed_activity("release", Delay::exponential(1.0))
+        .expect("fresh name")
+        .input_place(used)
+        .output_place(slots)
+        .build()
+        .expect("valid activity");
+    b.build().expect("model builds")
+}
+
+/// Gate defect: an input gate that claims purity but mutates the
+/// marking, and an output gate that strays outside its declared touch
+/// set.
+pub fn broken_gate() -> SanModel {
+    let mut b = SanBuilder::new("broken-gate");
+    let p = b.place_with_tokens("p", 1).expect("fresh builder");
+    let audit = b.place("audit").expect("fresh builder");
+    let hidden = b.place("hidden").expect("fresh builder");
+    let guard = b.input_gate(
+        "impure_guard",
+        move |m| m.tokens(audit) < 4,
+        move |m| m.add_tokens(audit, 1),
+    );
+    b.claim_pure_predicate(guard);
+    let og = b.output_gate_touching("leaky_logger", [audit], move |m| {
+        m.add_tokens(audit, 1);
+        m.add_tokens(hidden, 1);
+    });
+    b.timed_activity("step", Delay::exponential(1.0))
+        .expect("fresh name")
+        .input_place(p)
+        .input_gate(guard)
+        .output_place(p)
+        .output_gate(og)
+        .build()
+        .expect("valid activity");
+    b.build().expect("model builds")
+}

@@ -1,0 +1,189 @@
+//! Delay-parameter sanity pass.
+//!
+//! Constant delay parameters are validated by the builder, so by the
+//! time a model exists the remaining hazards are (a) *degenerate*
+//! zero-width delays — a "timed" activity that fires immediately, which
+//! is what instantaneous activities are for — and (b) marking-dependent
+//! exponential rates, which are opaque closures. The latter are sampled
+//! over reachable markings in which the activity is enabled: a negative
+//! or non-finite rate is an error (the simulator panics on it, the CTMC
+//! generator rejects it), a rate of exactly 0 while enabled is a
+//! warning (the CTMC backend treats it as disabled, the discrete-event
+//! backend panics — disable with a gate instead).
+
+use ahs_san::{Delay, RateFn, SanModel, Timing};
+
+use crate::diag::{Diagnostic, Severity};
+use crate::reach::ReachSet;
+use crate::LintConfig;
+
+/// Pass identifier.
+pub const NAME: &str = "delay-sanity";
+
+pub(crate) fn run(model: &SanModel, reach: &ReachSet, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for act in model.activities() {
+        let Timing::Timed(delay) = act.timing() else {
+            continue;
+        };
+        let id = model
+            .find_activity(act.name())
+            .expect("activity must resolve by name");
+
+        // Defense in depth: the builder validates constant parameters,
+        // but models can also arrive through other constructors.
+        if let Err(reason) = delay.validate() {
+            out.push(Diagnostic::new(
+                NAME,
+                Severity::Error,
+                act.name().to_owned(),
+                reason,
+            ));
+            continue;
+        }
+        if delay.is_degenerate() {
+            out.push(Diagnostic::new(
+                NAME,
+                Severity::Warning,
+                act.name().to_owned(),
+                "zero-width delay: the activity fires the instant it is enabled; \
+                 use an instantaneous activity instead",
+            ));
+        }
+
+        let Delay::Exponential(RateFn::MarkingDependent(_)) = delay else {
+            continue;
+        };
+        let mut sampled = 0usize;
+        let mut zero_seen = false;
+        for m in reach.markings() {
+            if sampled >= cfg.max_samples {
+                break;
+            }
+            if !model.is_stable(m) || !model.is_enabled(id, m) {
+                continue;
+            }
+            sampled += 1;
+            let rate = model
+                .exponential_rate(id, m)
+                .expect("exponential delay must yield a rate");
+            if !rate.is_finite() || rate < 0.0 {
+                out.push(Diagnostic::new(
+                    NAME,
+                    Severity::Error,
+                    act.name().to_owned(),
+                    format!(
+                        "marking-dependent rate evaluates to {rate} in a reachable \
+                         marking where the activity is enabled"
+                    ),
+                ));
+                break;
+            }
+            if rate == 0.0 {
+                zero_seen = true;
+            }
+        }
+        if zero_seen {
+            out.push(Diagnostic::new(
+                NAME,
+                Severity::Warning,
+                act.name().to_owned(),
+                "marking-dependent rate is 0 while the activity is enabled; the \
+                 simulation backend panics on this — disable the activity with an \
+                 input gate instead of a zero rate",
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahs_san::{Delay, SanBuilder};
+
+    fn lint(model: &SanModel) -> Vec<Diagnostic> {
+        let cfg = LintConfig::default();
+        let reach = ReachSet::explore(model, cfg.max_states);
+        run(model, &reach, &cfg)
+    }
+
+    #[test]
+    fn healthy_delays_pass() {
+        let mut b = SanBuilder::new("ok");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place("q").unwrap();
+        b.timed_activity("exp", Delay::exponential(2.0))
+            .unwrap()
+            .input_place(p)
+            .output_place(q)
+            .build()
+            .unwrap();
+        b.timed_activity("erl", Delay::Erlang { k: 3, rate: 1.0 })
+            .unwrap()
+            .input_place(q)
+            .output_place(p)
+            .build()
+            .unwrap();
+        assert!(lint(&b.build().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn negative_marking_dependent_rate_is_an_error() {
+        let mut b = SanBuilder::new("neg");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        // Rate goes negative as soon as `p` drops below 3 tokens.
+        b.timed_activity(
+            "t",
+            Delay::exponential_fn(move |m| m.tokens(p) as f64 - 3.0),
+        )
+        .unwrap()
+        .input_place(p)
+        .output_place(p)
+        .build()
+        .unwrap();
+        let diags = lint(&b.build().unwrap());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("-2"));
+    }
+
+    #[test]
+    fn zero_rate_while_enabled_is_a_warning() {
+        let mut b = SanBuilder::new("zero");
+        let p = b.place_with_tokens("p", 2).unwrap();
+        let q = b.place("q").unwrap();
+        // Rate hits exactly 0 when only one token is left.
+        b.timed_activity(
+            "t",
+            Delay::exponential_fn(move |m| m.tokens(p) as f64 - 1.0),
+        )
+        .unwrap()
+        .input_place(p)
+        .output_place(q)
+        .build()
+        .unwrap();
+        let diags = lint(&b.build().unwrap());
+        assert!(diags
+            .iter()
+            .any(|d| d.severity == Severity::Warning && d.message.contains("rate is 0")));
+        assert!(diags.iter().all(|d| d.severity != Severity::Error));
+    }
+
+    #[test]
+    fn degenerate_deterministic_delay_is_a_warning() {
+        let mut b = SanBuilder::new("degenerate");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place("q").unwrap();
+        b.timed_activity("instant_in_disguise", Delay::Deterministic(0.0))
+            .unwrap()
+            .input_place(p)
+            .output_place(q)
+            .build()
+            .unwrap();
+        let diags = lint(&b.build().unwrap());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("zero-width"));
+    }
+}

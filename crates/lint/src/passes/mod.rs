@@ -1,0 +1,29 @@
+//! The individual lint passes.
+//!
+//! Every pass has the same shape: it inspects a built [`SanModel`]
+//! (plus the shared bounded-reachability sample) and returns zero or
+//! more [`Diagnostic`]s. Passes never mutate the model and never panic
+//! on well-formed input; defects are reported, not thrown.
+//!
+//! [`SanModel`]: ahs_san::SanModel
+//! [`Diagnostic`]: crate::Diagnostic
+
+pub(crate) mod absorbing;
+pub(crate) mod case_prob;
+pub(crate) mod confusion;
+pub(crate) mod dead;
+pub(crate) mod delay_sanity;
+pub(crate) mod gate_purity;
+pub(crate) mod structure;
+
+/// Stable identifiers of every pass, in execution order. These are the
+/// `pass` values appearing in reports and are part of the JSON schema.
+pub const PASS_NAMES: [&str; 7] = [
+    structure::NAME,
+    case_prob::NAME,
+    dead::NAME,
+    absorbing::NAME,
+    confusion::NAME,
+    gate_purity::NAME,
+    delay_sanity::NAME,
+];

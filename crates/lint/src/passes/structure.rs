@@ -1,0 +1,165 @@
+//! Structural pass: orphan places and trivially degenerate activities.
+//!
+//! Wraps [`SanModel::analyze`] and refines its conservative warnings
+//! with gate-declaration knowledge: an arc-isolated place is only a
+//! hard error when *nothing* could possibly touch it — no arc, no
+//! declared gate, and no undeclared gate left to give it the benefit of
+//! the doubt.
+
+use ahs_san::SanModel;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::LintConfig;
+
+/// Pass identifier.
+pub const NAME: &str = "structure";
+
+pub(crate) fn run(model: &SanModel, _cfg: &LintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let report = model.analyze();
+
+    // Are there gates whose access set is unknown? If yes, an
+    // arc-isolated place might still be read or written by one of them.
+    let any_undeclared_gate = model
+        .input_gates()
+        .iter()
+        .any(|g| g.declared_touches().is_none())
+        || model
+            .output_gates()
+            .iter()
+            .any(|g| g.declared_touches().is_none());
+
+    for name in &report.arc_isolated_places {
+        let declared_touched = model.input_gates().iter().any(|g| {
+            g.declared_touches()
+                .is_some_and(|t| t.iter().any(|p| model.place_name(*p) == name))
+        }) || model.output_gates().iter().any(|g| {
+            g.declared_touches()
+                .is_some_and(|t| t.iter().any(|p| model.place_name(*p) == name))
+        });
+        if declared_touched {
+            // A declared gate owns the place; the gate-purity pass
+            // validates the declaration, nothing to report here.
+            continue;
+        }
+        if any_undeclared_gate {
+            out.push(Diagnostic::new(
+                NAME,
+                Severity::Warning,
+                name.clone(),
+                "place is not connected to any arc; an undeclared gate may still \
+                 use it — declare gate accesses to let the linter verify",
+            ));
+        } else {
+            out.push(Diagnostic::new(
+                NAME,
+                Severity::Error,
+                name.clone(),
+                "orphan place: no arc or gate can ever read or write it",
+            ));
+        }
+    }
+
+    for name in &report.always_enabled_activities {
+        out.push(Diagnostic::new(
+            NAME,
+            Severity::Warning,
+            name.clone(),
+            "activity has no input arcs or input gates, so it can never be disabled",
+        ));
+    }
+    for name in &report.arc_silent_activities {
+        out.push(Diagnostic::new(
+            NAME,
+            Severity::Warning,
+            name.clone(),
+            "firing this activity changes no place through arcs and it has no gates",
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ahs_san::{Delay, SanBuilder};
+
+    #[test]
+    fn orphan_place_is_an_error_without_gates() {
+        let mut b = SanBuilder::new("orphan");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        b.place("floating").unwrap();
+        b.timed_activity("t", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .output_place(p)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let diags = run(&model, &LintConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].subject, "floating");
+    }
+
+    #[test]
+    fn undeclared_gate_downgrades_orphan_to_warning() {
+        let mut b = SanBuilder::new("maybe");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let shadow = b.place("shadow").unwrap();
+        // Undeclared gate that does in fact use the "isolated" place.
+        let g = b.input_gate(
+            "g",
+            move |m| !m.is_marked(shadow),
+            move |m| {
+                m.add_tokens(shadow, 1);
+            },
+        );
+        b.timed_activity("t", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .input_gate(g)
+            .output_place(p)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let diags = run(&model, &LintConfig::default());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn declared_gate_silences_isolated_place() {
+        let mut b = SanBuilder::new("declared");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let counter = b.place("counter").unwrap();
+        let g = b.output_gate_touching("bump", [counter], move |m| {
+            m.add_tokens(counter, 1);
+        });
+        b.timed_activity("t", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .output_place(p)
+            .output_gate(g)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        assert!(run(&model, &LintConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn always_enabled_activity_flagged() {
+        let mut b = SanBuilder::new("src");
+        let q = b.place("q").unwrap();
+        b.timed_activity("spring", Delay::exponential(1.0))
+            .unwrap()
+            .output_place(q)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let diags = run(&model, &LintConfig::default());
+        assert!(diags
+            .iter()
+            .any(|d| d.subject == "spring" && d.severity == Severity::Warning));
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end tests of the `ahs-lint` binary: exit codes and output
+//! formats, driven through the real CLI like the CI gate does.
+
+use std::process::{Command, Output};
+
+fn ahs_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ahs-lint"))
+        .args(args)
+        .output()
+        .expect("ahs-lint binary runs")
+}
+
+#[test]
+fn broken_fixtures_exit_nonzero() {
+    for fixture in [
+        "broken-case-sum",
+        "broken-orphan",
+        "broken-rate",
+        "broken-gate",
+    ] {
+        let out = ahs_lint(&[fixture]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{fixture}: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn clean_demo_exits_zero() {
+    let out = ahs_lint(&["clean-demo"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn strategy_model_exits_zero() {
+    // The CI gate runs all four; one is enough to keep the test quick —
+    // the strategies share the composed model structure.
+    let out = ahs_lint(&["dd"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn strategy_model_without_allowlist_reports_the_sinks() {
+    // Dropping the built-in v_KO/KO_total allowlist must surface the
+    // intended absorbing states as deadlock errors — evidence the
+    // allowlist is what certifies them, not a blind spot.
+    let out = ahs_lint(&["dd", "--no-default-allow", "--max-states", "512"]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("absorbing"), "{text}");
+}
+
+#[test]
+fn json_report_has_schema_and_summary() {
+    let out = ahs_lint(&["broken-gate", "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let line = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"schema\":\"ahs-lint-report/v1\"",
+        "\"model\":\"broken-gate\"",
+        "\"exploration\":",
+        "\"summary\":",
+        "\"diagnostics\":[",
+        "\"pass\":\"gate-purity\"",
+        "\"severity\":\"error\"",
+    ] {
+        assert!(line.contains(needle), "missing {needle} in {line}");
+    }
+}
+
+#[test]
+fn json_schema_file_stays_in_sync() {
+    // The checked-in schema is what downstream consumers validate
+    // against; keep its pass enum and top-level keys aligned with the
+    // code. (No JSON-Schema validator is vendored, so this is a
+    // structural cross-check, not full validation.)
+    let schema = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/lint-report.schema.json"
+    ))
+    .expect("tests/lint-report.schema.json is checked in");
+    assert!(schema.contains("\"ahs-lint-report/v1\""));
+    for pass in ahs_lint::PASS_NAMES {
+        assert!(
+            schema.contains(&format!("\"{pass}\"")),
+            "schema missing pass {pass}"
+        );
+    }
+    for key in [
+        "\"model\"",
+        "\"exploration\"",
+        "\"summary\"",
+        "\"diagnostics\"",
+    ] {
+        assert!(schema.contains(key), "schema missing key {key}");
+    }
+}
+
+#[test]
+fn unknown_model_is_a_usage_error() {
+    let out = ahs_lint(&["no-such-model"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown model"));
+}
+
+#[test]
+fn list_prints_model_names() {
+    let out = ahs_lint(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["dd", "dc", "cd", "cc", "clean-demo", "broken-rate"] {
+        assert!(text.lines().any(|l| l == name), "missing {name}");
+    }
+}

@@ -61,12 +61,7 @@ mod tests {
 
     fn pair(gap: f64, v_rear: f64, v_front: f64) -> (Vehicle, Vehicle) {
         let front = Vehicle::new(VehicleId(0), Lane(0), 100.0, v_front);
-        let rear = Vehicle::new(
-            VehicleId(1),
-            Lane(0),
-            100.0 - front.length - gap,
-            v_rear,
-        );
+        let rear = Vehicle::new(VehicleId(1), Lane(0), 100.0 - front.length - gap, v_rear);
         (rear, front)
     }
 

@@ -185,10 +185,14 @@ mod tests {
     fn more_involved_vehicles_slow_the_maneuver() {
         // The centralized-coordination mechanism: more involved
         // vehicles → longer coordination → slower maneuver.
-        let mut few = DurationModel::default();
-        few.involved_vehicles = 3;
-        let mut many = DurationModel::default();
-        many.involved_vehicles = 9;
+        let few = DurationModel {
+            involved_vehicles: 3,
+            ..Default::default()
+        };
+        let many = DurationModel {
+            involved_vehicles: 9,
+            ..Default::default()
+        };
         let d_few = few.estimate(RecoveryManeuver::TakeImmediateExitEscorted, 60, 11);
         let d_many = many.estimate(RecoveryManeuver::TakeImmediateExitEscorted, 60, 11);
         assert!(d_many.mean_seconds > d_few.mean_seconds);

@@ -177,7 +177,10 @@ impl ManeuverSimulator {
     /// Panics if `metres` is not positive and finite.
     #[must_use]
     pub fn with_exit_distance(mut self, metres: f64) -> Self {
-        assert!(metres.is_finite() && metres > 0.0, "exit distance must be positive");
+        assert!(
+            metres.is_finite() && metres > 0.0,
+            "exit distance must be positive"
+        );
         self.exit_distance = metres;
         self
     }
@@ -208,9 +211,7 @@ impl ManeuverSimulator {
         // Materialize the platoon in lane 1, leader front bumper at 0.
         let mut vehicles: Vec<Vehicle> = (0..size)
             .map(|i| {
-                let pos =
-                    self.policy
-                        .member_position(0.0, i, Vehicle::DEFAULT_LENGTH);
+                let pos = self.policy.member_position(0.0, i, Vehicle::DEFAULT_LENGTH);
                 Vehicle::new(VehicleId(i as u32), Lane(1), pos, self.policy.cruise_speed)
             })
             .collect();
@@ -226,16 +227,13 @@ impl ManeuverSimulator {
             // --- phase logic for the faulty vehicle ---
             let done = match sequence.get(phase) {
                 None => true,
-                Some(AtomicManeuver::Split) => {
+                Some(AtomicManeuver::Split) if faulty_index + 1 < vehicles.len() => {
                     // Open the gap behind the faulty vehicle to the
                     // inter-platoon distance before doing anything rash.
-                    if faulty_index + 1 < vehicles.len() {
-                        let gap = vehicles[faulty_index + 1].gap_to(&vehicles[faulty_index]);
-                        gap >= self.policy.inter_gap * 0.5
-                    } else {
-                        true
-                    }
+                    let gap = vehicles[faulty_index + 1].gap_to(&vehicles[faulty_index]);
+                    gap >= self.policy.inter_gap * 0.5
                 }
+                Some(AtomicManeuver::Split) => true,
                 Some(AtomicManeuver::ChangeLane) => t - phase_start >= self.lane_change_time,
                 Some(AtomicManeuver::BrakeToStop { .. }) => vehicles[faulty_index].is_stopped(),
                 Some(AtomicManeuver::ProceedToExit { .. }) => {
@@ -283,9 +281,7 @@ impl ManeuverSimulator {
                         AtomicManeuver::ProceedToExit { speed } => {
                             self.controller.speed_command(&vehicles[i], speed)
                         }
-                        AtomicManeuver::Merge => {
-                            self.controller.speed_command(&vehicles[i], 0.0)
-                        }
+                        AtomicManeuver::Merge => self.controller.speed_command(&vehicles[i], 0.0),
                     };
                     continue;
                 }
@@ -346,7 +342,9 @@ impl ManeuverSimulator {
                 }
             }
         }
-        Err(PlatoonError::ManeuverTimeout { budget: self.budget })
+        Err(PlatoonError::ManeuverTimeout {
+            budget: self.budget,
+        })
     }
 }
 
@@ -398,7 +396,7 @@ mod tests {
         let out = sim.simulate(RecoveryManeuver::CrashStop, 5, 2).unwrap();
         let ManeuverOutcomeKind::Completed { duration, min_gap } = out;
         // 30 m/s at 6 m/s² is a 5 s stop.
-        assert!(duration >= 4.9 && duration < 60.0, "duration {duration}");
+        assert!((4.9..60.0).contains(&duration), "duration {duration}");
         assert!(min_gap >= 0.0);
     }
 
@@ -426,10 +424,14 @@ mod tests {
     fn longer_exit_distance_takes_longer() {
         let near = ManeuverSimulator::default().with_exit_distance(500.0);
         let far = ManeuverSimulator::default().with_exit_distance(1500.0);
-        let ManeuverOutcomeKind::Completed { duration: d_near, .. } = near
+        let ManeuverOutcomeKind::Completed {
+            duration: d_near, ..
+        } = near
             .simulate(RecoveryManeuver::TakeImmediateExitNormal, 4, 1)
             .unwrap();
-        let ManeuverOutcomeKind::Completed { duration: d_far, .. } = far
+        let ManeuverOutcomeKind::Completed {
+            duration: d_far, ..
+        } = far
             .simulate(RecoveryManeuver::TakeImmediateExitNormal, 4, 1)
             .unwrap();
         assert!(d_far > d_near);
@@ -455,7 +457,10 @@ mod tests {
 
     #[test]
     fn display_abbreviations() {
-        assert_eq!(RecoveryManeuver::TakeImmediateExitEscorted.to_string(), "TIE-E");
+        assert_eq!(
+            RecoveryManeuver::TakeImmediateExitEscorted.to_string(),
+            "TIE-E"
+        );
         assert_eq!(RecoveryManeuver::GentleStop.to_string(), "GS");
     }
 }

@@ -266,8 +266,14 @@ mod tests {
     #[test]
     fn invalid_split_rejected() {
         let mut p = platoon_with(3);
-        assert!(matches!(p.split_at(0), Err(PlatoonError::InvalidSplit { .. })));
-        assert!(matches!(p.split_at(3), Err(PlatoonError::InvalidSplit { .. })));
+        assert!(matches!(
+            p.split_at(0),
+            Err(PlatoonError::InvalidSplit { .. })
+        ));
+        assert!(matches!(
+            p.split_at(3),
+            Err(PlatoonError::InvalidSplit { .. })
+        ));
     }
 
     #[test]

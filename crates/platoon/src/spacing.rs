@@ -45,7 +45,10 @@ impl SpacingPolicy {
             ));
         }
         if !self.cruise_speed.is_finite() || self.cruise_speed <= 0.0 {
-            return Err(format!("cruise speed {} must be positive", self.cruise_speed));
+            return Err(format!(
+                "cruise speed {} must be positive",
+                self.cruise_speed
+            ));
         }
         Ok(())
     }
@@ -53,12 +56,7 @@ impl SpacingPolicy {
     /// Front-bumper position of member `index` (0 = leader) when the
     /// leader's front bumper is at `leader_position` and every member
     /// has length `vehicle_length`.
-    pub fn member_position(
-        &self,
-        leader_position: f64,
-        index: usize,
-        vehicle_length: f64,
-    ) -> f64 {
+    pub fn member_position(&self, leader_position: f64, index: usize, vehicle_length: f64) -> f64 {
         leader_position - index as f64 * (vehicle_length + self.intra_gap)
     }
 
@@ -75,8 +73,7 @@ impl SpacingPolicy {
     /// platoons of `n` versus free agents keeping `inter_gap`.
     pub fn capacity_ratio(&self, n: usize, vehicle_length: f64) -> f64 {
         assert!(n > 0, "capacity of an empty platoon is undefined");
-        let platooned = n as f64
-            / (self.platoon_extent(n, vehicle_length) + self.inter_gap);
+        let platooned = n as f64 / (self.platoon_extent(n, vehicle_length) + self.inter_gap);
         let free = 1.0 / (vehicle_length + self.inter_gap);
         platooned / free
     }

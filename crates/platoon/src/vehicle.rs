@@ -48,7 +48,10 @@ impl Vehicle {
     /// Panics if `speed` is negative or any input is non-finite.
     pub fn new(id: VehicleId, lane: Lane, position: f64, speed: f64) -> Self {
         assert!(position.is_finite(), "position must be finite");
-        assert!(speed.is_finite() && speed >= 0.0, "speed must be non-negative");
+        assert!(
+            speed.is_finite() && speed >= 0.0,
+            "speed must be non-negative"
+        );
         Vehicle {
             id,
             lane,

@@ -54,13 +54,17 @@ fn cooperative_braking_keeps_the_string_tight() {
     // acceleration feedforward (the communicated coordinated braking
     // of the PATH design) every follower tracks essentially exactly —
     // this is why 2 m gaps are survivable at all.
-    let errs = propagate_disturbance(8, true, |t| {
-        if (5.0..7.0).contains(&t) {
-            -3.0
-        } else {
-            0.0
-        }
-    });
+    let errs = propagate_disturbance(
+        8,
+        true,
+        |t| {
+            if (5.0..7.0).contains(&t) {
+                -3.0
+            } else {
+                0.0
+            }
+        },
+    );
     for (i, e) in errs.iter().enumerate().skip(1) {
         assert!(*e < 0.05, "CACC follower {i} gap error {e} too large");
     }
@@ -72,13 +76,17 @@ fn plain_acc_amplifies_the_disturbance_down_the_string() {
     // is string-UNSTABLE: the same braking pulse grows along the
     // string. This contrast is the classical motivation for
     // inter-vehicle communication in platooning.
-    let errs = propagate_disturbance(8, false, |t| {
-        if (5.0..7.0).contains(&t) {
-            -3.0
-        } else {
-            0.0
-        }
-    });
+    let errs = propagate_disturbance(
+        8,
+        false,
+        |t| {
+            if (5.0..7.0).contains(&t) {
+                -3.0
+            } else {
+                0.0
+            }
+        },
+    );
     assert!(errs[1] > 0.05, "disturbance must be visible at follower 1");
     assert!(
         errs[7] > errs[1],

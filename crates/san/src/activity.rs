@@ -94,6 +94,12 @@ impl Case {
     pub fn probability(&self, marking: &Marking) -> f64 {
         self.probability.eval(marking)
     }
+
+    /// The case's probability specification (constant or
+    /// marking-dependent), without evaluating it.
+    pub fn probability_spec(&self) -> &CaseProb {
+        &self.probability
+    }
 }
 
 /// An activity: timing, enabling structure, and completion cases.
@@ -152,16 +158,19 @@ mod tests {
             initial_array: vec![],
         }]);
         assert_eq!(CaseProb::Const(0.25).eval(&m), 0.25);
-        let dep = CaseProb::MarkingDependent(Box::new(|m| {
-            1.0 / (1.0 + m.tokens(PlaceId(0)) as f64)
-        }));
+        let dep =
+            CaseProb::MarkingDependent(Box::new(|m| 1.0 / (1.0 + m.tokens(PlaceId(0)) as f64)));
         assert!((dep.eval(&m) - 0.25).abs() < 1e-12);
         assert!(format!("{dep:?}").contains("MarkingDependent"));
     }
 
     #[test]
     fn timing_kind() {
-        assert!(Timing::Instantaneous { priority: 1, weight: 1.0 }.is_instantaneous());
+        assert!(Timing::Instantaneous {
+            priority: 1,
+            weight: 1.0
+        }
+        .is_instantaneous());
         assert!(!Timing::Timed(Delay::exponential(1.0)).is_instantaneous());
     }
 }

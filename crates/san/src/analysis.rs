@@ -63,7 +63,10 @@ impl SanModel {
     /// instead (see the workspace's invariant property tests).
     ///
     /// Returns every violating `(activity, case)`.
-    pub fn check_conservation(&self, weights: &[(crate::PlaceId, f64)]) -> Vec<ConservationViolation> {
+    pub fn check_conservation(
+        &self,
+        weights: &[(crate::PlaceId, f64)],
+    ) -> Vec<ConservationViolation> {
         let mut w = vec![0.0_f64; self.num_places()];
         for (p, weight) in weights {
             w[p.index()] = *weight;
@@ -209,9 +212,7 @@ mod tests {
             .build()
             .unwrap();
         let model = b.build().unwrap();
-        assert!(model
-            .check_conservation(&[(p, 1.0), (q, 1.0)])
-            .is_empty());
+        assert!(model.check_conservation(&[(p, 1.0), (q, 1.0)]).is_empty());
     }
 
     #[test]

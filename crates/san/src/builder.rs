@@ -54,6 +54,7 @@ pub struct SanBuilder {
     output_gates: Vec<OutputGate>,
     activities: Vec<Activity>,
     activity_names: HashMap<String, ActivityId>,
+    strict: bool,
 }
 
 impl SanBuilder {
@@ -68,7 +69,24 @@ impl SanBuilder {
             output_gates: Vec::new(),
             activities: Vec::new(),
             activity_names: HashMap::new(),
+            strict: false,
         }
+    }
+
+    /// Enables strict validation: [`SanBuilder::build`] will additionally
+    /// run the static subset of the `ahs-lint` checks — individual case
+    /// probabilities in `[0, 1]`, no degenerate delays, no structurally
+    /// dead places or trivially always-enabled activities, and gate
+    /// declarations (see [`SanBuilder::input_gate_touching`]) honored at
+    /// the initial marking — and fail with
+    /// [`SanError::StrictValidation`] when any check trips.
+    ///
+    /// Reachability-based checks (dead activities, absorbing markings,
+    /// marking-dependent case distributions over reachable states) need
+    /// state-space exploration and live in the `ahs-lint` crate instead.
+    pub fn validate_strict(&mut self) -> &mut Self {
+        self.strict = true;
+        self
     }
 
     fn qualify(&self, name: &str) -> String {
@@ -232,16 +250,83 @@ impl SanBuilder {
             name: self.qualify(name),
             predicate: Box::new(predicate),
             function: Box::new(function),
+            touches: None,
+            pure_predicate: false,
         });
         id
     }
 
+    /// Registers an input gate together with a declaration of every
+    /// place its predicate or marking function may touch.
+    ///
+    /// The declaration is not enforced at runtime (closures stay
+    /// zero-cost); it is checked by the linter's gate-purity pass, which
+    /// evaluates the gate against an instrumented marking and flags any
+    /// access outside `touches`.
+    pub fn input_gate_touching<P, F>(
+        &mut self,
+        name: &str,
+        touches: impl IntoIterator<Item = PlaceId>,
+        predicate: P,
+        function: F,
+    ) -> InputGateId
+    where
+        P: Fn(&Marking) -> bool + Send + Sync + 'static,
+        F: Fn(&mut Marking) + Send + Sync + 'static,
+    {
+        let id = self.input_gate(name, predicate, function);
+        self.input_gates[id.0].touches = Some(touches.into_iter().collect());
+        id
+    }
+
     /// Registers a pure-predicate input gate (identity marking function).
+    ///
+    /// The linter's gate-purity pass verifies the purity claim: a
+    /// predicate gate whose marking function writes any place is
+    /// reported as a defect.
     pub fn predicate_gate<P>(&mut self, name: &str, predicate: P) -> InputGateId
     where
         P: Fn(&Marking) -> bool + Send + Sync + 'static,
     {
-        self.input_gate(name, predicate, |_| {})
+        let id = self.input_gate(name, predicate, |_| {});
+        self.input_gates[id.0].pure_predicate = true;
+        id
+    }
+
+    /// Registers a pure-predicate input gate together with a declaration
+    /// of every place its predicate may read (see
+    /// [`SanBuilder::input_gate_touching`]).
+    pub fn predicate_gate_touching<P>(
+        &mut self,
+        name: &str,
+        touches: impl IntoIterator<Item = PlaceId>,
+        predicate: P,
+    ) -> InputGateId
+    where
+        P: Fn(&Marking) -> bool + Send + Sync + 'static,
+    {
+        let id = self.predicate_gate(name, predicate);
+        self.input_gates[id.0].touches = Some(touches.into_iter().collect());
+        id
+    }
+
+    /// Declares an existing input gate to be a pure predicate: a claim
+    /// that its marking function is the identity.
+    ///
+    /// [`SanBuilder::predicate_gate`] makes the claim automatically (and
+    /// installs an identity function, so it is true by construction);
+    /// this method lets generic composition helpers that register gates
+    /// through [`SanBuilder::input_gate`] make the same claim. The claim
+    /// is *verified*, not trusted: strict validation and the linter's
+    /// gate-purity pass run the marking function against an instrumented
+    /// marking and report any write as a defect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` does not belong to this builder.
+    pub fn claim_pure_predicate(&mut self, gate: InputGateId) -> &mut Self {
+        self.input_gates[gate.0].pure_predicate = true;
+        self
     }
 
     /// Registers an output gate (marking function).
@@ -253,7 +338,25 @@ impl SanBuilder {
         self.output_gates.push(OutputGate {
             name: self.qualify(name),
             function: Box::new(function),
+            touches: None,
         });
+        id
+    }
+
+    /// Registers an output gate together with a declaration of every
+    /// place its marking function may touch (see
+    /// [`SanBuilder::input_gate_touching`]).
+    pub fn output_gate_touching<F>(
+        &mut self,
+        name: &str,
+        touches: impl IntoIterator<Item = PlaceId>,
+        function: F,
+    ) -> OutputGateId
+    where
+        F: Fn(&mut Marking) + Send + Sync + 'static,
+    {
+        let id = self.output_gate(name, function);
+        self.output_gates[id.0].touches = Some(touches.into_iter().collect());
         id
     }
 
@@ -273,7 +376,10 @@ impl SanBuilder {
             return Err(SanError::DuplicateActivity { name: q });
         }
         if let Err(reason) = delay.validate() {
-            return Err(SanError::InvalidDelay { activity: q, reason });
+            return Err(SanError::InvalidDelay {
+                activity: q,
+                reason,
+            });
         }
         Ok(ActivityBuilder::new(self, q, Timing::Timed(delay)))
     }
@@ -296,9 +402,16 @@ impl SanBuilder {
             return Err(SanError::DuplicateActivity { name: q });
         }
         if !weight.is_finite() || weight <= 0.0 {
-            return Err(SanError::InvalidWeight { activity: q, weight });
+            return Err(SanError::InvalidWeight {
+                activity: q,
+                weight,
+            });
         }
-        Ok(ActivityBuilder::new(self, q, Timing::Instantaneous { priority, weight }))
+        Ok(ActivityBuilder::new(
+            self,
+            q,
+            Timing::Instantaneous { priority, weight },
+        ))
     }
 
     /// Runs `f` inside a named scope (`Join` composition): declarations
@@ -340,21 +453,167 @@ impl SanBuilder {
     /// # Errors
     ///
     /// Returns [`SanError::EmptyModel`] if no places or no activities
-    /// were declared.
+    /// were declared, and [`SanError::StrictValidation`] if
+    /// [`SanBuilder::validate_strict`] was requested and a static check
+    /// failed.
     pub fn build(self) -> Result<SanModel, SanError> {
         if self.places.is_empty() || self.activities.is_empty() {
             return Err(SanError::EmptyModel);
         }
+        let strict = self.strict;
         let initial = Marking::from_decls(&self.places);
-        Ok(SanModel::new(
+        let model = SanModel::new(
             self.name,
             self.places,
             self.input_gates,
             self.output_gates,
             self.activities,
             initial,
-        ))
+        );
+        if strict {
+            let diagnostics = strict_diagnostics(&model);
+            if !diagnostics.is_empty() {
+                return Err(SanError::StrictValidation {
+                    model: model.name().to_owned(),
+                    diagnostics,
+                });
+            }
+        }
+        Ok(model)
     }
+}
+
+/// The static (no state-space exploration) subset of the lint checks,
+/// run by [`SanBuilder::build`] under [`SanBuilder::validate_strict`].
+fn strict_diagnostics(model: &SanModel) -> Vec<String> {
+    let mut out = Vec::new();
+
+    // Individual constant case probabilities must be valid even when the
+    // sum works out (e.g. `1.5` and `-0.5` sum to 1 but are nonsense).
+    for a in model.activities() {
+        for (idx, case) in a.cases().iter().enumerate() {
+            if let CaseProb::Const(p) = case.probability_spec() {
+                if !(0.0..=1.0).contains(p) || !p.is_finite() {
+                    out.push(format!(
+                        "activity `{}` case {idx}: constant probability {p} outside [0, 1]",
+                        a.name()
+                    ));
+                }
+            }
+        }
+        if let Timing::Timed(delay) = a.timing() {
+            if delay.is_degenerate() {
+                out.push(format!(
+                    "activity `{}`: timed activity with a zero-width delay \
+                     (use an instantaneous activity instead)",
+                    a.name()
+                ));
+            }
+        }
+    }
+
+    let report = model.analyze();
+    for name in &report.arc_isolated_places {
+        let gate_touched = model.input_gates().iter().any(|g| {
+            g.declared_touches()
+                .is_some_and(|t| t.iter().any(|p| model.place_name(*p) == name))
+        }) || model.output_gates().iter().any(|g| {
+            g.declared_touches()
+                .is_some_and(|t| t.iter().any(|p| model.place_name(*p) == name))
+        });
+        if !gate_touched {
+            out.push(format!(
+                "place `{name}` is not connected to any arc or declared gate"
+            ));
+        }
+    }
+    for name in &report.always_enabled_activities {
+        out.push(format!(
+            "activity `{name}` has no input arcs or gates and can never be disabled"
+        ));
+    }
+    for name in &report.arc_silent_activities {
+        out.push(format!(
+            "activity `{name}` has no arcs or gates and firing it changes nothing"
+        ));
+    }
+
+    // Gate declarations, checked at the initial marking. The linter
+    // repeats this over reachable markings; here it catches gates that
+    // are wrong from the very first evaluation.
+    //
+    // A gate's marking function only ever runs when an attached
+    // activity fires, and may rely on that precondition (e.g. removing
+    // a token that is only present mid-maneuver), so it is traced only
+    // for gates attached to an activity that can fire from the initial
+    // marking. Predicates must be total — `is_enabled` evaluates them
+    // in arbitrary markings — so they are always traced.
+    let initial = model.initial_marking();
+    let fireable = if model.is_stable(initial) {
+        model.enabled_timed(initial)
+    } else {
+        model.enabled_instantaneous(initial)
+    };
+    let mut ig_fires = vec![false; model.input_gates().len()];
+    let mut og_fires = vec![false; model.output_gates().len()];
+    for &a in &fireable {
+        let act = model.activity(a);
+        for g in act.input_gates() {
+            ig_fires[g.index()] = true;
+        }
+        for case in act.cases() {
+            for g in case.output_gates() {
+                og_fires[g.index()] = true;
+            }
+        }
+    }
+
+    for (idx, gate) in model.input_gates().iter().enumerate() {
+        let mut shadow = initial.clone();
+        let (_, trace) = crate::trace::record(|| {
+            let _ = gate.holds(&shadow);
+            if ig_fires[idx] {
+                gate.apply(&mut shadow);
+            }
+        });
+        if gate.is_pure_predicate() && !trace.is_read_only() {
+            out.push(format!(
+                "input gate `{}` is declared as a pure predicate but writes places",
+                gate.name()
+            ));
+        }
+        if let Some(declared) = gate.declared_touches() {
+            for p in trace.touched() {
+                if !declared.contains(&p) {
+                    out.push(format!(
+                        "input gate `{}` touches undeclared place `{}`",
+                        gate.name(),
+                        model.place_name(p)
+                    ));
+                }
+            }
+        }
+    }
+    for (idx, gate) in model.output_gates().iter().enumerate() {
+        if let Some(declared) = gate.declared_touches() {
+            if !og_fires[idx] {
+                continue;
+            }
+            let mut shadow = initial.clone();
+            let (_, trace) = crate::trace::record(|| gate.apply(&mut shadow));
+            for p in trace.touched() {
+                if !declared.contains(&p) {
+                    out.push(format!(
+                        "output gate `{}` touches undeclared place `{}`",
+                        gate.name(),
+                        model.place_name(p)
+                    ));
+                }
+            }
+        }
+    }
+
+    out
 }
 
 impl std::fmt::Debug for SanBuilder {
@@ -454,7 +713,9 @@ impl<'b> ActivityBuilder<'b> {
     }
 
     fn current_case(&mut self) -> &mut Case {
-        self.cases.last_mut().expect("at least one case always exists")
+        self.cases
+            .last_mut()
+            .expect("at least one case always exists")
     }
 
     /// Adds an output arc depositing one token (to the current case).
@@ -485,7 +746,9 @@ impl<'b> ActivityBuilder<'b> {
     /// time instead).
     pub fn build(self) -> Result<ActivityId, SanError> {
         if self.cases.is_empty() {
-            return Err(SanError::NoCases { activity: self.name });
+            return Err(SanError::NoCases {
+                activity: self.name,
+            });
         }
         let const_sum: Option<f64> = self
             .cases
@@ -630,5 +893,165 @@ mod tests {
             b.instant_activity("i", 0, 0.0),
             Err(SanError::InvalidWeight { .. })
         ));
+    }
+
+    /// A minimal cycle so strict models have at least one activity.
+    fn add_cycle(b: &mut SanBuilder) {
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place("q").unwrap();
+        b.timed_activity("pq", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .output_place(q)
+            .build()
+            .unwrap();
+        b.timed_activity("qp", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(q)
+            .output_place(p)
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn strict_rejects_orphan_place() {
+        let mut b = SanBuilder::new("m");
+        b.validate_strict();
+        add_cycle(&mut b);
+        b.place("orphan").unwrap();
+        let err = b.build().unwrap_err();
+        match err {
+            SanError::StrictValidation { diagnostics, .. } => {
+                assert!(
+                    diagnostics.iter().any(|d| d.contains("orphan")),
+                    "{diagnostics:?}"
+                );
+            }
+            other => panic!("expected StrictValidation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_accepts_gate_covered_place() {
+        let mut b = SanBuilder::new("m");
+        b.validate_strict();
+        add_cycle(&mut b);
+        let counter = b.place("counter").unwrap();
+        let og = b.output_gate_touching("bump", [counter], move |m| {
+            m.add_tokens(counter, 1);
+        });
+        let p = b.find_place("p").unwrap();
+        let r = b.place("r").unwrap();
+        b.timed_activity("pr", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .output_place(r)
+            .output_gate(og)
+            .build()
+            .unwrap();
+        b.timed_activity("rp", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(r)
+            .output_place(p)
+            .build()
+            .unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn strict_rejects_false_purity_claim() {
+        let mut b = SanBuilder::new("m");
+        b.validate_strict();
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let g = b.input_gate("sneaky", |_| true, move |m| m.add_tokens(p, 1));
+        b.claim_pure_predicate(g);
+        b.timed_activity("t", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .input_gate(g)
+            .output_place(p)
+            .build()
+            .unwrap();
+        let err = b.build().unwrap_err();
+        match err {
+            SanError::StrictValidation { diagnostics, .. } => {
+                assert!(
+                    diagnostics.iter().any(|d| d.contains("pure predicate")),
+                    "{diagnostics:?}"
+                );
+            }
+            other => panic!("expected StrictValidation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_rejects_undeclared_gate_access() {
+        let mut b = SanBuilder::new("m");
+        b.validate_strict();
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let declared = b.place_with_tokens("declared", 1).unwrap();
+        let hidden = b.place_with_tokens("hidden", 1).unwrap();
+        let g = b.input_gate_touching(
+            "partial",
+            [declared],
+            move |m| m.is_marked(declared),
+            move |m| m.add_tokens(hidden, 1),
+        );
+        b.timed_activity("t", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .input_gate(g)
+            .output_place(p)
+            .build()
+            .unwrap();
+        let err = b.build().unwrap_err();
+        match err {
+            SanError::StrictValidation { diagnostics, .. } => {
+                assert!(
+                    diagnostics.iter().any(|d| d.contains("hidden")),
+                    "{diagnostics:?}"
+                );
+            }
+            other => panic!("expected StrictValidation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_skips_marking_functions_of_unfireable_activities() {
+        // The og's function would panic at the initial marking (removes
+        // a token that is not there); strict validation must not run it
+        // because its activity cannot fire from the initial marking.
+        let mut b = SanBuilder::new("m");
+        b.validate_strict();
+        add_cycle(&mut b);
+        let q = b.find_place("q").unwrap();
+        let r = b.place("r").unwrap();
+        let og = b.output_gate_touching("drain", [q], move |m| {
+            m.remove_tokens(q, 1);
+        });
+        b.timed_activity("qr", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(q)
+            .output_place(r)
+            .output_gate(og)
+            .build()
+            .unwrap();
+        b.timed_activity("rq", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(r)
+            .output_place(q)
+            .build()
+            .unwrap();
+        // q is unmarked initially, so `qr` cannot fire and `drain` must
+        // not be traced. The model still builds strictly.
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn non_strict_build_accepts_orphan_place() {
+        let mut b = SanBuilder::new("m");
+        add_cycle(&mut b);
+        b.place("orphan").unwrap();
+        assert!(b.build().is_ok());
     }
 }

@@ -95,18 +95,35 @@ impl Delay {
         matches!(self, Delay::Exponential(_))
     }
 
+    /// Whether the delay is certainly zero: a deterministic 0 delay or a
+    /// zero-width uniform at 0. Such a "timed" activity fires the moment
+    /// it is enabled, which is what instantaneous activities are for —
+    /// the simulation backends pay event-queue overhead for nothing and
+    /// the Markov backends reject it. Flagged by strict validation and
+    /// the linter's delay-sanity pass.
+    pub fn is_degenerate(&self) -> bool {
+        match self {
+            Delay::Deterministic(d) => *d == 0.0,
+            Delay::Uniform { low, high } => *low == 0.0 && *high == 0.0,
+            _ => false,
+        }
+    }
+
     /// Validates the distribution parameters.
     ///
-    /// # Errors message contract
+    /// # Errors
     ///
     /// Returns a human-readable description of the first invalid
     /// parameter, used by the builder to produce
-    /// [`SanError::InvalidDelay`](crate::SanError::InvalidDelay).
-    pub(crate) fn validate(&self) -> Result<(), String> {
+    /// [`SanError::InvalidDelay`](crate::SanError::InvalidDelay) and by
+    /// the linter's delay-sanity pass.
+    pub fn validate(&self) -> Result<(), String> {
         match self {
             Delay::Exponential(RateFn::Const(r)) => {
                 if !r.is_finite() || *r <= 0.0 {
-                    return Err(format!("exponential rate must be positive and finite, got {r}"));
+                    return Err(format!(
+                        "exponential rate must be positive and finite, got {r}"
+                    ));
                 }
             }
             Delay::Exponential(RateFn::MarkingDependent(_)) => {}
@@ -117,7 +134,9 @@ impl Delay {
             }
             Delay::Uniform { low, high } => {
                 if !(low.is_finite() && high.is_finite()) || *low < 0.0 || low > high {
-                    return Err(format!("uniform delay needs 0 <= low <= high, got [{low}, {high}]"));
+                    return Err(format!(
+                        "uniform delay needs 0 <= low <= high, got [{low}, {high}]"
+                    ));
                 }
             }
             Delay::Erlang { k, rate } => {
@@ -125,7 +144,9 @@ impl Delay {
                     return Err("erlang stage count must be positive".into());
                 }
                 if !rate.is_finite() || *rate <= 0.0 {
-                    return Err(format!("erlang rate must be positive and finite, got {rate}"));
+                    return Err(format!(
+                        "erlang rate must be positive and finite, got {rate}"
+                    ));
                 }
             }
             Delay::Weibull { shape, scale } => {
@@ -193,6 +214,8 @@ fn sample_exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
 /// to ~15 significant digits for positive real arguments.
 fn gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
+    // Published Lanczos coefficients, kept verbatim for auditability.
+    #[allow(clippy::excessive_precision, clippy::inconsistent_digit_grouping)]
     const C: [f64; 9] = [
         0.999_999_999_999_809_93,
         676.520_368_121_885_1,
@@ -263,20 +286,29 @@ mod tests {
         let m = empty_marking();
         let mut rng = SmallRng::seed_from_u64(1);
         assert_eq!(Delay::Deterministic(3.0).sample(&m, &mut rng), 3.0);
-        let u = Delay::Uniform { low: 1.0, high: 2.0 };
+        let u = Delay::Uniform {
+            low: 1.0,
+            high: 2.0,
+        };
         for _ in 0..100 {
             let s = u.sample(&m, &mut rng);
             assert!((1.0..2.0).contains(&s));
         }
         assert!((u.mean(&m) - 1.5).abs() < 1e-12);
-        let point = Delay::Uniform { low: 2.0, high: 2.0 };
+        let point = Delay::Uniform {
+            low: 2.0,
+            high: 2.0,
+        };
         assert_eq!(point.sample(&m, &mut rng), 2.0);
     }
 
     #[test]
     fn weibull_shape_one_is_exponential() {
         let m = empty_marking();
-        let w = Delay::Weibull { shape: 1.0, scale: 0.5 };
+        let w = Delay::Weibull {
+            shape: 1.0,
+            scale: 0.5,
+        };
         assert!((w.mean(&m) - 0.5).abs() < 1e-9);
         let mut rng = SmallRng::seed_from_u64(9);
         let n = 30_000;
@@ -296,9 +328,19 @@ mod tests {
         assert!(Delay::exponential(0.0).validate().is_err());
         assert!(Delay::exponential(f64::NAN).validate().is_err());
         assert!(Delay::Deterministic(-1.0).validate().is_err());
-        assert!(Delay::Uniform { low: 2.0, high: 1.0 }.validate().is_err());
+        assert!(Delay::Uniform {
+            low: 2.0,
+            high: 1.0
+        }
+        .validate()
+        .is_err());
         assert!(Delay::Erlang { k: 0, rate: 1.0 }.validate().is_err());
-        assert!(Delay::Weibull { shape: 0.0, scale: 1.0 }.validate().is_err());
+        assert!(Delay::Weibull {
+            shape: 0.0,
+            scale: 1.0
+        }
+        .validate()
+        .is_err());
         assert!(Delay::exponential(1.0).validate().is_ok());
     }
 

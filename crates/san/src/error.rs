@@ -49,6 +49,15 @@ pub enum SanError {
     },
     /// The model has no places or no activities.
     EmptyModel,
+    /// Strict validation (see
+    /// [`SanBuilder::validate_strict`](crate::SanBuilder::validate_strict))
+    /// found defects at build time.
+    StrictValidation {
+        /// Model name.
+        model: String,
+        /// One human-readable message per defect.
+        diagnostics: Vec<String>,
+    },
 }
 
 impl std::fmt::Display for SanError {
@@ -85,6 +94,14 @@ impl std::fmt::Display for SanError {
                 )
             }
             SanError::EmptyModel => write!(f, "model has no places or no activities"),
+            SanError::StrictValidation { model, diagnostics } => {
+                write!(
+                    f,
+                    "strict validation of model `{model}` failed with {} defect(s): {}",
+                    diagnostics.len(),
+                    diagnostics.join("; ")
+                )
+            }
         }
     }
 }

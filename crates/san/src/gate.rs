@@ -1,14 +1,29 @@
 //! Input and output gates.
 
 use crate::marking::Marking;
+use crate::place::PlaceId;
 
 /// Opaque handle to an input gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InputGateId(pub(crate) usize);
 
+impl InputGateId {
+    /// Position of the gate in [`SanModel::input_gates`](crate::SanModel::input_gates).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Opaque handle to an output gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OutputGateId(pub(crate) usize);
+
+impl OutputGateId {
+    /// Position of the gate in [`SanModel::output_gates`](crate::SanModel::output_gates).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// An input gate: an enabling predicate over the marking plus a marking
 /// function executed when a connected activity completes.
@@ -22,6 +37,14 @@ pub struct InputGate {
     pub(crate) name: String,
     pub(crate) predicate: Box<dyn Fn(&Marking) -> bool + Send + Sync>,
     pub(crate) function: Box<dyn Fn(&mut Marking) + Send + Sync>,
+    /// Optional declaration of every place the gate may touch; checked
+    /// by the linter's gate-purity pass against an instrumented marking.
+    pub(crate) touches: Option<Vec<PlaceId>>,
+    /// Set for gates built via
+    /// [`SanBuilder::predicate_gate`](crate::SanBuilder::predicate_gate):
+    /// the marking function is supposed to be the identity, so any write
+    /// it performs is a defect.
+    pub(crate) pure_predicate: bool,
 }
 
 impl InputGate {
@@ -39,11 +62,24 @@ impl InputGate {
     pub fn apply(&self, marking: &mut Marking) {
         (self.function)(marking)
     }
+
+    /// The places this gate declared it may touch, if declared.
+    pub fn declared_touches(&self) -> Option<&[PlaceId]> {
+        self.touches.as_deref()
+    }
+
+    /// Whether the gate was declared as a pure predicate (identity
+    /// marking function).
+    pub fn is_pure_predicate(&self) -> bool {
+        self.pure_predicate
+    }
 }
 
 impl std::fmt::Debug for InputGate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("InputGate").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("InputGate")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -52,6 +88,9 @@ impl std::fmt::Debug for InputGate {
 pub struct OutputGate {
     pub(crate) name: String,
     pub(crate) function: Box<dyn Fn(&mut Marking) + Send + Sync>,
+    /// Optional declaration of every place the gate may touch; checked
+    /// by the linter's gate-purity pass against an instrumented marking.
+    pub(crate) touches: Option<Vec<PlaceId>>,
 }
 
 impl OutputGate {
@@ -64,11 +103,18 @@ impl OutputGate {
     pub fn apply(&self, marking: &mut Marking) {
         (self.function)(marking)
     }
+
+    /// The places this gate declared it may touch, if declared.
+    pub fn declared_touches(&self) -> Option<&[PlaceId]> {
+        self.touches.as_deref()
+    }
 }
 
 impl std::fmt::Debug for OutputGate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OutputGate").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("OutputGate")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -92,6 +138,8 @@ mod tests {
             name: "guard".into(),
             predicate: Box::new(|m| m.tokens(PlaceId(0)) >= 2),
             function: Box::new(|m| m.set_tokens(PlaceId(0), 0)),
+            touches: None,
+            pure_predicate: false,
         };
         let mut m = one_place_marking(3);
         assert!(g.holds(&m));
@@ -107,6 +155,7 @@ mod tests {
         let g = OutputGate {
             name: "og".into(),
             function: Box::new(|m| m.add_tokens(PlaceId(0), 5)),
+            touches: None,
         };
         let mut m = one_place_marking(0);
         g.apply(&mut m);

@@ -62,8 +62,9 @@ mod gate;
 mod marking;
 mod model;
 mod place;
+pub mod trace;
 
-pub use activity::{Activity, ActivityId, Case, Timing};
+pub use activity::{Activity, ActivityId, Case, CaseProb, Timing};
 pub use analysis::{ConservationViolation, StructuralReport};
 pub use builder::{ActivityBuilder, SanBuilder};
 pub use delay::{Delay, RateFn};

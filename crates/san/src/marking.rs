@@ -1,6 +1,7 @@
 //! Markings: the state of a SAN.
 
 use crate::place::{PlaceDecl, PlaceId, PlaceKind};
+use crate::trace;
 
 /// The contents of one place.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -55,6 +56,7 @@ impl Marking {
     ///
     /// Panics if `p` is out of bounds.
     pub fn value(&self, p: PlaceId) -> &PlaceValue {
+        trace::note_read(p);
         &self.values[p.0]
     }
 
@@ -64,6 +66,7 @@ impl Marking {
     ///
     /// Panics if `p` is out of bounds or refers to an extended place.
     pub fn tokens(&self, p: PlaceId) -> u64 {
+        trace::note_read(p);
         match &self.values[p.0] {
             PlaceValue::Tokens(n) => *n,
             PlaceValue::Array(_) => panic!(
@@ -79,6 +82,7 @@ impl Marking {
     ///
     /// Panics if `p` is out of bounds or refers to an extended place.
     pub fn set_tokens(&mut self, p: PlaceId, n: u64) {
+        trace::note_write(p);
         match &mut self.values[p.0] {
             PlaceValue::Tokens(t) => *t = n,
             PlaceValue::Array(_) => panic!(
@@ -121,6 +125,7 @@ impl Marking {
     ///
     /// Panics if `p` is out of bounds or refers to a simple place.
     pub fn array(&self, p: PlaceId) -> &[i64] {
+        trace::note_read(p);
         match &self.values[p.0] {
             PlaceValue::Array(a) => a,
             PlaceValue::Tokens(_) => panic!(
@@ -136,6 +141,10 @@ impl Marking {
     ///
     /// Panics if `p` is out of bounds or refers to a simple place.
     pub fn array_mut(&mut self, p: PlaceId) -> &mut [i64] {
+        // Handing out a mutable slice counts as both a read and a write:
+        // the caller can do either and the trace must over-approximate.
+        trace::note_read(p);
+        trace::note_write(p);
         match &mut self.values[p.0] {
             PlaceValue::Array(a) => a,
             PlaceValue::Tokens(_) => panic!(
@@ -145,13 +154,20 @@ impl Marking {
         }
     }
 
-    /// Whether a simple place holds at least one token.
+    /// Whether a place is marked: a simple place holding at least one
+    /// token, or an extended place with any non-zero element. Works for
+    /// both kinds, so callers iterating over every place (diagnostics,
+    /// linting) need not branch on the declaration.
     ///
     /// # Panics
     ///
-    /// Panics on kind mismatch.
+    /// Panics if `p` is out of bounds.
     pub fn is_marked(&self, p: PlaceId) -> bool {
-        self.tokens(p) > 0
+        trace::note_read(p);
+        match &self.values[p.0] {
+            PlaceValue::Tokens(n) => *n > 0,
+            PlaceValue::Array(a) => a.iter().any(|&v| v != 0),
+        }
     }
 
     /// Total tokens across all simple places (diagnostic).
@@ -217,6 +233,19 @@ mod tests {
     fn kind_mismatch_panics() {
         let m = Marking::from_decls(&decls());
         let _ = m.tokens(PlaceId(1));
+    }
+
+    #[test]
+    fn is_marked_works_for_both_place_kinds() {
+        let mut m = Marking::from_decls(&decls());
+        assert!(m.is_marked(PlaceId(0)));
+        assert!(m.is_marked(PlaceId(1)));
+        m.set_tokens(PlaceId(0), 0);
+        assert!(!m.is_marked(PlaceId(0)));
+        for v in m.array_mut(PlaceId(1)) {
+            *v = 0;
+        }
+        assert!(!m.is_marked(PlaceId(1)));
     }
 
     #[test]

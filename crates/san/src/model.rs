@@ -6,7 +6,7 @@ use rand::Rng;
 
 use crate::activity::{Activity, ActivityId, Timing};
 use crate::error::SanError;
-use crate::gate::{InputGate, OutputGate};
+use crate::gate::{InputGate, InputGateId, OutputGate, OutputGateId};
 use crate::marking::Marking;
 use crate::place::{PlaceDecl, PlaceId};
 
@@ -96,6 +96,48 @@ impl SanModel {
         &self.places
     }
 
+    /// Handles of every place, in declaration order.
+    pub fn place_ids(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        (0..self.places.len()).map(PlaceId)
+    }
+
+    /// The fully-qualified name of a place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle came from another model and is out of range.
+    pub fn place_name(&self, p: PlaceId) -> &str {
+        self.places[p.0].name()
+    }
+
+    /// All input gates, indexable by [`InputGateId`].
+    pub fn input_gates(&self) -> &[InputGate] {
+        &self.input_gates
+    }
+
+    /// All output gates, indexable by [`OutputGateId`].
+    pub fn output_gates(&self) -> &[OutputGate] {
+        &self.output_gates
+    }
+
+    /// The input gate behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle came from another model and is out of range.
+    pub fn input_gate(&self, g: InputGateId) -> &InputGate {
+        &self.input_gates[g.0]
+    }
+
+    /// The output gate behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle came from another model and is out of range.
+    pub fn output_gate(&self, g: OutputGateId) -> &OutputGate {
+        &self.output_gates[g.0]
+    }
+
     /// All activities.
     pub fn activities(&self) -> &[Activity] {
         &self.activities
@@ -127,10 +169,7 @@ impl SanModel {
 
     /// Looks up a place handle by fully-qualified name.
     pub fn find_place(&self, name: &str) -> Option<PlaceId> {
-        self.places
-            .iter()
-            .position(|d| d.name == name)
-            .map(PlaceId)
+        self.places.iter().position(|d| d.name == name).map(PlaceId)
     }
 
     /// Looks up an activity handle by fully-qualified name.
@@ -144,9 +183,7 @@ impl SanModel {
     /// Whether activity `a` is enabled in `marking`.
     pub fn is_enabled(&self, a: ActivityId, marking: &Marking) -> bool {
         let act = &self.activities[a.0];
-        act.input_arcs
-            .iter()
-            .all(|(p, n)| marking.tokens(*p) >= *n)
+        act.input_arcs.iter().all(|(p, n)| marking.tokens(*p) >= *n)
             && act
                 .input_gates
                 .iter()
@@ -207,10 +244,12 @@ impl SanModel {
     /// Whether every timed activity has an exponential delay (required
     /// by the SSA simulator backend and the CTMC generator).
     pub fn is_markovian(&self) -> bool {
-        self.timed.iter().all(|&a| match &self.activities[a.0].timing {
-            Timing::Timed(d) => d.is_exponential(),
-            Timing::Instantaneous { .. } => true,
-        })
+        self.timed
+            .iter()
+            .all(|&a| match &self.activities[a.0].timing {
+                Timing::Timed(d) => d.is_exponential(),
+                Timing::Instantaneous { .. } => true,
+            })
     }
 
     /// Evaluates the case distribution of `a` in `marking`.
@@ -347,10 +386,7 @@ impl SanModel {
     /// Returns [`SanError::InstantaneousLivelock`] if the branching
     /// exceeds an internal budget, or
     /// [`SanError::InvalidCaseDistribution`] from case evaluation.
-    pub fn stable_successors(
-        &self,
-        marking: &Marking,
-    ) -> Result<Vec<(Marking, f64)>, SanError> {
+    pub fn stable_successors(&self, marking: &Marking) -> Result<Vec<(Marking, f64)>, SanError> {
         let mut stable: HashMap<Marking, f64> = HashMap::new();
         let mut frontier = vec![(marking.clone(), 1.0_f64)];
         let mut expansions = 0usize;
@@ -404,12 +440,20 @@ impl SanModel {
             let shape = if a.is_instantaneous() { "box" } else { "box3d" };
             let _ = writeln!(s, "  a{i} [shape={shape}, label=\"{}\"];", a.name);
             for (p, n) in &a.input_arcs {
-                let lbl = if *n == 1 { String::new() } else { format!(" [label=\"{n}\"]") };
+                let lbl = if *n == 1 {
+                    String::new()
+                } else {
+                    format!(" [label=\"{n}\"]")
+                };
                 let _ = writeln!(s, "  p{} -> a{i}{lbl};", p.0);
             }
             for c in &a.cases {
                 for (p, n) in &c.output_arcs {
-                    let lbl = if *n == 1 { String::new() } else { format!(" [label=\"{n}\"]") };
+                    let lbl = if *n == 1 {
+                        String::new()
+                    } else {
+                        format!(" [label=\"{n}\"]")
+                    };
                     let _ = writeln!(s, "  a{i} -> p{}{lbl};", p.0);
                 }
             }

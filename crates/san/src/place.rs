@@ -65,6 +65,9 @@ mod tests {
     #[test]
     fn kinds_compare() {
         assert_ne!(PlaceKind::Simple, PlaceKind::Extended { len: 1 });
-        assert_eq!(PlaceKind::Extended { len: 2 }, PlaceKind::Extended { len: 2 });
+        assert_eq!(
+            PlaceKind::Extended { len: 2 },
+            PlaceKind::Extended { len: 2 }
+        );
     }
 }

@@ -1,0 +1,168 @@
+//! Recording which places a closure reads and writes.
+//!
+//! Gate predicates and marking functions are opaque Rust closures, so a
+//! static analyzer cannot see which places they touch. This module makes
+//! the [`Marking`](crate::Marking) accessors observable: while a
+//! [`record`] call is active on the current thread, every place access
+//! made through a marking is logged into an [`AccessTrace`].
+//!
+//! The linter (`ahs-lint`) uses this as an *instrumented shadow marking*:
+//! it clones a reachable marking, evaluates a gate against it under
+//! [`record`], and compares the observed read/write sets against the
+//! gate's declared places (see
+//! [`SanBuilder::input_gate_touching`](crate::SanBuilder::input_gate_touching)).
+//!
+//! Recording is thread-local and costs one thread-local flag check per
+//! accessor call when inactive.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+use crate::place::PlaceId;
+
+/// The set of places a traced closure read and wrote.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessTrace {
+    reads: BTreeSet<PlaceId>,
+    writes: BTreeSet<PlaceId>,
+}
+
+impl AccessTrace {
+    /// Places read (inspected) during the traced call.
+    pub fn reads(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        self.reads.iter().copied()
+    }
+
+    /// Places written (mutated or handed out mutably) during the traced
+    /// call.
+    pub fn writes(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        self.writes.iter().copied()
+    }
+
+    /// Every place touched in any way.
+    pub fn touched(&self) -> BTreeSet<PlaceId> {
+        self.reads.union(&self.writes).copied().collect()
+    }
+
+    /// Whether the traced call wrote nothing.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Whether `p` was read.
+    pub fn read(&self, p: PlaceId) -> bool {
+        self.reads.contains(&p)
+    }
+
+    /// Whether `p` was written.
+    pub fn wrote(&self, p: PlaceId) -> bool {
+        self.writes.contains(&p)
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<AccessTrace>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with access recording enabled on this thread and returns its
+/// result together with the observed [`AccessTrace`].
+///
+/// Nested calls are not supported: the inner call records into a fresh
+/// trace and the outer trace resumes (without the inner accesses) when
+/// the inner call returns.
+pub fn record<R>(f: impl FnOnce() -> R) -> (R, AccessTrace) {
+    let previous = ACTIVE.with(|slot| slot.replace(Some(AccessTrace::default())));
+    let result = f();
+    let trace = ACTIVE.with(|slot| slot.replace(previous));
+    (
+        result,
+        trace.expect("access trace vanished while recording"),
+    )
+}
+
+#[inline]
+pub(crate) fn note_read(p: PlaceId) {
+    ACTIVE.with(|slot| {
+        if let Some(trace) = slot.borrow_mut().as_mut() {
+            trace.reads.insert(p);
+        }
+    });
+}
+
+#[inline]
+pub(crate) fn note_write(p: PlaceId) {
+    ACTIVE.with(|slot| {
+        if let Some(trace) = slot.borrow_mut().as_mut() {
+            trace.writes.insert(p);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marking::Marking;
+    use crate::place::{PlaceDecl, PlaceKind};
+
+    fn marking() -> Marking {
+        Marking::from_decls(&[
+            PlaceDecl {
+                name: "a".into(),
+                kind: PlaceKind::Simple,
+                initial_tokens: 1,
+                initial_array: vec![],
+            },
+            PlaceDecl {
+                name: "b".into(),
+                kind: PlaceKind::Simple,
+                initial_tokens: 0,
+                initial_array: vec![],
+            },
+            PlaceDecl {
+                name: "arr".into(),
+                kind: PlaceKind::Extended { len: 2 },
+                initial_tokens: 0,
+                initial_array: vec![0, 0],
+            },
+        ])
+    }
+
+    #[test]
+    fn records_reads_and_writes() {
+        let mut m = marking();
+        let (_, trace) = record(|| {
+            let _ = m.tokens(PlaceId(0));
+            m.set_tokens(PlaceId(1), 3);
+            m.array_mut(PlaceId(2))[0] = 7;
+        });
+        assert!(trace.read(PlaceId(0)));
+        assert!(!trace.wrote(PlaceId(0)));
+        assert!(trace.wrote(PlaceId(1)));
+        assert!(trace.wrote(PlaceId(2)));
+        assert_eq!(trace.touched().len(), 3);
+        assert!(!trace.is_read_only());
+    }
+
+    #[test]
+    fn no_recording_outside_record() {
+        let m = marking();
+        let _ = m.tokens(PlaceId(0));
+        let (_, trace) = record(|| {});
+        assert_eq!(trace, AccessTrace::default());
+        assert!(trace.is_read_only());
+    }
+
+    #[test]
+    fn traces_do_not_leak_between_calls() {
+        let mut m = marking();
+        let (_, first) = record(|| m.set_tokens(PlaceId(0), 0));
+        let (_, second) = record(|| {
+            let _ = m.tokens(PlaceId(1));
+        });
+        assert!(first.wrote(PlaceId(0)));
+        assert!(!second.wrote(PlaceId(0)));
+        assert!(second.read(PlaceId(1)));
+        assert_eq!(second.reads().count(), 1);
+        assert_eq!(second.writes().count(), 0);
+    }
+}

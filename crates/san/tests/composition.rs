@@ -97,7 +97,10 @@ fn replicas_interact_only_through_shared_places() {
             assert_eq!(m.tokens(idle) + m.tokens(busy), 1);
         }
     }
-    assert!(emitted > 50, "simulation should make progress, got {emitted}");
+    assert!(
+        emitted > 50,
+        "simulation should make progress, got {emitted}"
+    );
 }
 
 #[test]

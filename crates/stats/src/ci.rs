@@ -117,7 +117,8 @@ pub fn normal_quantile(p: f64) -> f64 {
         "probability must lie strictly between 0 and 1, got {p}"
     );
 
-    // Coefficients for Acklam's approximation.
+    // Coefficients for Acklam's approximation, kept verbatim.
+    #[allow(clippy::excessive_precision)]
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
@@ -184,8 +185,7 @@ fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
             .exp();
     if x >= 0.0 {
         ans
@@ -306,7 +306,10 @@ mod tests {
 
     #[test]
     fn relative_half_width_edge_cases() {
-        assert_eq!(ConfidenceInterval::degenerate(0.0).relative_half_width(), 0.0);
+        assert_eq!(
+            ConfidenceInterval::degenerate(0.0).relative_half_width(),
+            0.0
+        );
         let zero_mean = ConfidenceInterval::new(0.0, 1.0, 0.9);
         assert_eq!(zero_mean.relative_half_width(), f64::INFINITY);
     }

@@ -211,7 +211,10 @@ impl Curve {
     ///
     /// Panics if the grids differ.
     pub fn merge(&mut self, other: &Curve) {
-        assert_eq!(self.grid, other.grid, "cannot merge curves over different grids");
+        assert_eq!(
+            self.grid, other.grid,
+            "cannot merge curves over different grids"
+        );
         for (a, b) in self.estimators.iter_mut().zip(other.estimators.iter()) {
             a.merge(b);
         }

@@ -141,7 +141,7 @@ mod tests {
     fn min_samples_blocks_early_stop() {
         let rule = StoppingRule::relative_precision(0.95, 0.5).with_min_samples(10);
         let mut s = RunningStats::new();
-        s.extend(std::iter::repeat(1.0).take(9));
+        s.extend(std::iter::repeat_n(1.0, 9));
         assert!(!rule.is_satisfied(&s));
         s.push(1.0);
         assert!(rule.is_satisfied(&s));
@@ -179,7 +179,7 @@ mod tests {
     fn zero_mean_without_hits_counts_as_converged_half_width_zero() {
         let rule = StoppingRule::relative_precision(0.95, 0.1).with_min_samples(5);
         let mut s = RunningStats::new();
-        s.extend(std::iter::repeat(0.0).take(5));
+        s.extend(std::iter::repeat_n(0.0, 5));
         assert!(rule.is_satisfied(&s));
     }
 

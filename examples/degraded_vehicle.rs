@@ -67,9 +67,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let sim = MarkovSimulator::new(model.san())?;
     let mut rng = SmallRng::seed_from_u64(7);
-    let mut narrator = Narrator { model: &model, events: 0 };
+    let mut narrator = Narrator {
+        model: &model,
+        events: 0,
+    };
     let end = sim.run_with_observer(2.0, &mut rng, &mut narrator)?;
 
-    println!("\nrun ended at t = {end:.4} h after {} safety events", narrator.events);
+    println!(
+        "\nrun ended at t = {end:.4} h after {} safety events",
+        narrator.events
+    );
     Ok(())
 }

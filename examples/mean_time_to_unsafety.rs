@@ -27,8 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         space.len()
     );
 
-    let mttu =
-        expected_hitting_time_from_start(&space, |m| m.is_marked(ko), 1e-10, 1_000_000)?;
+    let mttu = expected_hitting_time_from_start(&space, |m| m.is_marked(ko), 1e-10, 1_000_000)?;
     println!("exact mean time to unsafety: {mttu:.1} hours");
 
     // Short-horizon check: S(t) ~ t / MTTU while t << MTTU.
@@ -39,12 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .evaluate(&grid)?;
     println!("\n t (h)   simulated S(t)   t / MTTU");
     for p in curve.points() {
-        println!(
-            "{:>5.1}   {:.4e}       {:.4e}",
-            p.x,
-            p.y,
-            p.x / mttu
-        );
+        println!("{:>5.1}   {:.4e}       {:.4e}", p.x, p.y, p.x / mttu);
     }
     println!("\nthe linearized hazard matches the simulated unsafety while");
     println!("t remains far below the mean time to unsafety.");

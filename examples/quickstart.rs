@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\n{} replications total, precision target {}",
         curve.replications(),
-        if curve.converged() { "reached" } else { "not reached (fixed budget)" }
+        if curve.converged() {
+            "reached"
+        } else {
+            "not reached (fixed budget)"
+        }
     );
     Ok(())
 }

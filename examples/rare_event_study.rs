@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_bias(BiasMode::None)
         .evaluate(&grid)?;
     let p = plain.points()[0];
-    println!("plain MC:             {:.4e} ± {:.1e}  (hits are ~impossible)", p.y, p.half_width);
+    println!(
+        "plain MC:             {:.4e} ± {:.1e}  (hits are ~impossible)",
+        p.y, p.half_width
+    );
 
     // Dynamic two-level importance sampling (the default).
     let eval = UnsafetyEvaluator::new(params.clone())
@@ -48,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_bias(BiasMode::Fixed(2_000.0))
         .evaluate(&grid)?;
     let f = fixed.points()[0];
-    println!("constant x2000 boost: {:.4e} ± {:.1e}  (late-horizon mass undersampled)", f.y, f.half_width);
+    println!(
+        "constant x2000 boost: {:.4e} ± {:.1e}  (late-horizon mass undersampled)",
+        f.y, f.half_width
+    );
 
     println!("\nboth biased estimators use exact likelihood ratios; the dynamic");
     println!("scheme boosts hard only while a maneuver window is open, which is");

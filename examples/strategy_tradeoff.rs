@@ -18,12 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {}: {}",
             s,
-            involved_vehicles(
-                RecoveryManeuver::TakeImmediateExitEscorted,
-                s,
-                10,
-                10
-            )
+            involved_vehicles(RecoveryManeuver::TakeImmediateExitEscorted, s, 10, 10)
         );
     }
 
@@ -33,11 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nS(6h) per strategy (n = 10, lambda = 1e-4/hr):");
     let grid = TimeGrid::new(vec![6.0]);
     for s in Strategy::ALL {
-        let params = Params::builder()
-            .n(10)
-            .lambda(1e-4)
-            .strategy(s)
-            .build()?;
+        let params = Params::builder().n(10).lambda(1e-4).strategy(s).build()?;
         let curve = UnsafetyEvaluator::new(params)
             .with_seed(14)
             .with_replications(30_000)

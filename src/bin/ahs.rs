@@ -134,8 +134,7 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
         TimeGrid::linspace(horizon / points as f64, horizon, points)
     };
 
-    let mut eval = UnsafetyEvaluator::new(params.clone())
-        .with_seed(f.parse("--seed", 2009u64)?);
+    let mut eval = UnsafetyEvaluator::new(params.clone()).with_seed(f.parse("--seed", 2009u64)?);
     if f.has("--plain") {
         eval = eval.with_bias(BiasMode::None);
     }
@@ -168,7 +167,11 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     println!(
         "\n{} replications, precision target {}",
         curve.replications(),
-        if curve.converged() { "reached" } else { "not evaluated (fixed budget)" }
+        if curve.converged() {
+            "reached"
+        } else {
+            "not evaluated (fixed budget)"
+        }
     );
     Ok(())
 }

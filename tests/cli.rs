@@ -54,8 +54,19 @@ fn dot_exports_graphviz() {
 fn evaluate_runs_a_small_study() {
     let out = ahs()
         .args([
-            "evaluate", "--n", "2", "--lambda", "5e-3", "--reps", "500", "--points", "2",
-            "--horizon", "4", "--seed", "3",
+            "evaluate",
+            "--n",
+            "2",
+            "--lambda",
+            "5e-3",
+            "--reps",
+            "500",
+            "--points",
+            "2",
+            "--horizon",
+            "4",
+            "--seed",
+            "3",
         ])
         .output()
         .expect("binary runs");

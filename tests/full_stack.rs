@@ -45,11 +45,7 @@ fn build_a_custom_san_and_study_it_through_the_umbrella() {
     for pt in &pts {
         let t = pt.x;
         let exact = 1.0 - (b_ * (-a * t).exp() - a * (-b_ * t).exp()) / (b_ - a);
-        assert!(
-            (pt.y - exact).abs() < 0.012,
-            "t={t}: {} vs {exact}",
-            pt.y
-        );
+        assert!((pt.y - exact).abs() < 0.012, "t={t}: {} vs {exact}", pt.y);
     }
 }
 

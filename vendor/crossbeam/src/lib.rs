@@ -1,0 +1,83 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` with `Scope::spawn(|_| ...)`. Implemented
+//! on top of `std::thread::scope` (stable since Rust 1.63), preserving
+//! crossbeam's `Result`-returning surface where a child panic surfaces
+//! as `Err` instead of unwinding through the caller.
+
+#![warn(missing_docs)]
+
+/// Scoped threads with crossbeam's API shape.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a [`scope`] call; `Err` carries the payload of a
+    /// panicked child thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// Handle for spawning scoped threads; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle
+        /// (crossbeam passes it so children can spawn grandchildren).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment
+    /// can be spawned; joins them all before returning. A panic in any
+    /// child is reported as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let scope = Scope { inner: s };
+                f(&scope)
+            })
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn spawn_borrows_and_joins() {
+            let mut counts = vec![0u64; 4];
+            super::scope(|s| {
+                for slot in counts.iter_mut() {
+                    s.spawn(move |_| {
+                        *slot = 1;
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(counts, vec![1; 4]);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+    }
+}

@@ -1,0 +1,621 @@
+//! Offline mini property-testing harness, API-compatible with the
+//! subset of `proptest` this workspace uses.
+//!
+//! The real `proptest` is unavailable in the offline build environment,
+//! so this crate reimplements the pieces the test suites call:
+//! the [`strategy::Strategy`] trait with `prop_map`, ranges, tuples,
+//! [`strategy::Just`] and unions; `prop::collection::vec` and
+//! `prop::option::of`; `any::<T>()`; `ProptestConfig::with_cases`;
+//! [`test_runner::TestCaseError`]; and the `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!` and `prop_oneof!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! case index and seed so it can be replayed deterministically), and
+//! generation is driven by a fixed xoshiro256++ stream per test name so
+//! runs are reproducible without a persistence file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Pseudo-random generation driving the strategies.
+pub mod rng {
+    /// Deterministic generator (xoshiro256++) used to drive value
+    /// generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// Creates a generator from a 64-bit seed.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut state);
+            }
+            TestRng { s }
+        }
+
+        /// Next 64 pseudo-random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use super::rng::TestRng;
+    use std::ops::Range;
+
+    /// A generator of values of type [`Strategy::Value`].
+    ///
+    /// Unlike upstream proptest there is no shrinking; `generate` draws
+    /// one value directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (needed by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                gen: std::rc::Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+            }
+        }
+    }
+
+    /// A type-erased [`Strategy`].
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        #[allow(clippy::type_complexity)]
+        gen: std::rc::Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        variants: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over `variants`; must be non-empty.
+        pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+            Union { variants }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.variants.len() as u64) as usize;
+            self.variants[idx].generate(rng)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 strategy range");
+            let v = self.start + (self.end - self.start) * rng.unit_f64();
+            v.min(self.end - (self.end - self.start) * 1e-16)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            (Range {
+                start: self.start as f64,
+                end: self.end as f64,
+            })
+            .generate(rng) as f32
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty inclusive strategy range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let draw = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                    start.wrapping_add(draw as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+/// `prop::collection` — strategies over containers.
+pub mod collection {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::option` — strategies over `Option`.
+pub mod option {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+
+    /// Strategy producing `Some` values roughly three times out of four.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps `inner` so it sometimes yields `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.unit_f64() < 0.25 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::rng::TestRng;
+    use super::strategy::Strategy;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// The strategy type returned by [`any`].
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical full-range strategy for `Self`.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Full-range strategy for primitive types.
+    #[derive(Debug, Clone, Default)]
+    pub struct FullRange<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for FullRange<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FullRange::default()
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u64, u32, u16, u8, usize, i64, i32);
+
+    impl Strategy for FullRange<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = FullRange<bool>;
+        fn arbitrary() -> Self::Strategy {
+            FullRange::default()
+        }
+    }
+
+    /// Returns the canonical strategy for `T` (`any::<u64>()` etc.).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Test-case execution: configuration, errors, and the case loop.
+pub mod test_runner {
+    use super::rng::TestRng;
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl Config {
+        /// A default configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The case failed an assertion; the test fails.
+        Fail(String),
+        /// The case was rejected by `prop_assume!`; another is drawn.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failing result with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (filtered-out) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    fn name_seed(name: &str) -> u64 {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Runs the case loop for one `proptest!` test. `body` generates its
+    /// inputs from the provided RNG and returns `Err` to fail or reject.
+    pub fn run_cases<F>(config: &Config, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or_else(|| name_seed(name));
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let mut case = 0u64;
+        while passed < config.cases {
+            let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng::seed_from_u64(seed);
+            match body(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= config.max_global_rejects,
+                        "proptest '{name}': too many prop_assume! rejections \
+                         ({rejected} after {passed} passing cases)"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest '{name}' failed at case {case} \
+                         (replay with PROPTEST_SEED={base}): {msg}"
+                    );
+                }
+            }
+            case += 1;
+        }
+    }
+}
+
+/// Namespace mirror of upstream's `prop::` paths.
+pub mod prop {
+    pub use super::{collection, option};
+}
+
+/// The glob-import surface used by test files.
+pub mod prelude {
+    pub use super::arbitrary::{any, Arbitrary};
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::test_runner::Config as ProptestConfig;
+    pub use super::test_runner::TestCaseError;
+    pub use super::{prop, prop_assert, prop_assert_eq, prop_assert_ne};
+    pub use super::{prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            $crate::test_runner::run_cases(&config, stringify!($name), |prop_rng| {
+                $( let $arg = $crate::strategy::Strategy::generate(&($strat), prop_rng); )+
+                #[allow(unused_mut)]
+                let mut prop_case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                prop_case()
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `assert_ne!` that fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -2.0f64..2.0, s in any::<u64>()) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            let _ = s;
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(xs in prop::collection::vec(0u64..10, 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0usize..3, 0f64..1.0).prop_map(|(a, _b)| a),
+            Just(7usize),
+        ]) {
+            prop_assert!(v < 3 || v == 7);
+        }
+
+        #[test]
+        fn option_of_produces_both(o in prop::option::of(0u32..5)) {
+            if let Some(v) = o {
+                prop_assert!(v < 5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_case_panics_with_replay_info() {
+        // No #[test] meta on the inner fn: it is called by hand below
+        // (and rustc forbids unnameable inner test items anyway).
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,288 @@
+//! Offline, API-compatible stand-in for the subset of the `rand` crate
+//! (0.9 series) that this workspace uses.
+//!
+//! The container this repository builds in has no network access to a
+//! crates.io mirror, so the real `rand` cannot be downloaded. This stub
+//! provides the same public surface for the calls the workspace makes:
+//!
+//! - [`RngCore`] / [`Rng`] with `random::<f64>()`, `random::<u64>()` and
+//!   `random_range(a..b)` over float and integer ranges;
+//! - [`SeedableRng::seed_from_u64`];
+//! - [`rngs::SmallRng`], implemented as xoshiro256++ (the same family the
+//!   real crate uses on 64-bit targets) seeded via SplitMix64.
+//!
+//! Statistical quality matches the upstream algorithms; streams are NOT
+//! bit-for-bit identical to upstream `rand`, which is fine for this
+//! workspace (nothing asserts on absolute random streams, only on
+//! reproducibility for a fixed seed).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// Low-level source of randomness: a stream of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with pseudo-random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly "at random" by [`Rng::random`].
+pub trait StandardUniformSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniformSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (upstream's method).
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniformSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardUniformSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniformSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardUniformSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        let u = f64::sample_standard(rng);
+        let v = self.start + (self.end - self.start) * u;
+        // Guard against rounding up to the exclusive endpoint.
+        if v >= self.end {
+            self.start.max(prev_down(self.end))
+        } else {
+            v
+        }
+    }
+}
+
+fn prev_down(x: f64) -> f64 {
+    // Largest representable value strictly below finite positive `x`;
+    // adequate for range endpoints used in this workspace.
+    if x > 0.0 {
+        f64::from_bits(x.to_bits() - 1)
+    } else {
+        x - f64::EPSILON * x.abs().max(1.0)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer sample range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                // Lemire-style widening multiply without the rejection
+                // step; bias is < 2^-64 for the spans this repo uses.
+                let hi = ((rng.next_u64() as u128).wrapping_mul(span) >> 64) as u128;
+                (self.start as u128).wrapping_add(hi) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty inclusive sample range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start..end + 1).sample_single(rng)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8, i64, i32);
+
+/// High-level convenience methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution.
+    fn random<T: StandardUniformSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn random_range<T, Rr: SampleRange<T>>(&mut self, range: Rr) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a single `u64` seed (SplitMix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Creates an RNG seeded from another RNG.
+    fn from_rng<R: RngCore + ?Sized>(source: &mut R) -> Self {
+        Self::seed_from_u64(source.next_u64())
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast generator: xoshiro256++.
+    ///
+    /// Mirrors the role of `rand::rngs::SmallRng` on 64-bit targets.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut state);
+            }
+            // A xoshiro state of all zeros is a fixed point; SplitMix64
+            // cannot produce four zero outputs in a row, but keep the
+            // guard for clarity.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the workspace only needs deterministic seeding, so the
+    /// "standard" RNG is the same generator as [`SmallRng`].
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.random_range(3.0f64..4.0);
+            assert!((3.0..4.0).contains(&y));
+            let k = rng.random_range(0usize..7);
+            assert!(k < 7);
+        }
+    }
+
+    #[test]
+    fn range_through_mut_ref() {
+        // `&mut SmallRng` must itself satisfy `Rng` bounds.
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random_range(f64::MIN_POSITIVE..1.0)
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        let v = draw(&mut rng);
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    fn mean_is_roughly_half() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the subset of `serde` this workspace touches.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` as forward-
+//! looking annotations; no code path performs serde-based (de)serialization
+//! (JSON emitted by tools is hand-rolled). The traits here are empty
+//! markers and the derives (see the vendored `serde_derive`) expand to
+//! nothing, so the annotations compile without network access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
