@@ -13,6 +13,7 @@ fn mini() -> RunConfig {
         paper_precision: false,
         seed: 7,
         threads: 1,
+        ..RunConfig::quick()
     }
 }
 

@@ -1,9 +1,10 @@
 //! Runs every table and figure reproduction, printing Markdown and
-//! writing CSVs under results/. Flags: --paper --reps N --seed S --threads T.
+//! writing CSVs plus run manifests under results/.
+//! Flags: --paper --reps N --seed S --threads T --telemetry PATH --progress.
 
 use ahs_bench::{
     ext_platoons, fig10, fig11, fig12, fig13, fig14, fig15, figure_to_markdown, maneuver_durations,
-    tables, write_results, RunConfig,
+    tables, write_manifest, write_results, RunConfig,
 };
 use ahs_stats::format_markdown;
 
@@ -23,7 +24,7 @@ fn main() {
     print!("{}", format_markdown(&maneuver_durations(400, cfg.seed)));
     println!();
 
-    type FigFn = fn(&RunConfig) -> Result<ahs_bench::FigureResult, ahs_core::AhsError>;
+    type FigFn = fn(&RunConfig) -> Result<ahs_bench::FigureRun, ahs_core::AhsError>;
     let figs: [(&str, FigFn); 7] = [
         ("fig10", fig10),
         ("fig11", fig11),
@@ -36,12 +37,14 @@ fn main() {
     for (name, f) in figs {
         eprintln!("running {name}...");
         let start = std::time::Instant::now();
-        let fig = f(&cfg).expect("experiment failed");
-        println!("{}", figure_to_markdown(&fig));
-        let path = write_results(&fig, dir).expect("write results");
+        let run = f(&cfg).expect("experiment failed");
+        println!("{}", figure_to_markdown(&run.figure));
+        let path = write_results(&run.figure, dir).expect("write results");
+        let mpath = write_manifest(&run.manifest, dir).expect("write manifest");
         eprintln!(
-            "wrote {} ({:.1}s)",
+            "wrote {} and {} ({:.1}s)",
             path.display(),
+            mpath.display(),
             start.elapsed().as_secs_f64()
         );
     }

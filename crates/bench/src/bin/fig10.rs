@@ -1,12 +1,14 @@
-//! Reproduces Figure 10 of the paper. Flags: --paper --reps N --seed S --threads T.
+//! Reproduces Figure 10 of the paper. Flags: --paper --reps N --seed S --threads T --telemetry PATH --progress.
 
-use ahs_bench::{fig10, figure_to_markdown, write_results, RunConfig};
+use ahs_bench::{fig10, figure_to_markdown, write_manifest, write_results, RunConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = RunConfig::from_args(&args);
-    let fig = fig10(&cfg).expect("experiment failed");
-    print!("{}", figure_to_markdown(&fig));
-    let path = write_results(&fig, std::path::Path::new("results")).expect("write results");
-    eprintln!("wrote {}", path.display());
+    let run = fig10(&cfg).expect("experiment failed");
+    print!("{}", figure_to_markdown(&run.figure));
+    let dir = std::path::Path::new("results");
+    let path = write_results(&run.figure, dir).expect("write results");
+    let mpath = write_manifest(&run.manifest, dir).expect("write manifest");
+    eprintln!("wrote {} and {}", path.display(), mpath.display());
 }

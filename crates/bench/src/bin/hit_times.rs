@@ -3,8 +3,10 @@
 //!
 //! Flags: --boost B --lambda L --reps N --horizon H
 
+use ahs_bench::write_manifest;
 use ahs_core::{AhsModel, Params};
 use ahs_des::{replication_rng, BiasScheme, MarkovSimulator};
+use ahs_obs::{Json, RunManifest};
 use ahs_stats::Histogram;
 
 fn main() {
@@ -37,6 +39,7 @@ fn main() {
         i += 1;
     }
 
+    let start = std::time::Instant::now();
     let params = Params::builder().n(8).lambda(lambda).build().unwrap();
     let model = AhsModel::build(&params).unwrap();
     let h = model.handles().clone();
@@ -79,4 +82,17 @@ fn main() {
             w / reps as f64
         );
     }
+
+    let mut manifest = RunManifest::new("ahs-bench hit_times", "hit_times", 99);
+    manifest.params = params.to_json();
+    manifest.replications = reps;
+    manifest.wall_seconds = start.elapsed().as_secs_f64();
+    manifest.extra.push(("boost".into(), Json::Num(boost)));
+    manifest.extra.push(("horizon".into(), Json::Num(horizon)));
+    manifest
+        .extra
+        .push(("hits".into(), Json::UInt(hits.count())));
+    manifest.extra.push(("misses".into(), Json::UInt(no_hit)));
+    let path = write_manifest(&manifest, std::path::Path::new("results")).expect("write manifest");
+    eprintln!("wrote {}", path.display());
 }

@@ -9,7 +9,11 @@
 //!
 //! Flags: --reps N --seed S --lambda L --boost B
 
+use std::sync::Arc;
+
+use ahs_bench::write_manifest;
 use ahs_core::{BiasMode, Params, UnsafetyEvaluator};
+use ahs_obs::{EstimatePoint, Metrics};
 use ahs_stats::TimeGrid;
 
 fn main() {
@@ -42,6 +46,8 @@ fn main() {
         i += 1;
     }
 
+    let start = std::time::Instant::now();
+    let metrics = Arc::new(Metrics::new());
     let params = Params::builder().n(8).lambda(lambda).build().unwrap();
     let grid = TimeGrid::linspace(2.0, 10.0, 5);
 
@@ -49,6 +55,7 @@ fn main() {
         .with_seed(seed)
         .with_replications(reps)
         .with_bias(BiasMode::None)
+        .with_metrics(metrics.clone())
         .evaluate(&grid)
         .unwrap();
 
@@ -56,12 +63,12 @@ fn main() {
         Some(b) => BiasMode::Fixed(b),
         None => BiasMode::Auto,
     };
-    let biased = UnsafetyEvaluator::new(params)
+    let biased_ev = UnsafetyEvaluator::new(params)
         .with_seed(seed + 1)
         .with_replications(reps)
         .with_bias(bias_mode)
-        .evaluate(&grid)
-        .unwrap();
+        .with_metrics(metrics.clone());
+    let biased = biased_ev.evaluate(&grid).unwrap();
 
     println!("lambda = {lambda:.1e}, reps = {reps} per estimator");
     println!("t(h)   plain MC               biased                 ratio");
@@ -72,4 +79,25 @@ fn main() {
             p.x, p.y, p.half_width, b.y, b.half_width, ratio
         );
     }
+
+    // The manifest is built from the biased evaluator (whose seed is
+    // `seed + 1`) but records both series and the combined telemetry.
+    let mut manifest = biased_ev.manifest("ahs-bench is_diagnostics", &biased, 0.0);
+    manifest.model = "is_diagnostics".into();
+    manifest.wall_seconds = start.elapsed().as_secs_f64();
+    manifest.replications = plain.replications() + biased.replications();
+    manifest.estimates = [("plain", &plain), ("biased", &biased)]
+        .iter()
+        .flat_map(|(series, curve)| {
+            curve.points().iter().map(|p| EstimatePoint {
+                series: (*series).to_owned(),
+                x: p.x,
+                y: p.y,
+                half_width: p.half_width,
+                samples: p.samples,
+            })
+        })
+        .collect();
+    let path = write_manifest(&manifest, std::path::Path::new("results")).expect("write manifest");
+    eprintln!("wrote {}", path.display());
 }

@@ -2,7 +2,9 @@
 //! vehicles lost) across the paper's lambda range.
 //! Flags: --reps N --seed S
 
+use ahs_bench::write_manifest;
 use ahs_core::{trip_measures, Params};
+use ahs_obs::{EstimatePoint, RunManifest};
 use ahs_stats::{format_markdown, Table};
 
 fn main() {
@@ -25,6 +27,8 @@ fn main() {
         i += 1;
     }
 
+    let start = std::time::Instant::now();
+    let mut manifest = RunManifest::new("ahs-bench measures", "measures", seed);
     let mut t = Table::new(vec![
         "lambda (/hr)".into(),
         "E[maneuvers]/trip".into(),
@@ -34,6 +38,33 @@ fn main() {
     for lambda in [1e-5, 1e-4, 1e-3, 1e-2] {
         let params = Params::builder().n(10).lambda(lambda).build().unwrap();
         let m = trip_measures(&params, 10.0, reps, seed).expect("measure estimation failed");
+        manifest.params = params.to_json();
+        for (series, y, hw) in [
+            (
+                "expected_maneuvers",
+                m.expected_maneuvers,
+                m.expected_maneuvers_hw,
+            ),
+            (
+                "recovery_time_fraction",
+                m.recovery_time_fraction,
+                m.recovery_time_fraction_hw,
+            ),
+            (
+                "expected_vehicles_lost",
+                m.expected_vehicles_lost,
+                m.expected_vehicles_lost_hw,
+            ),
+        ] {
+            manifest.estimates.push(EstimatePoint {
+                series: series.to_owned(),
+                x: lambda,
+                y,
+                half_width: hw,
+                samples: reps,
+            });
+        }
+        manifest.replications += reps;
         t.push_row(vec![
             format!("{lambda:.0e}"),
             format!(
@@ -53,4 +84,8 @@ fn main() {
     }
     println!("### Secondary trip measures (n = 10, 10 h trip)\n");
     print!("{}", format_markdown(&t));
+
+    manifest.wall_seconds = start.elapsed().as_secs_f64();
+    let path = write_manifest(&manifest, std::path::Path::new("results")).expect("write manifest");
+    eprintln!("wrote {}", path.display());
 }

@@ -1,14 +1,16 @@
 //! Calibration-sensitivity sweep over the constants the paper does not
 //! publish (maneuver base failure probability, impairment penalty).
-//! Flags: --paper --reps N --seed S --threads T.
+//! Flags: --paper --reps N --seed S --threads T --telemetry PATH --progress.
 
-use ahs_bench::{figure_to_markdown, sensitivity, write_results, RunConfig};
+use ahs_bench::{figure_to_markdown, sensitivity, write_manifest, write_results, RunConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = RunConfig::from_args(&args);
-    let fig = sensitivity(&cfg).expect("experiment failed");
-    print!("{}", figure_to_markdown(&fig));
-    let path = write_results(&fig, std::path::Path::new("results")).expect("write results");
-    eprintln!("wrote {}", path.display());
+    let run = sensitivity(&cfg).expect("experiment failed");
+    print!("{}", figure_to_markdown(&run.figure));
+    let dir = std::path::Path::new("results");
+    let path = write_results(&run.figure, dir).expect("write results");
+    let mpath = write_manifest(&run.manifest, dir).expect("write manifest");
+    eprintln!("wrote {} and {}", path.display(), mpath.display());
 }

@@ -4,7 +4,7 @@ use ahs_core::{AhsError, FailureMode, Params, Strategy};
 use ahs_platoon::{DurationModel, RecoveryManeuver};
 use ahs_stats::{Table, TimeGrid};
 
-use crate::runner::{curve, versus_n, FigureResult, RunConfig};
+use crate::runner::{curve, versus_n, FigTally, FigureResult, FigureRun, RunConfig};
 
 /// The trip-duration grid used by the `S(t)`-versus-time figures
 /// (2–10 hours, as in the paper).
@@ -14,52 +14,70 @@ fn trip_grid() -> TimeGrid {
 
 /// Figure 10: `S(t)` versus trip duration for platoon capacities
 /// n ∈ {8, 10, 12} (λ = 1e-5/hr, join 12/hr, leave 4/hr, strategy DD).
-pub fn fig10(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
+pub fn fig10(cfg: &RunConfig) -> Result<FigureRun, AhsError> {
+    let mut tally = FigTally::new(cfg);
     let grid = trip_grid();
     let mut series = Vec::new();
     for n in [8usize, 10, 12] {
         let params = Params::builder().n(n).lambda(1e-5).build()?;
-        series.push(curve(cfg, params, &grid, format!("n={n}"), 0x10_00)?);
+        series.push(curve(
+            cfg,
+            &mut tally,
+            params,
+            &grid,
+            format!("n={n}"),
+            0x10_00,
+        )?);
     }
-    Ok(FigureResult {
-        id: "fig10".into(),
-        title: "S(t) versus trip duration for different platoon capacities n".into(),
-        x_label: "trip duration (h)".into(),
-        series,
-    })
+    Ok(tally.finish(
+        cfg,
+        FigureResult {
+            id: "fig10".into(),
+            title: "S(t) versus trip duration for different platoon capacities n".into(),
+            x_label: "trip duration (h)".into(),
+            series,
+        },
+    ))
 }
 
 /// Figure 11: `S(t)` versus trip duration for base failure rates
 /// λ ∈ {1e-6, 1e-5, 1e-4} (n = 10).
-pub fn fig11(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
+pub fn fig11(cfg: &RunConfig) -> Result<FigureRun, AhsError> {
+    let mut tally = FigTally::new(cfg);
     let grid = trip_grid();
     let mut series = Vec::new();
     for lambda in [1e-6, 1e-5, 1e-4] {
         let params = Params::builder().n(10).lambda(lambda).build()?;
         series.push(curve(
             cfg,
+            &mut tally,
             params,
             &grid,
             format!("lambda={lambda:.0e}"),
             0x11_00,
         )?);
     }
-    Ok(FigureResult {
-        id: "fig11".into(),
-        title: "S(t) versus trip duration for different base failure rates".into(),
-        x_label: "trip duration (h)".into(),
-        series,
-    })
+    Ok(tally.finish(
+        cfg,
+        FigureResult {
+            id: "fig11".into(),
+            title: "S(t) versus trip duration for different base failure rates".into(),
+            x_label: "trip duration (h)".into(),
+            series,
+        },
+    ))
 }
 
 /// Figure 12: `S(6h)` versus platoon capacity n ∈ {10, 12, 14, 16, 18}
 /// for λ ∈ {1e-6, 1e-5, 1e-4}.
-pub fn fig12(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
+pub fn fig12(cfg: &RunConfig) -> Result<FigureRun, AhsError> {
+    let mut tally = FigTally::new(cfg);
     let ns = [10usize, 12, 14, 16, 18];
     let mut series = Vec::new();
     for lambda in [1e-6, 1e-5, 1e-4] {
         series.push(versus_n(
             cfg,
+            &mut tally,
             |n| {
                 Params::builder()
                     .n(n)
@@ -73,18 +91,22 @@ pub fn fig12(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
             0x12_00,
         )?);
     }
-    Ok(FigureResult {
-        id: "fig12".into(),
-        title: "S(6h) versus platoon capacity n for different failure rates".into(),
-        x_label: "max vehicles per platoon n".into(),
-        series,
-    })
+    Ok(tally.finish(
+        cfg,
+        FigureResult {
+            id: "fig12".into(),
+            title: "S(6h) versus platoon capacity n for different failure rates".into(),
+            x_label: "max vehicles per platoon n".into(),
+            series,
+        },
+    ))
 }
 
 /// Figure 13: `S(t)` versus trip duration for system loads
 /// ρ = join/leave ∈ {1, 2} with several (join, leave) pairs
 /// (n = 8, λ = 1e-5).
-pub fn fig13(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
+pub fn fig13(cfg: &RunConfig) -> Result<FigureRun, AhsError> {
+    let mut tally = FigTally::new(cfg);
     let grid = trip_grid();
     let pairs = [
         (4.0, 4.0),
@@ -105,23 +127,28 @@ pub fn fig13(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
         let rho = join / leave;
         series.push(curve(
             cfg,
+            &mut tally,
             params,
             &grid,
             format!("rho={rho:.0} join={join:.0} leave={leave:.0}"),
             0x13_00,
         )?);
     }
-    Ok(FigureResult {
-        id: "fig13".into(),
-        title: "S(t) versus trip duration for different join and leave rates".into(),
-        x_label: "trip duration (h)".into(),
-        series,
-    })
+    Ok(tally.finish(
+        cfg,
+        FigureResult {
+            id: "fig13".into(),
+            title: "S(t) versus trip duration for different join and leave rates".into(),
+            x_label: "trip duration (h)".into(),
+            series,
+        },
+    ))
 }
 
 /// Figure 14: `S(t)` versus trip duration for the four coordination
 /// strategies (n = 10, λ = 1e-5).
-pub fn fig14(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
+pub fn fig14(cfg: &RunConfig) -> Result<FigureRun, AhsError> {
+    let mut tally = FigTally::new(cfg);
     let grid = trip_grid();
     let mut series = Vec::new();
     for strategy in Strategy::ALL {
@@ -130,24 +157,36 @@ pub fn fig14(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
             .lambda(1e-5)
             .strategy(strategy)
             .build()?;
-        series.push(curve(cfg, params, &grid, strategy.name(), 0x14_00)?);
+        series.push(curve(
+            cfg,
+            &mut tally,
+            params,
+            &grid,
+            strategy.name(),
+            0x14_00,
+        )?);
     }
-    Ok(FigureResult {
-        id: "fig14".into(),
-        title: "S(t) versus trip duration for the four coordination strategies".into(),
-        x_label: "trip duration (h)".into(),
-        series,
-    })
+    Ok(tally.finish(
+        cfg,
+        FigureResult {
+            id: "fig14".into(),
+            title: "S(t) versus trip duration for the four coordination strategies".into(),
+            x_label: "trip duration (h)".into(),
+            series,
+        },
+    ))
 }
 
 /// Figure 15: `S(6h)` versus platoon capacity for the four strategies
 /// (λ = 1e-5).
-pub fn fig15(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
+pub fn fig15(cfg: &RunConfig) -> Result<FigureRun, AhsError> {
+    let mut tally = FigTally::new(cfg);
     let ns = [6usize, 8, 10, 12, 14];
     let mut series = Vec::new();
     for strategy in Strategy::ALL {
         series.push(versus_n(
             cfg,
+            &mut tally,
             move |n| {
                 Params::builder()
                     .n(n)
@@ -162,19 +201,23 @@ pub fn fig15(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
             0x15_00,
         )?);
     }
-    Ok(FigureResult {
-        id: "fig15".into(),
-        title: "S(6h) versus platoon capacity n for the four strategies".into(),
-        x_label: "max vehicles per platoon n".into(),
-        series,
-    })
+    Ok(tally.finish(
+        cfg,
+        FigureResult {
+            id: "fig15".into(),
+            title: "S(6h) versus platoon capacity n for the four strategies".into(),
+            x_label: "max vehicles per platoon n".into(),
+            series,
+        },
+    ))
 }
 
 /// Extension experiment (beyond the paper — its conclusion's "larger
 /// number of platoons" future work): `S(t)` versus trip duration for
 /// highways of 2, 3, and 4 platoons of up to 6 vehicles each
 /// (λ = 1e-5, strategy DD).
-pub fn ext_platoons(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
+pub fn ext_platoons(cfg: &RunConfig) -> Result<FigureRun, AhsError> {
+    let mut tally = FigTally::new(cfg);
     let grid = trip_grid();
     let mut series = Vec::new();
     for platoons in [2usize, 3, 4] {
@@ -185,18 +228,22 @@ pub fn ext_platoons(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
             .build()?;
         series.push(curve(
             cfg,
+            &mut tally,
             params,
             &grid,
             format!("platoons={platoons}"),
             0xE0_00,
         )?);
     }
-    Ok(FigureResult {
-        id: "ext_platoons".into(),
-        title: "Extension: S(t) for highways of 2-4 platoons (n=6 each)".into(),
-        x_label: "trip duration (h)".into(),
-        series,
-    })
+    Ok(tally.finish(
+        cfg,
+        FigureResult {
+            id: "ext_platoons".into(),
+            title: "Extension: S(t) for highways of 2-4 platoons (n=6 each)".into(),
+            x_label: "trip duration (h)".into(),
+            series,
+        },
+    ))
 }
 
 /// Sensitivity of the reproduction to the calibration constants the
@@ -205,7 +252,8 @@ pub fn ext_platoons(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
 /// λ = 1e-4 (a faster regime than the paper's default) so the sweep
 /// stays cheap; the *shape* conclusions of Figures 10–15 should be
 /// robust across this grid.
-pub fn sensitivity(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
+pub fn sensitivity(cfg: &RunConfig) -> Result<FigureRun, AhsError> {
+    let mut tally = FigTally::new(cfg);
     let grid = TimeGrid::new(vec![6.0]);
     let mut series = Vec::new();
     for penalty in [0.05, 0.10, 0.20] {
@@ -217,7 +265,9 @@ pub fn sensitivity(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
                 .maneuver_base_failure(base)
                 .impairment_penalty(penalty)
                 .build()?;
-            let result = cfg.evaluator(params, 0x5E_00).evaluate(&grid)?;
+            let ev = tally.evaluator(cfg, params, 0x5E_00);
+            let result = ev.evaluate(&grid)?;
+            tally.absorb(&format!("penalty={penalty}/base={base}"), &ev, &result);
             let p = result.points()[0];
             points.push(crate::runner::SeriesPoint {
                 x: base,
@@ -231,14 +281,17 @@ pub fn sensitivity(cfg: &RunConfig) -> Result<FigureResult, AhsError> {
             points,
         });
     }
-    Ok(FigureResult {
-        id: "sensitivity".into(),
-        title: "Calibration sensitivity: S(6h) versus maneuver base failure \
-                probability, per impairment penalty (n=8, lambda=1e-4)"
-            .into(),
-        x_label: "maneuver base failure probability".into(),
-        series,
-    })
+    Ok(tally.finish(
+        cfg,
+        FigureResult {
+            id: "sensitivity".into(),
+            title: "Calibration sensitivity: S(6h) versus maneuver base failure \
+                    probability, per impairment penalty (n=8, lambda=1e-4)"
+                .into(),
+            x_label: "maneuver base failure probability".into(),
+            series,
+        },
+    ))
 }
 
 /// Regenerates Tables 1–3 from the typed domain model.
@@ -367,13 +420,25 @@ mod tests {
             paper_precision: false,
             seed: 1,
             threads: 2,
+            ..RunConfig::quick()
         };
-        let fig = fig10(&cfg).unwrap();
-        assert_eq!(fig.series.len(), 3);
-        for s in &fig.series {
+        let run = fig10(&cfg).unwrap();
+        assert_eq!(run.figure.series.len(), 3);
+        for s in &run.figure.series {
             assert_eq!(s.points.len(), 5);
             assert_eq!(s.points[0].x, 2.0);
             assert_eq!(s.points[4].x, 10.0);
         }
+        // The manifest carries the full provenance of the figure.
+        let m = &run.manifest;
+        assert_eq!(m.seed, 1);
+        assert_eq!(m.threads, 2);
+        assert_eq!(m.replications, 3 * 200);
+        assert_eq!(m.estimates.len(), 15);
+        let snap = m.metrics.as_ref().expect("metrics snapshot attached");
+        assert_eq!(snap.replications, 3 * 200);
+        let rendered = m.render();
+        assert!(rendered.contains("\"schema\":\"ahs-run-manifest/v1\""));
+        assert!(rendered.contains("\"lambda\":0.00001"));
     }
 }

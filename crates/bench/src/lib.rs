@@ -15,6 +15,12 @@
 //!
 //! Binaries: `fig10` … `fig15`, `tables`, `durations`, and `all`
 //! (everything, writing CSV files under `results/`).
+//!
+//! Every study binary also writes a `results/<id>.manifest.json`
+//! provenance record — seed, parameters, stopping rule, git revision,
+//! throughput, and the estimates themselves (see
+//! `docs/observability.md`) — and accepts `--telemetry PATH` /
+//! `--progress` for JSON-lines progress events.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,5 +32,5 @@ mod runner;
 pub use figures::{
     ext_platoons, fig10, fig11, fig12, fig13, fig14, fig15, maneuver_durations, sensitivity, tables,
 };
-pub use output::{figure_to_csv, figure_to_markdown, write_results};
-pub use runner::{FigureResult, RunConfig, Series, SeriesPoint};
+pub use output::{figure_to_csv, figure_to_markdown, write_manifest, write_results};
+pub use runner::{FigureResult, FigureRun, RunConfig, Series, SeriesPoint};

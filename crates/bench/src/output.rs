@@ -3,6 +3,7 @@
 use std::io::Write as _;
 use std::path::Path;
 
+use ahs_obs::RunManifest;
 use ahs_stats::{format_csv, format_markdown, Table};
 
 use crate::runner::FigureResult;
@@ -66,6 +67,18 @@ pub fn write_results(fig: &FigureResult, dir: &Path) -> std::io::Result<std::pat
     let path = dir.join(format!("{}.csv", fig.id));
     let mut f = std::fs::File::create(&path)?;
     f.write_all(figure_to_csv(fig).as_bytes())?;
+    Ok(path)
+}
+
+/// Writes a run manifest under `dir/<model>.manifest.json` and returns
+/// the path.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_manifest(manifest: &RunManifest, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    let path = dir.join(format!("{}.manifest.json", manifest.model));
+    manifest.write(&path)?;
     Ok(path)
 }
 

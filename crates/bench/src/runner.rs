@@ -1,6 +1,10 @@
 //! Shared experiment runner and result types.
 
-use ahs_core::{AhsError, Params, UnsafetyEvaluator};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ahs_core::{AhsError, Params, UnsafetyCurve, UnsafetyEvaluator};
+use ahs_obs::{EstimatePoint, Json, Metrics, ProgressSink, RunManifest, StoppingSpec};
 use ahs_stats::{StoppingRule, TimeGrid};
 use serde::{Deserialize, Serialize};
 
@@ -41,7 +45,7 @@ pub struct FigureResult {
 }
 
 /// Execution configuration shared by every experiment.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
     /// Replications per evaluated point when `paper_precision` is off.
     pub replications: u64,
@@ -52,6 +56,10 @@ pub struct RunConfig {
     pub seed: u64,
     /// Worker threads (0 = all cores).
     pub threads: usize,
+    /// If set, append JSON-lines progress events to this file.
+    pub telemetry: Option<String>,
+    /// If set, emit JSON-lines progress events to stderr.
+    pub progress: bool,
 }
 
 impl RunConfig {
@@ -62,6 +70,8 @@ impl RunConfig {
             paper_precision: false,
             seed: 2009,
             threads: 0,
+            telemetry: None,
+            progress: false,
         }
     }
 
@@ -70,19 +80,20 @@ impl RunConfig {
         RunConfig {
             replications: 10_000,
             paper_precision: true,
-            seed: 2009,
-            threads: 0,
+            ..RunConfig::quick()
         }
     }
 
-    /// Parses `--paper`, `--reps N`, `--seed S`, `--threads T` from
-    /// command-line arguments (used by every `fig*` binary).
+    /// Parses `--paper`, `--reps N`, `--seed S`, `--threads T`,
+    /// `--telemetry PATH`, and `--progress` from command-line arguments
+    /// (used by every `fig*` binary).
     pub fn from_args(args: &[String]) -> Self {
         let mut cfg = RunConfig::quick();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--paper" => cfg.paper_precision = true,
+                "--progress" => cfg.progress = true,
                 "--reps" => {
                     i += 1;
                     cfg.replications = args[i].parse().expect("--reps takes an integer");
@@ -95,13 +106,33 @@ impl RunConfig {
                     i += 1;
                     cfg.threads = args[i].parse().expect("--threads takes an integer");
                 }
+                "--telemetry" => {
+                    i += 1;
+                    cfg.telemetry = Some(args[i].clone());
+                }
                 other => {
-                    panic!("unknown argument `{other}` (expected --paper/--reps/--seed/--threads)")
+                    panic!(
+                        "unknown argument `{other}` (expected --paper/--reps/--seed/\
+                         --threads/--telemetry/--progress)"
+                    )
                 }
             }
             i += 1;
         }
         cfg
+    }
+
+    /// The progress sink implied by `--telemetry` / `--progress`, if any.
+    pub(crate) fn progress_sink(&self) -> Option<Arc<ProgressSink>> {
+        if let Some(path) = &self.telemetry {
+            ProgressSink::file(std::path::Path::new(path))
+                .ok()
+                .map(Arc::new)
+        } else if self.progress {
+            Some(Arc::new(ProgressSink::stderr()))
+        } else {
+            None
+        }
     }
 
     /// Builds the evaluator for one experiment point.
@@ -129,45 +160,159 @@ impl Default for RunConfig {
     }
 }
 
+/// A reproduced figure together with its provenance manifest.
+#[derive(Debug, Clone)]
+pub struct FigureRun {
+    /// The figure's series, as before.
+    pub figure: FigureResult,
+    /// Seed, parameters, stopping rule, telemetry, and estimates of the
+    /// run that produced it.
+    pub manifest: RunManifest,
+}
+
+/// Per-figure telemetry accumulator: one shared [`Metrics`] sink for
+/// every study the figure runs, plus the material the manifest needs.
+pub(crate) struct FigTally {
+    metrics: Arc<Metrics>,
+    progress: Option<Arc<ProgressSink>>,
+    start: Instant,
+    replications: u64,
+    converged: bool,
+    stopping: Option<StoppingSpec>,
+    params: Vec<(String, Json)>,
+}
+
+impl FigTally {
+    pub(crate) fn new(cfg: &RunConfig) -> Self {
+        FigTally {
+            metrics: Arc::new(Metrics::new()),
+            progress: cfg.progress_sink(),
+            start: Instant::now(),
+            replications: 0,
+            converged: true,
+            stopping: None,
+            params: Vec::new(),
+        }
+    }
+
+    /// Builds one instrumented experiment-point evaluator.
+    pub(crate) fn evaluator(
+        &self,
+        cfg: &RunConfig,
+        params: Params,
+        salt: u64,
+    ) -> UnsafetyEvaluator {
+        let mut e = cfg
+            .evaluator(params, salt)
+            .with_metrics(self.metrics.clone());
+        if let Some(p) = &self.progress {
+            e = e.with_progress(p.clone());
+        }
+        e
+    }
+
+    /// Folds one evaluated study into the figure's manifest material.
+    pub(crate) fn absorb(&mut self, label: &str, ev: &UnsafetyEvaluator, curve: &UnsafetyCurve) {
+        self.replications += curve.replications();
+        self.converged &= curve.converged();
+        let rule = ev.rule();
+        self.stopping.get_or_insert_with(|| StoppingSpec {
+            confidence: rule.confidence(),
+            relative_half_width: rule.relative_half_width(),
+            min_samples: rule.min_samples(),
+            max_samples: rule.max_samples(),
+        });
+        self.params.push((label.to_owned(), ev.params().to_json()));
+    }
+
+    /// Closes out the figure: snapshot the metrics and assemble the
+    /// manifest.
+    pub(crate) fn finish(self, cfg: &RunConfig, figure: FigureResult) -> FigureRun {
+        let mut m = RunManifest::new(
+            format!("ahs-bench {}", figure.id),
+            figure.id.clone(),
+            cfg.seed,
+        );
+        m.threads = if cfg.threads > 0 {
+            cfg.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        m.stopping = self.stopping;
+        m.params = Json::Obj(self.params);
+        m.wall_seconds = self.start.elapsed().as_secs_f64();
+        m.replications = self.replications;
+        m.converged = self.converged;
+        m.estimates = figure
+            .series
+            .iter()
+            .flat_map(|s| {
+                s.points.iter().map(|p| EstimatePoint {
+                    series: s.label.clone(),
+                    x: p.x,
+                    y: p.y,
+                    half_width: p.half_width,
+                    samples: p.samples,
+                })
+            })
+            .collect();
+        m.metrics = Some(self.metrics.snapshot());
+        FigureRun {
+            figure,
+            manifest: m,
+        }
+    }
+}
+
+fn series_points(curve: &UnsafetyCurve) -> Vec<SeriesPoint> {
+    curve
+        .points()
+        .iter()
+        .map(|p| SeriesPoint {
+            x: p.x,
+            y: p.y,
+            half_width: p.half_width,
+            samples: p.samples,
+        })
+        .collect()
+}
+
 /// Runs one `S(t)` curve.
 pub(crate) fn curve(
     cfg: &RunConfig,
+    tally: &mut FigTally,
     params: Params,
     grid: &TimeGrid,
     label: impl Into<String>,
     salt: u64,
 ) -> Result<Series, AhsError> {
-    let result = cfg.evaluator(params, salt).evaluate(grid)?;
+    let label = label.into();
+    let ev = tally.evaluator(cfg, params, salt);
+    let result = ev.evaluate(grid)?;
+    tally.absorb(&label, &ev, &result);
     Ok(Series {
-        label: label.into(),
-        points: result
-            .points()
-            .iter()
-            .map(|p| SeriesPoint {
-                x: p.x,
-                y: p.y,
-                half_width: p.half_width,
-                samples: p.samples,
-            })
-            .collect(),
+        label,
+        points: series_points(&result),
     })
 }
 
 /// Runs a `S(t_fixed)`-versus-`n` series.
 pub(crate) fn versus_n(
     cfg: &RunConfig,
+    tally: &mut FigTally,
     base: impl Fn(usize) -> Params,
     ns: &[usize],
     t_hours: f64,
     label: impl Into<String>,
     salt: u64,
 ) -> Result<Series, AhsError> {
+    let label = label.into();
     let grid = TimeGrid::new(vec![t_hours]);
     let mut points = Vec::with_capacity(ns.len());
     for (i, &n) in ns.iter().enumerate() {
-        let result = cfg
-            .evaluator(base(n), salt.wrapping_add(i as u64))
-            .evaluate(&grid)?;
+        let ev = tally.evaluator(cfg, base(n), salt.wrapping_add(i as u64));
+        let result = ev.evaluate(&grid)?;
+        tally.absorb(&format!("{label}/n={n}"), &ev, &result);
         let p = result.points()[0];
         points.push(SeriesPoint {
             x: n as f64,
@@ -176,10 +321,7 @@ pub(crate) fn versus_n(
             samples: p.samples,
         });
     }
-    Ok(Series {
-        label: label.into(),
-        points,
-    })
+    Ok(Series { label, points })
 }
 
 #[cfg(test)]

@@ -1,6 +1,9 @@
 //! High-level evaluation of the unsafety measure `S(t)`.
 
+use std::sync::Arc;
+
 use ahs_des::{Backend, BiasScheme, Study};
+use ahs_obs::{EstimatePoint, Json, Metrics, ProgressSink, RunManifest, StoppingSpec};
 use ahs_stats::{StoppingRule, TimeGrid};
 use serde::{Deserialize, Serialize};
 
@@ -117,6 +120,8 @@ pub struct UnsafetyEvaluator {
     rule: StoppingRule,
     confidence: f64,
     bias: BiasMode,
+    metrics: Option<Arc<Metrics>>,
+    progress: Option<Arc<ProgressSink>>,
 }
 
 impl UnsafetyEvaluator {
@@ -133,6 +138,8 @@ impl UnsafetyEvaluator {
                 .with_max_samples(400_000),
             confidence: 0.95,
             bias: BiasMode::Auto,
+            metrics: None,
+            progress: None,
         }
     }
 
@@ -171,9 +178,87 @@ impl UnsafetyEvaluator {
         self
     }
 
+    /// Attaches a telemetry sink threaded down into the simulation
+    /// workers.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches a JSON-lines progress sink.
+    #[must_use]
+    pub fn with_progress(mut self, progress: Arc<ProgressSink>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
     /// The parameters under evaluation.
     pub fn params(&self) -> &Params {
         &self.params
+    }
+
+    /// Master seed of the evaluation.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The worker-thread count the study will actually use (the
+    /// explicit setting, or the machine's available parallelism).
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// The stopping rule in force.
+    pub fn rule(&self) -> StoppingRule {
+        self.rule
+    }
+
+    /// The bias mode in force.
+    pub fn bias_mode(&self) -> BiasMode {
+        self.bias
+    }
+
+    /// Builds a provenance manifest for an evaluated curve: seed,
+    /// thread count, stopping rule, full parameters, bias mode, and
+    /// the estimates themselves. `wall_seconds` is the caller-measured
+    /// duration of [`evaluate`](UnsafetyEvaluator::evaluate).
+    pub fn manifest(&self, tool: &str, curve: &UnsafetyCurve, wall_seconds: f64) -> RunManifest {
+        let mut m = RunManifest::new(tool, format!("ahs-unsafety-n{}", self.params.n), self.seed);
+        m.threads = self.effective_threads();
+        m.confidence = self.confidence;
+        m.stopping = Some(StoppingSpec {
+            confidence: self.rule.confidence(),
+            relative_half_width: self.rule.relative_half_width(),
+            min_samples: self.rule.min_samples(),
+            max_samples: self.rule.max_samples(),
+        });
+        m.params = self.params.to_json();
+        m.wall_seconds = wall_seconds;
+        m.replications = curve.replications();
+        m.converged = curve.converged();
+        m.estimates = curve
+            .points()
+            .iter()
+            .map(|p| EstimatePoint {
+                series: "unsafety".to_owned(),
+                x: p.x,
+                y: p.y,
+                half_width: p.half_width,
+                samples: p.samples,
+            })
+            .collect();
+        m.metrics = self.metrics.as_ref().map(|mx| mx.snapshot());
+        m.extra.push((
+            "bias_mode".to_owned(),
+            Json::str(match self.bias {
+                BiasMode::Auto => "auto".to_owned(),
+                BiasMode::None => "none".to_owned(),
+                BiasMode::Fixed(f) => format!("fixed:{f}"),
+            }),
+        ));
+        m
     }
 
     /// The healthy-state boost of [`BiasMode::Auto`]: targets ≈1.5
@@ -241,6 +326,12 @@ impl UnsafetyEvaluator {
             .with_confidence(self.confidence);
         if let Some(t) = self.threads {
             study = study.with_threads(t);
+        }
+        if let Some(m) = &self.metrics {
+            study = study.with_metrics(m.clone());
+        }
+        if let Some(p) = &self.progress {
+            study = study.with_progress(p.clone());
         }
 
         let ko = handles.ko_total;

@@ -1,5 +1,6 @@
 //! Model parameters (paper §4.1) with validation.
 
+use ahs_obs::Json;
 use ahs_platoon::RecoveryManeuver;
 use serde::{Deserialize, Serialize};
 
@@ -210,6 +211,38 @@ impl Params {
     pub fn load(&self) -> f64 {
         self.join_rate / self.leave_rate
     }
+
+    /// Serializes every parameter as a JSON object, keyed by field
+    /// name, for run manifests (the vendored `serde` is a no-op, so
+    /// provenance records are emitted through `ahs-obs`'s JSON tree).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("lambda", self.lambda.into()),
+            ("n", self.n.into()),
+            ("platoons", self.platoons.into()),
+            ("join_rate", self.join_rate.into()),
+            ("leave_rate", self.leave_rate.into()),
+            ("change_rate", self.change_rate.into()),
+            ("back_rate", self.back_rate.into()),
+            (
+                "maneuver_rates",
+                Json::Obj(
+                    RecoveryManeuver::ALL
+                        .iter()
+                        .map(|&m| {
+                            (
+                                m.abbreviation().to_owned(),
+                                Json::Num(self.maneuver_rates.rate(m)),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            ("maneuver_base_failure", self.maneuver_base_failure.into()),
+            ("impairment_penalty", self.impairment_penalty.into()),
+            ("strategy", Json::str(self.strategy.name())),
+        ])
+    }
 }
 
 impl Default for Params {
@@ -379,6 +412,29 @@ mod tests {
         let mut rates = ManeuverRates::nominal();
         rates.set_rate(RecoveryManeuver::GentleStop, 0.0);
         assert!(Params::builder().maneuver_rates(rates).build().is_err());
+    }
+
+    #[test]
+    fn to_json_covers_every_field() {
+        let p = Params::default();
+        let json = p.to_json().render();
+        for needle in [
+            "\"lambda\":0.00001",
+            "\"n\":10",
+            "\"platoons\":2",
+            "\"join_rate\":12",
+            "\"leave_rate\":4",
+            "\"change_rate\":6",
+            "\"back_rate\":20",
+            "\"GS\":24",
+            "\"AS\":30",
+            "\"TIE-N\":15",
+            "\"maneuver_base_failure\":0.05",
+            "\"impairment_penalty\":0.1",
+            "\"strategy\":\"DD\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
     }
 
     #[test]

@@ -9,19 +9,25 @@
 //!
 //! All comparisons run in regimes (large λ) where every method has
 //! signal.
+//!
+//! Each comparison exists at two scales: a `_fast` variant (a few
+//! seconds, always on, wide tolerances) that gates every commit, and a
+//! full-scale `#[ignore]`d variant (tight tolerances, minutes of
+//! replications) that CI runs in a non-blocking job — locally:
+//! `cargo test -p ahs-core --test cross_validation -- --ignored`.
 
 use ahs_core::{AgentSimulator, AhsModel, BiasMode, Params, UnsafetyEvaluator};
 use ahs_ctmc::{transient_distribution, SanMarkovModel, StateSpace};
 use ahs_stats::TimeGrid;
 
-#[test]
-fn san_model_matches_agent_simulator() {
+/// SAN evaluator versus the agent-level simulator at a given scale.
+fn check_san_vs_agent(reps: u64, floor: f64) {
     let params = Params::builder().lambda(0.05).n(3).build().unwrap();
     let grid = TimeGrid::new(vec![2.0, 6.0, 10.0]);
 
     let san_curve = UnsafetyEvaluator::new(params.clone())
         .with_seed(11)
-        .with_replications(30_000)
+        .with_replications(reps)
         .with_bias(BiasMode::None)
         .with_threads(4)
         .evaluate(&grid)
@@ -29,7 +35,7 @@ fn san_model_matches_agent_simulator() {
 
     let agent_curve = AgentSimulator::new(params)
         .unwrap()
-        .estimate(&grid, 30_000, 12);
+        .estimate(&grid, reps, 12);
 
     for (sp, ap) in san_curve
         .points()
@@ -37,7 +43,7 @@ fn san_model_matches_agent_simulator() {
         .zip(agent_curve.points(0.999).iter())
     {
         let gap = (sp.y - ap.y).abs();
-        let tol = (sp.half_width + ap.half_width).max(0.01);
+        let tol = (sp.half_width + ap.half_width).max(floor);
         assert!(
             gap <= tol,
             "t={}: SAN {} ± {} vs agent {} ± {}",
@@ -48,6 +54,17 @@ fn san_model_matches_agent_simulator() {
             ap.half_width
         );
     }
+}
+
+#[test]
+fn san_model_matches_agent_simulator_fast() {
+    check_san_vs_agent(5_000, 0.025);
+}
+
+#[test]
+#[ignore = "slow (~1 min): full-scale agent cross-validation; the fast variant always runs"]
+fn san_model_matches_agent_simulator() {
+    check_san_vs_agent(30_000, 0.01);
 }
 
 #[test]
@@ -93,15 +110,14 @@ fn san_model_matches_exact_ctmc_for_n1() {
     }
 }
 
-#[test]
-fn unsafety_grows_with_platoon_capacity() {
-    // Figure 10/12 mechanism at a fast-failure scale: more vehicles per
-    // platoon → more concurrent-failure opportunities → higher S(t).
+/// Figure 10/12 mechanism at a fast-failure scale: more vehicles per
+/// platoon → more concurrent-failure opportunities → higher S(t).
+fn check_unsafety_grows_with_n(reps: u64) {
     let grid = TimeGrid::new(vec![6.0]);
     let s = |n: usize| {
         UnsafetyEvaluator::new(Params::builder().lambda(0.02).n(n).build().unwrap())
             .with_seed(31)
-            .with_replications(25_000)
+            .with_replications(reps)
             .with_threads(4)
             .evaluate(&grid)
             .unwrap()
@@ -120,13 +136,23 @@ fn unsafety_grows_with_platoon_capacity() {
 }
 
 #[test]
-fn unsafety_grows_with_failure_rate() {
-    // Figure 11 mechanism: S(t) is sharply increasing in λ.
+fn unsafety_grows_with_platoon_capacity_fast() {
+    check_unsafety_grows_with_n(4_000);
+}
+
+#[test]
+#[ignore = "slow (~1.5 min): full-scale monotonicity check; the fast variant always runs"]
+fn unsafety_grows_with_platoon_capacity() {
+    check_unsafety_grows_with_n(25_000);
+}
+
+/// Figure 11 mechanism: S(t) is sharply increasing in λ.
+fn check_unsafety_grows_with_lambda(reps: u64, min_ratio: f64) {
     let grid = TimeGrid::new(vec![6.0]);
     let s = |lambda: f64| {
         UnsafetyEvaluator::new(Params::builder().lambda(lambda).n(4).build().unwrap())
             .with_seed(41)
-            .with_replications(25_000)
+            .with_replications(reps)
             .with_threads(4)
             .evaluate(&grid)
             .unwrap()
@@ -135,13 +161,26 @@ fn unsafety_grows_with_failure_rate() {
     };
     let lo = s(5e-3);
     let hi = s(5e-2);
-    assert!(hi > lo * 5.0, "λ×10 should raise S(6h) ≫: {lo} -> {hi}");
+    assert!(
+        hi > lo * min_ratio,
+        "λ×10 should raise S(6h) ≫: {lo} -> {hi}"
+    );
 }
 
 #[test]
-fn san_model_matches_agent_simulator_with_three_platoons() {
-    // The multi-platoon extension must keep both implementations in
-    // lock-step too.
+fn unsafety_grows_with_failure_rate_fast() {
+    check_unsafety_grows_with_lambda(4_000, 3.0);
+}
+
+#[test]
+#[ignore = "slow (~1 min): full-scale monotonicity check; the fast variant always runs"]
+fn unsafety_grows_with_failure_rate() {
+    check_unsafety_grows_with_lambda(25_000, 5.0);
+}
+
+/// The multi-platoon extension must keep both implementations in
+/// lock-step too.
+fn check_san_vs_agent_three_platoons(reps: u64, floor: f64) {
     let params = Params::builder()
         .lambda(0.05)
         .n(2)
@@ -152,14 +191,14 @@ fn san_model_matches_agent_simulator_with_three_platoons() {
 
     let san_curve = UnsafetyEvaluator::new(params.clone())
         .with_seed(71)
-        .with_replications(25_000)
+        .with_replications(reps)
         .with_bias(BiasMode::None)
         .with_threads(4)
         .evaluate(&grid)
         .unwrap();
     let agent_curve = AgentSimulator::new(params)
         .unwrap()
-        .estimate(&grid, 25_000, 72);
+        .estimate(&grid, reps, 72);
 
     for (sp, ap) in san_curve
         .points()
@@ -167,7 +206,7 @@ fn san_model_matches_agent_simulator_with_three_platoons() {
         .zip(agent_curve.points(0.999).iter())
     {
         let gap = (sp.y - ap.y).abs();
-        let tol = (sp.half_width + ap.half_width).max(0.01);
+        let tol = (sp.half_width + ap.half_width).max(floor);
         assert!(
             gap <= tol,
             "t={}: SAN {} vs agent {} (3 platoons)",
@@ -179,17 +218,27 @@ fn san_model_matches_agent_simulator_with_three_platoons() {
 }
 
 #[test]
-fn splitting_agrees_with_plain_mc_and_is() {
-    // Three estimation methods on the same configuration, in a regime
-    // where all have signal: plain MC, dynamic IS, and multilevel
-    // splitting (levels = number of concurrently recovering vehicles,
-    // top level = KO_total).
+fn san_model_matches_agent_simulator_with_three_platoons_fast() {
+    check_san_vs_agent_three_platoons(5_000, 0.025);
+}
+
+#[test]
+#[ignore = "slow (~1 min): full-scale 3-platoon cross-validation; the fast variant always runs"]
+fn san_model_matches_agent_simulator_with_three_platoons() {
+    check_san_vs_agent_three_platoons(25_000, 0.01);
+}
+
+/// Three estimation methods on the same configuration, in a regime
+/// where all have signal: plain MC, dynamic IS, and multilevel
+/// splitting (levels = number of concurrently recovering vehicles,
+/// top level = KO_total).
+fn check_splitting_vs_plain_and_is(reps: u64, effort: u64) {
     let params = Params::builder().lambda(2e-3).n(4).build().unwrap();
     let grid = TimeGrid::new(vec![6.0]);
 
     let plain = UnsafetyEvaluator::new(params.clone())
         .with_seed(61)
-        .with_replications(60_000)
+        .with_replications(reps)
         .with_bias(BiasMode::None)
         .with_threads(4)
         .evaluate(&grid)
@@ -198,7 +247,7 @@ fn splitting_agrees_with_plain_mc_and_is() {
 
     let is = UnsafetyEvaluator::new(params.clone())
         .with_seed(62)
-        .with_replications(60_000)
+        .with_replications(reps)
         .with_threads(4)
         .evaluate(&grid)
         .unwrap()
@@ -207,7 +256,7 @@ fn splitting_agrees_with_plain_mc_and_is() {
     let model = AhsModel::build(&params).unwrap();
     let h = model.handles().clone();
     let (san, _) = model.into_san();
-    let split = ahs_safety_splitting(san, &h, 6.0);
+    let split = ahs_safety_splitting(san, &h, 6.0, effort);
 
     assert!(
         (plain.y - is.y).abs() <= 3.0 * (plain.half_width + is.half_width),
@@ -228,15 +277,27 @@ fn splitting_agrees_with_plain_mc_and_is() {
     );
 }
 
+#[test]
+fn splitting_agrees_with_plain_mc_and_is_fast() {
+    check_splitting_vs_plain_and_is(12_000, 5_000);
+}
+
+#[test]
+#[ignore = "slow (~1 min): full-scale three-method agreement; the fast variant always runs"]
+fn splitting_agrees_with_plain_mc_and_is() {
+    check_splitting_vs_plain_and_is(60_000, 20_000);
+}
+
 fn ahs_safety_splitting(
     san: ahs_san::SanModel,
     h: &ahs_core::ModelHandles,
     horizon: f64,
+    effort: u64,
 ) -> ahs_des::SplittingEstimate {
     let (ko, ca, cb, cc) = (h.ko_total, h.class_a, h.class_b, h.class_c);
     ahs_des::SplittingStudy::new(san)
         .with_seed(63)
-        .with_effort(20_000)
+        .with_effort(effort)
         .estimate(
             move |m| {
                 if m.is_marked(ko) {
@@ -251,20 +312,33 @@ fn ahs_safety_splitting(
         .unwrap()
 }
 
-#[test]
-fn importance_sampling_reaches_the_rare_regime() {
-    // At the paper's λ = 1e-5 plain MC would see nothing; the biased
-    // evaluator must produce a positive estimate with finite precision.
+/// At the paper's λ = 1e-5 plain MC would see nothing; the biased
+/// evaluator must produce a positive estimate with finite precision.
+fn check_is_reaches_rare_regime(reps: u64, max_rel: f64) {
     let params = Params::builder().lambda(1e-5).n(8).build().unwrap();
     let grid = TimeGrid::new(vec![6.0]);
     let curve = UnsafetyEvaluator::new(params)
         .with_seed(51)
-        .with_replications(40_000)
+        .with_replications(reps)
         .with_threads(4)
         .evaluate(&grid)
         .unwrap();
     let pt = curve.points()[0];
     assert!(pt.y > 0.0, "rare-event estimate must be positive");
     assert!(pt.y < 1e-3, "S(6h) at λ=1e-5 should be small, got {}", pt.y);
-    assert!(pt.half_width < pt.y, "relative precision too poor: {pt:?}");
+    assert!(
+        pt.half_width < pt.y * max_rel,
+        "relative precision too poor: {pt:?}"
+    );
+}
+
+#[test]
+fn importance_sampling_reaches_the_rare_regime_fast() {
+    check_is_reaches_rare_regime(8_000, 3.0);
+}
+
+#[test]
+#[ignore = "slow (~1 min): full-scale rare-regime precision check; the fast variant always runs"]
+fn importance_sampling_reaches_the_rare_regime() {
+    check_is_reaches_rare_regime(40_000, 1.0);
 }

@@ -61,6 +61,7 @@ pub struct EventQueue {
     heap: BinaryHeap<ScheduledEvent>,
     generations: Vec<u64>,
     scheduled: Vec<bool>,
+    live: usize,
 }
 
 impl EventQueue {
@@ -70,7 +71,13 @@ impl EventQueue {
             heap: BinaryHeap::new(),
             generations: vec![0; num_activities],
             scheduled: vec![false; num_activities],
+            live: 0,
         }
+    }
+
+    /// Number of pending (non-cancelled) events, in O(1).
+    pub fn live(&self) -> usize {
+        self.live
     }
 
     /// Schedules activity slot `activity` to complete at `time`.
@@ -85,6 +92,7 @@ impl EventQueue {
             "activity {activity} is already scheduled; cancel before rescheduling"
         );
         self.scheduled[activity] = true;
+        self.live += 1;
         self.heap.push(ScheduledEvent {
             time,
             activity,
@@ -101,6 +109,7 @@ impl EventQueue {
         if self.scheduled[activity] {
             self.scheduled[activity] = false;
             self.generations[activity] += 1;
+            self.live -= 1;
         }
     }
 
@@ -115,6 +124,7 @@ impl EventQueue {
             if self.scheduled[ev.activity] && self.generations[ev.activity] == ev.generation {
                 self.scheduled[ev.activity] = false;
                 self.generations[ev.activity] += 1;
+                self.live -= 1;
                 return Some(ev);
             }
         }
@@ -141,6 +151,7 @@ impl EventQueue {
         for s in &mut self.scheduled {
             *s = false;
         }
+        self.live = 0;
     }
 }
 
@@ -225,5 +236,24 @@ mod tests {
         q.cancel(0);
         q.schedule(1.0, 0);
         assert_eq!(q.pop().unwrap().time, 1.0);
+    }
+
+    #[test]
+    fn live_tracks_pending_events() {
+        let mut q = EventQueue::new(3);
+        assert_eq!(q.live(), 0);
+        q.schedule(1.0, 0);
+        q.schedule(2.0, 1);
+        q.schedule(3.0, 2);
+        assert_eq!(q.live(), 3);
+        q.cancel(1);
+        q.cancel(1); // no-op
+        assert_eq!(q.live(), 2);
+        q.pop();
+        assert_eq!(q.live(), 1);
+        q.clear();
+        assert_eq!(q.live(), 0);
+        q.schedule(4.0, 0);
+        assert_eq!(q.live(), 1);
     }
 }

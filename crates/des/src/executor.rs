@@ -1,5 +1,8 @@
 //! Event-queue execution of SANs with arbitrary delay distributions.
 
+use std::sync::Arc;
+
+use ahs_obs::Metrics;
 use ahs_san::{ActivityId, Marking, SanModel, Timing};
 use rand::Rng;
 
@@ -26,6 +29,17 @@ const DEFAULT_MAX_EVENTS: u64 = 10_000_000;
 pub struct EventDrivenSimulator<'m> {
     model: &'m SanModel,
     max_events: u64,
+    metrics: Option<Arc<Metrics>>,
+}
+
+/// Per-run tallies accumulated locally and flushed once per
+/// replication, so telemetry never adds per-event atomic traffic.
+#[derive(Default)]
+struct RunTally {
+    timed: u64,
+    instantaneous: u64,
+    cascaded: bool,
+    queue_depth_max: usize,
 }
 
 impl<'m> EventDrivenSimulator<'m> {
@@ -34,6 +48,7 @@ impl<'m> EventDrivenSimulator<'m> {
         EventDrivenSimulator {
             model,
             max_events: DEFAULT_MAX_EVENTS,
+            metrics: None,
         }
     }
 
@@ -44,9 +59,26 @@ impl<'m> EventDrivenSimulator<'m> {
         self
     }
 
+    /// Attaches a telemetry sink; per-run tallies (completions by
+    /// kind, cascades, event-queue depth) are flushed into it once per
+    /// replication.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// The model being simulated.
     pub fn model(&self) -> &SanModel {
         self.model
+    }
+
+    fn flush_run(&self, tally: &RunTally) {
+        if let Some(m) = &self.metrics {
+            m.record_run(tally.timed, tally.instantaneous, tally.cascaded);
+            m.record_weight(1.0);
+            m.record_queue_depth(tally.queue_depth_max);
+        }
     }
 
     fn sample_delay<R: Rng + ?Sized>(&self, a: ActivityId, marking: &Marking, rng: &mut R) -> f64 {
@@ -91,8 +123,28 @@ impl<'m> EventDrivenSimulator<'m> {
         R: Rng + ?Sized,
         O: Observer + ?Sized,
     {
+        let (end, tally) = self.run_tallied(horizon, rng, observer)?;
+        self.flush_run(&tally);
+        Ok(end)
+    }
+
+    /// [`run`](EventDrivenSimulator::run) body returning the run's
+    /// tallies; callers flush them to the sink exactly once.
+    fn run_tallied<R, O>(
+        &self,
+        horizon: f64,
+        rng: &mut R,
+        observer: &mut O,
+    ) -> Result<(f64, RunTally), SimError>
+    where
+        R: Rng + ?Sized,
+        O: Observer + ?Sized,
+    {
+        let mut tally = RunTally::default();
         let mut marking = self.model.initial_marking().clone();
         let fired = self.model.stabilize(&mut marking, rng)?;
+        tally.instantaneous += fired.len() as u64;
+        tally.cascaded |= fired.len() >= 2;
         observer.on_start(&marking);
         for a in fired {
             observer.on_event(0.0, a, &marking);
@@ -100,21 +152,22 @@ impl<'m> EventDrivenSimulator<'m> {
 
         let mut queue = EventQueue::new(self.model.timed_activities().len());
         self.reconcile(0.0, &marking, &mut queue, rng);
+        tally.queue_depth_max = queue.live();
         let mut events = 0_u64;
         let mut t = 0.0_f64;
 
         loop {
             if observer.should_stop(t, &marking) {
                 observer.on_end(t, &marking);
-                return Ok(t);
+                return Ok((t, tally));
             }
             let Some(ev) = queue.pop() else {
                 observer.on_end(horizon, &marking);
-                return Ok(horizon);
+                return Ok((horizon, tally));
             };
             if ev.time > horizon {
                 observer.on_end(horizon, &marking);
-                return Ok(horizon);
+                return Ok((horizon, tally));
             }
             t = ev.time;
             let a = self.model.timed_activities()[ev.activity];
@@ -122,11 +175,15 @@ impl<'m> EventDrivenSimulator<'m> {
             self.model.fire(a, case, &mut marking);
             observer.on_event(t, a, &marking);
             let fired = self.model.stabilize(&mut marking, rng)?;
+            tally.instantaneous += fired.len() as u64;
+            tally.cascaded |= fired.len() >= 2;
             for ia in fired {
                 observer.on_event(t, ia, &marking);
             }
             self.reconcile(t, &marking, &mut queue, rng);
+            tally.queue_depth_max = tally.queue_depth_max.max(queue.live());
             events += 1;
+            tally.timed = events;
             if events > self.max_events {
                 return Err(SimError::EventBudgetExceeded {
                     budget: self.max_events,
@@ -172,13 +229,14 @@ impl<'m> EventDrivenSimulator<'m> {
             }
         }
         let mut fp = Fp { target, hit: None };
-        let end = self.run(horizon, rng, &mut fp)?;
+        let (end, tally) = self.run_tallied(horizon, rng, &mut fp)?;
+        self.flush_run(&tally);
         Ok(RunOutcome {
             hit_time: fp.hit,
             hit_weight: if fp.hit.is_some() { 1.0 } else { 0.0 },
             end_time: end,
             final_weight: 1.0,
-            events: 0,
+            events: tally.timed,
         })
     }
 
@@ -202,10 +260,14 @@ impl<'m> EventDrivenSimulator<'m> {
         let mut out = Vec::with_capacity(grid.len());
         let mut next = 0_usize;
 
+        let mut tally = RunTally::default();
         let mut marking = self.model.initial_marking().clone();
-        self.model.stabilize(&mut marking, rng)?;
+        let fired = self.model.stabilize(&mut marking, rng)?;
+        tally.instantaneous += fired.len() as u64;
+        tally.cascaded |= fired.len() >= 2;
         let mut queue = EventQueue::new(self.model.timed_activities().len());
         self.reconcile(0.0, &marking, &mut queue, rng);
+        tally.queue_depth_max = queue.live();
         let mut events = 0_u64;
 
         while next < grid.len() {
@@ -224,9 +286,13 @@ impl<'m> EventDrivenSimulator<'m> {
             let a = self.model.timed_activities()[ev.activity];
             let case = self.model.select_case(a, &marking, rng)?;
             self.model.fire(a, case, &mut marking);
-            self.model.stabilize(&mut marking, rng)?;
+            let fired = self.model.stabilize(&mut marking, rng)?;
+            tally.instantaneous += fired.len() as u64;
+            tally.cascaded |= fired.len() >= 2;
             self.reconcile(ev.time, &marking, &mut queue, rng);
+            tally.queue_depth_max = tally.queue_depth_max.max(queue.live());
             events += 1;
+            tally.timed = events;
             if events > self.max_events {
                 return Err(SimError::EventBudgetExceeded {
                     budget: self.max_events,
@@ -240,6 +306,7 @@ impl<'m> EventDrivenSimulator<'m> {
             next += 1;
         }
         debug_assert_eq!(out.len(), grid.len());
+        self.flush_run(&tally);
         Ok(out)
     }
 }

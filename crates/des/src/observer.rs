@@ -94,6 +94,87 @@ impl Observer for TraceObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::EventDrivenSimulator;
+    use ahs_san::{Delay, SanBuilder};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Chain with an instantaneous step: `a` (timed) enables `boom`
+    /// (instantaneous) which enables `b` (timed).
+    fn chain_with_instant() -> ahs_san::SanModel {
+        let mut b = SanBuilder::new("chain");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place("q").unwrap();
+        let r = b.place("r").unwrap();
+        let s = b.place("s").unwrap();
+        b.timed_activity("a", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .output_place(q)
+            .build()
+            .unwrap();
+        b.instant_activity("boom", 1, 1.0)
+            .unwrap()
+            .input_place(q)
+            .output_place(r)
+            .build()
+            .unwrap();
+        b.timed_activity("b", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(r)
+            .output_place(s)
+            .build()
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn trace_times_are_non_decreasing() {
+        let model = chain_with_instant();
+        let mut trace = TraceObserver::new(&model);
+        let sim = EventDrivenSimulator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(7);
+        sim.run(100.0, &mut rng, &mut trace).unwrap();
+        let events = trace.events();
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(
+                w[0].0 <= w[1].0,
+                "trace times must be non-decreasing: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn instantaneous_activity_fires_at_its_trigger_instant() {
+        // `boom` is instantaneous: it must be recorded at exactly the
+        // same simulated time as the timed completion (`a`) that
+        // enabled it, immediately after it in the trace.
+        let model = chain_with_instant();
+        let mut trace = TraceObserver::new(&model);
+        let sim = EventDrivenSimulator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(11);
+        sim.run(100.0, &mut rng, &mut trace).unwrap();
+        let events = trace.events();
+        let a_pos = events.iter().position(|(_, n)| n == "a").expect("a fired");
+        assert_eq!(events[a_pos + 1].1, "boom");
+        assert_eq!(
+            events[a_pos].0,
+            events[a_pos + 1].0,
+            "instantaneous completion must share the enabling instant"
+        );
+    }
+
+    #[test]
+    fn trace_records_every_activity_in_the_chain() {
+        let model = chain_with_instant();
+        let mut trace = TraceObserver::new(&model);
+        let sim = EventDrivenSimulator::new(&model);
+        let mut rng = SmallRng::seed_from_u64(3);
+        sim.run(1000.0, &mut rng, &mut trace).unwrap();
+        let names: Vec<&str> = trace.events().iter().map(|(_, n)| n.as_str()).collect();
+        assert_eq!(names, ["a", "boom", "b"]);
+    }
 
     #[test]
     fn null_observer_never_stops() {

@@ -3,7 +3,9 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
+use ahs_obs::{Json, Metrics, ProgressSink};
 use ahs_san::{Marking, SanModel};
 use ahs_stats::{Curve, StoppingRule, TimeGrid};
 use parking_lot::Mutex;
@@ -42,9 +44,12 @@ pub struct CurveEstimate {
 ///
 /// Replications are deterministic given the master seed — replication
 /// `i` always consumes random stream `i` regardless of thread
-/// scheduling, so two runs of the same study produce the same estimate
-/// up to the (small) variation in total replication count when the
-/// stopping rule fires between chunks.
+/// scheduling, and worker chunks are merged into the final curve in
+/// replication order, so a fixed-budget study produces **bitwise
+/// identical** estimates for any thread count (the determinism test
+/// tier enforces this). Precision-rule studies are deterministic per
+/// replication too, but the total replication count may vary slightly
+/// with scheduling because the rule fires between chunks.
 ///
 /// The default stopping rule mirrors the paper: at least 10 000
 /// replications and a 95% confidence interval within 0.1 relative
@@ -57,6 +62,8 @@ pub struct Study {
     rule: StoppingRule,
     threads: usize,
     chunk: u64,
+    metrics: Option<Arc<Metrics>>,
+    progress: Option<Arc<ProgressSink>>,
 }
 
 impl Study {
@@ -72,6 +79,8 @@ impl Study {
                 .with_max_samples(4_000_000),
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             chunk: 1_000,
+            metrics: None,
+            progress: None,
         }
     }
 
@@ -135,6 +144,23 @@ impl Study {
         self
     }
 
+    /// Attaches a telemetry sink shared by all workers (replication
+    /// counts, per-run tallies, weight diagnostics, chunk merges,
+    /// per-worker throughput).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches a JSON-lines progress sink; the study emits
+    /// `study_started`, `chunk_done`, and `study_finished` events.
+    #[must_use]
+    pub fn with_progress(mut self, progress: Arc<ProgressSink>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
     /// The model under study.
     pub fn model(&self) -> &SanModel {
         &self.model
@@ -143,6 +169,21 @@ impl Study {
     /// Confidence level used for stopping and reporting.
     pub fn confidence(&self) -> f64 {
         self.confidence
+    }
+
+    /// Master seed of the study.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The stopping rule in force.
+    pub fn rule(&self) -> StoppingRule {
+        self.rule
     }
 
     /// Estimates the first-passage probability curve
@@ -216,17 +257,46 @@ impl Study {
             + Send
             + Sync,
     {
+        // `global` feeds the stopping checks; the per-chunk curves in
+        // `chunks` are re-merged in replication order at the end so the
+        // final estimate is independent of worker scheduling.
         let global = Mutex::new(Curve::new(grid.clone()));
+        let chunks: Mutex<Vec<(u64, Curve)>> = Mutex::new(Vec::new());
         let next_rep = AtomicU64::new(0);
         let done = AtomicBool::new(false);
         let failure: Mutex<Option<SimError>> = Mutex::new(None);
         let converged = AtomicBool::new(false);
 
+        if let Some(p) = &self.progress {
+            p.emit(
+                "study_started",
+                vec![
+                    ("model", Json::str(self.model.name())),
+                    ("seed", self.seed.into()),
+                    ("threads", self.threads.into()),
+                    ("chunk", self.chunk.into()),
+                ],
+            );
+        }
+
         let run_worker = || -> () {
+            let worker_clock = Instant::now();
+            let mut worker_reps = 0_u64;
             let engine = match &backend {
-                Backend::EventDriven => Engine::Event(EventDrivenSimulator::new(&self.model)),
+                Backend::EventDriven => {
+                    let mut sim = EventDrivenSimulator::new(&self.model);
+                    if let Some(m) = &self.metrics {
+                        sim = sim.with_metrics(m.clone());
+                    }
+                    Engine::Event(sim)
+                }
                 Backend::Markov => match MarkovSimulator::new(&self.model) {
-                    Ok(sim) => Engine::Markov(sim),
+                    Ok(mut sim) => {
+                        if let Some(m) = &self.metrics {
+                            sim = sim.with_metrics(m.clone());
+                        }
+                        Engine::Markov(sim)
+                    }
                     Err(e) => {
                         *failure.lock() = Some(e);
                         done.store(true, Ordering::SeqCst);
@@ -234,7 +304,13 @@ impl Study {
                     }
                 },
                 Backend::BiasedMarkov(bias) => match MarkovSimulator::new(&self.model) {
-                    Ok(sim) => Engine::Markov(sim.with_bias(bias.clone())),
+                    Ok(mut sim) => {
+                        sim = sim.with_bias(bias.clone());
+                        if let Some(m) = &self.metrics {
+                            sim = sim.with_metrics(m.clone());
+                        }
+                        Engine::Markov(sim)
+                    }
                     Err(e) => {
                         *failure.lock() = Some(e);
                         done.store(true, Ordering::SeqCst);
@@ -264,15 +340,35 @@ impl Study {
                         return;
                     }
                 }
+                worker_reps += end - start;
                 let mut g = global.lock();
                 g.merge(&local);
+                let merged_total = g.samples();
                 let last = grid.len() - 1;
                 let stats = *g.estimator(last).product_stats();
                 drop(g);
+                chunks.lock().push((start, local));
+                if let Some(m) = &self.metrics {
+                    m.add_replications(end - start);
+                    m.record_chunk_merge();
+                }
+                if let Some(p) = &self.progress {
+                    p.emit(
+                        "chunk_done",
+                        vec![
+                            ("start", start.into()),
+                            ("replications", (end - start).into()),
+                            ("total", merged_total.into()),
+                        ],
+                    );
+                }
                 if self.rule.is_satisfied(&stats) {
                     converged.store(self.rule.precision_reached(&stats), Ordering::SeqCst);
                     done.store(true, Ordering::SeqCst);
                 }
+            }
+            if let Some(m) = &self.metrics {
+                m.record_worker(worker_reps, worker_clock.elapsed().as_secs_f64());
             }
         };
 
@@ -290,12 +386,32 @@ impl Study {
         if let Some(e) = failure.into_inner() {
             return Err(e);
         }
-        let curve = global.into_inner();
+        // Deterministic re-merge: sort chunks by first replication
+        // index and fold in that order. Floating-point merge order is
+        // then a pure function of the chunk set, which for fixed-budget
+        // rules is itself scheduling-independent.
+        let mut chunks = chunks.into_inner();
+        chunks.sort_by_key(|&(start, _)| start);
+        let mut curve = Curve::new(grid.clone());
+        for (_, local) in &chunks {
+            curve.merge(local);
+        }
+        debug_assert_eq!(curve.samples(), global.into_inner().samples());
         let replications = curve.samples();
+        let converged = converged.load(Ordering::SeqCst);
+        if let Some(p) = &self.progress {
+            p.emit(
+                "study_finished",
+                vec![
+                    ("replications", replications.into()),
+                    ("converged", converged.into()),
+                ],
+            );
+        }
         Ok(CurveEstimate {
             curve,
             replications,
-            converged: converged.load(Ordering::SeqCst),
+            converged,
         })
     }
 }

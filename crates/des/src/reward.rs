@@ -8,6 +8,9 @@
 //! interval-of-time variables of the Möbius reward formalism, estimated
 //! here over independent replications.
 
+use std::sync::Arc;
+
+use ahs_obs::Metrics;
 use ahs_san::{ActivityId, Marking, SanModel};
 use ahs_stats::{RunningStats, StoppingRule};
 
@@ -164,6 +167,7 @@ pub struct RewardStudy {
     model: SanModel,
     seed: u64,
     rule: StoppingRule,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl RewardStudy {
@@ -174,6 +178,7 @@ impl RewardStudy {
             model,
             seed: 0x5EED,
             rule: StoppingRule::fixed(10_000),
+            metrics: None,
         }
     }
 
@@ -195,6 +200,14 @@ impl RewardStudy {
     #[must_use]
     pub fn with_rule(mut self, rule: StoppingRule) -> Self {
         self.rule = rule;
+        self
+    }
+
+    /// Attaches a telemetry sink (per-run tallies and replication
+    /// counts).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -228,7 +241,10 @@ impl RewardStudy {
                 panic!("reward estimation requires an unbiased backend")
             }
             Backend::Markov => {
-                let sim = MarkovSimulator::new(&self.model)?;
+                let mut sim = MarkovSimulator::new(&self.model)?;
+                if let Some(m) = &self.metrics {
+                    sim = sim.with_metrics(m.clone());
+                }
                 let mut rep = 0u64;
                 while !self.rule.is_satisfied(&stats) {
                     let mut rng = replication_rng(self.seed, rep);
@@ -237,9 +253,15 @@ impl RewardStudy {
                     stats.push(obs.total);
                     rep += 1;
                 }
+                if let Some(m) = &self.metrics {
+                    m.add_replications(rep);
+                }
             }
             Backend::EventDriven => {
-                let sim = EventDrivenSimulator::new(&self.model);
+                let mut sim = EventDrivenSimulator::new(&self.model);
+                if let Some(m) = &self.metrics {
+                    sim = sim.with_metrics(m.clone());
+                }
                 let mut rep = 0u64;
                 while !self.rule.is_satisfied(&stats) {
                     let mut rng = replication_rng(self.seed, rep);
@@ -247,6 +269,9 @@ impl RewardStudy {
                     sim.run(horizon, &mut rng, &mut obs)?;
                     stats.push(obs.total);
                     rep += 1;
+                }
+                if let Some(m) = &self.metrics {
+                    m.add_replications(rep);
                 }
             }
         }

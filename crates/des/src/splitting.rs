@@ -17,6 +17,9 @@
 //! the number of concurrently recovering vehicles, with the top level
 //! the marked `KO_total`.
 
+use std::sync::Arc;
+
+use ahs_obs::Metrics;
 use ahs_san::{Marking, SanModel};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -82,6 +85,7 @@ pub struct SplittingStudy {
     model: SanModel,
     seed: u64,
     effort: u64,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl SplittingStudy {
@@ -92,6 +96,7 @@ impl SplittingStudy {
             model,
             seed: 0x51117,
             effort: 10_000,
+            metrics: None,
         }
     }
 
@@ -111,6 +116,14 @@ impl SplittingStudy {
     pub fn with_effort(mut self, effort: u64) -> Self {
         assert!(effort > 0, "per-stage effort must be positive");
         self.effort = effort;
+        self
+    }
+
+    /// Attaches a telemetry sink (per-path tallies plus a replication
+    /// count of `effort` per stage).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -141,7 +154,10 @@ impl SplittingStudy {
         L: Fn(&Marking) -> usize,
     {
         assert!(target_level > 0, "target level must be positive");
-        let sim = MarkovSimulator::new(&self.model)?;
+        let mut sim = MarkovSimulator::new(&self.model)?;
+        if let Some(m) = &self.metrics {
+            sim = sim.with_metrics(m.clone());
+        }
         let mut rng_seq = 0_u64;
         let next_rng = |seed: u64, seq: &mut u64| -> SmallRng {
             *seq += 1;
@@ -184,6 +200,9 @@ impl SplittingStudy {
                     successes += 1;
                     next_entries.push((final_marking, hit));
                 }
+            }
+            if let Some(m) = &self.metrics {
+                m.add_replications(self.effort);
             }
             let p_hat = successes as f64 / self.effort as f64;
             stage_probabilities.push(p_hat);

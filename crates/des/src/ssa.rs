@@ -1,6 +1,9 @@
 //! Gillespie/SSA execution of Markovian SANs with exact
 //! likelihood-ratio importance sampling.
 
+use std::sync::Arc;
+
+use ahs_obs::Metrics;
 use ahs_san::{ActivityId, Marking, SanModel};
 use rand::Rng;
 
@@ -49,6 +52,7 @@ pub struct MarkovSimulator<'m> {
     // Scratch identifying which activities are biased (index-aligned
     // with the model's timed activity list).
     timed: Vec<ActivityId>,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl<'m> MarkovSimulator<'m> {
@@ -78,6 +82,7 @@ impl<'m> MarkovSimulator<'m> {
             bias: None,
             max_events: DEFAULT_MAX_EVENTS,
             timed: model.timed_activities().to_vec(),
+            metrics: None,
         })
     }
 
@@ -95,9 +100,26 @@ impl<'m> MarkovSimulator<'m> {
         self
     }
 
+    /// Attaches a telemetry sink; per-run tallies (completions by
+    /// kind, cascades, likelihood-ratio weights) are flushed into it
+    /// once per replication.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// The model being simulated.
     pub fn model(&self) -> &SanModel {
         self.model
+    }
+
+    /// Flushes one run's local tallies into the attached sink, if any.
+    fn flush_run(&self, timed: u64, instantaneous: u64, cascaded: bool, weight: f64) {
+        if let Some(m) = &self.metrics {
+            m.record_run(timed, instantaneous, cascaded);
+            m.record_weight(weight);
+        }
     }
 
     fn rate_of(&self, a: ActivityId, m: &Marking) -> Result<f64, SimError> {
@@ -171,12 +193,14 @@ impl<'m> MarkovSimulator<'m> {
             "start time {t0} must lie in [0, {horizon}]"
         );
         let mut marking = start;
-        self.model.stabilize(&mut marking, rng)?;
+        let mut instantaneous = self.model.stabilize(&mut marking, rng)?.len() as u64;
+        let mut cascaded = instantaneous >= 2;
         let mut t = t0;
         let mut log_lr = 0.0_f64;
         let mut events = 0_u64;
 
         if target(&marking) {
+            self.flush_run(0, instantaneous, cascaded, 1.0);
             return Ok((
                 RunOutcome {
                     hit_time: Some(t0),
@@ -193,12 +217,14 @@ impl<'m> MarkovSimulator<'m> {
             let (total_true, total_biased, rates) = self.enabled_rates(&marking)?;
             if total_biased <= 0.0 {
                 // Deadlock: nothing can ever happen again.
+                let w = log_lr.exp();
+                self.flush_run(events, instantaneous, cascaded, w);
                 return Ok((
                     RunOutcome {
                         hit_time: None,
                         hit_weight: 0.0,
                         end_time: horizon,
-                        final_weight: log_lr.exp(),
+                        final_weight: w,
                         events,
                     },
                     marking,
@@ -208,12 +234,14 @@ impl<'m> MarkovSimulator<'m> {
             if t + tau > horizon {
                 // Survival of the final interval under both measures.
                 log_lr -= (total_true - total_biased) * (horizon - t);
+                let w = log_lr.exp();
+                self.flush_run(events, instantaneous, cascaded, w);
                 return Ok((
                     RunOutcome {
                         hit_time: None,
                         hit_weight: 0.0,
                         end_time: horizon,
-                        final_weight: log_lr.exp(),
+                        final_weight: w,
                         events,
                     },
                     marking,
@@ -225,7 +253,9 @@ impl<'m> MarkovSimulator<'m> {
 
             let case = self.model.select_case(a, &marking, rng)?;
             self.model.fire(a, case, &mut marking);
-            self.model.stabilize(&mut marking, rng)?;
+            let fired = self.model.stabilize(&mut marking, rng)?;
+            instantaneous += fired.len() as u64;
+            cascaded |= fired.len() >= 2;
             events += 1;
             if events > self.max_events {
                 return Err(SimError::EventBudgetExceeded {
@@ -234,6 +264,7 @@ impl<'m> MarkovSimulator<'m> {
             }
             if target(&marking) {
                 let w = log_lr.exp();
+                self.flush_run(events, instantaneous, cascaded, w);
                 return Ok((
                     RunOutcome {
                         hit_time: Some(t),
@@ -274,7 +305,8 @@ impl<'m> MarkovSimulator<'m> {
         let mut next = 0_usize;
 
         let mut marking = self.model.initial_marking().clone();
-        self.model.stabilize(&mut marking, rng)?;
+        let mut instantaneous = self.model.stabilize(&mut marking, rng)?.len() as u64;
+        let mut cascaded = instantaneous >= 2;
         let mut t = 0.0_f64;
         let mut log_lr = 0.0_f64;
         let mut events = 0_u64;
@@ -305,7 +337,9 @@ impl<'m> MarkovSimulator<'m> {
 
             let case = self.model.select_case(a, &marking, rng)?;
             self.model.fire(a, case, &mut marking);
-            self.model.stabilize(&mut marking, rng)?;
+            let fired = self.model.stabilize(&mut marking, rng)?;
+            instantaneous += fired.len() as u64;
+            cascaded |= fired.len() >= 2;
             events += 1;
             if events > self.max_events {
                 return Err(SimError::EventBudgetExceeded {
@@ -314,6 +348,14 @@ impl<'m> MarkovSimulator<'m> {
             }
         }
         debug_assert_eq!(out.len(), grid.len());
+        // The weight at the final grid instant is the run's
+        // likelihood-ratio diagnostic (its mean over replications is 1).
+        self.flush_run(
+            events,
+            instantaneous,
+            cascaded,
+            out.last().map_or(1.0, |&(_, w)| w),
+        );
         Ok(out)
     }
 
@@ -337,6 +379,8 @@ impl<'m> MarkovSimulator<'m> {
     {
         let mut marking = self.model.initial_marking().clone();
         let fired = self.model.stabilize(&mut marking, rng)?;
+        let mut instantaneous = fired.len() as u64;
+        let mut cascaded = fired.len() >= 2;
         observer.on_start(&marking);
         for a in fired {
             observer.on_event(0.0, a, &marking);
@@ -347,16 +391,19 @@ impl<'m> MarkovSimulator<'m> {
         loop {
             if observer.should_stop(t, &marking) {
                 observer.on_end(t, &marking);
+                self.flush_run(events, instantaneous, cascaded, 1.0);
                 return Ok(t);
             }
             let (_, total, rates) = self.enabled_rates(&marking)?;
             if total <= 0.0 {
                 observer.on_end(horizon, &marking);
+                self.flush_run(events, instantaneous, cascaded, 1.0);
                 return Ok(horizon);
             }
             let tau = sample_exp(total, rng);
             if t + tau > horizon {
                 observer.on_end(horizon, &marking);
+                self.flush_run(events, instantaneous, cascaded, 1.0);
                 return Ok(horizon);
             }
             t += tau;
@@ -365,6 +412,8 @@ impl<'m> MarkovSimulator<'m> {
             self.model.fire(a, case, &mut marking);
             observer.on_event(t, a, &marking);
             let fired = self.model.stabilize(&mut marking, rng)?;
+            instantaneous += fired.len() as u64;
+            cascaded |= fired.len() >= 2;
             for ia in fired {
                 observer.on_event(t, ia, &marking);
             }

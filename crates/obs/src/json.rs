@@ -1,0 +1,206 @@
+//! A minimal JSON value tree and writer.
+//!
+//! The build environment vendors a no-op `serde`, so every tool in this
+//! workspace emits machine-readable output by hand (see
+//! `ahs-lint::diag` for the same idiom). This module centralizes the
+//! escaping and rendering rules so manifests, metrics snapshots, and
+//! progress events all produce valid RFC 8259 documents.
+
+/// A JSON value.
+///
+/// # Example
+///
+/// ```
+/// use ahs_obs::Json;
+///
+/// let v = Json::obj(vec![
+///     ("seed", Json::UInt(2009)),
+///     ("lambda", Json::Num(1e-5)),
+///     ("tags", Json::Arr(vec![Json::str("is"), Json::str("des")])),
+/// ]);
+/// assert_eq!(
+///     v.render(),
+///     r#"{"seed":2009,"lambda":0.00001,"tags":["is","des"]}"#
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (seeds and counters need all 64 bits).
+    UInt(u64),
+    /// A floating-point number; non-finite values render as `null`
+    /// (JSON has no NaN/Infinity).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Shorthand for an object from `(&str, Json)` pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Renders the value as a compact JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => push_json_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+/// Appends `value` to `out` as a quoted, RFC 8259-escaped JSON string.
+pub fn push_json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-3).render(), "-3");
+        assert_eq!(Json::UInt(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::str("a\"b\\c\nd\u{1}").render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn nested_structures_render_compactly() {
+        let v = Json::obj(vec![
+            ("a", Json::Arr(vec![Json::UInt(1), Json::Null])),
+            ("b", Json::obj(vec![("c", Json::Bool(false))])),
+        ]);
+        assert_eq!(v.render(), r#"{"a":[1,null],"b":{"c":false}}"#);
+    }
+
+    #[test]
+    fn float_rendering_round_trips_typical_rates() {
+        for v in [1e-5, 1e-13, 0.1, 12.0, 6.02e23] {
+            let rendered = Json::Num(v).render();
+            let back: f64 = rendered.parse().expect("parses as f64");
+            assert_eq!(back, v, "{rendered}");
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Observability for the AHS safety workspace: metrics, run manifests,
+//! and progress reporting.
+//!
+//! The paper's results come from simulation campaigns of at least 10⁴
+//! replications per point; this crate records *how* each number was
+//! produced so that every figure can be regenerated bit-for-bit and
+//! every performance regression is visible. Three pieces:
+//!
+//! * [`Metrics`] — a thread-safe sink of atomic counters, gauges, and
+//!   log-scale histograms (events fired, activities completed by kind,
+//!   instantaneous-activity cascades, importance-sampling weight
+//!   min/max/ESS, replications per second per worker, event-queue
+//!   depth). Instrumented code holds an `Option<Arc<Metrics>>`; the
+//!   `None` default costs nothing.
+//! * [`RunManifest`] — a JSON provenance record written next to every
+//!   study or bench result: full parameters, master seed, thread
+//!   count, stopping rule, git revision, wall-clock time, throughput,
+//!   and the final estimates with confidence half-widths.
+//! * [`ProgressSink`] — JSON-lines progress events (to a file via
+//!   `--telemetry <path>`, or to stderr via `--progress`) emitted while
+//!   a study runs.
+//!
+//! The crate is intentionally dependency-free: JSON is emitted through
+//! the small [`Json`] value tree (the build environment vendors a
+//! no-op `serde`, so all machine-readable output in this workspace is
+//! hand-rolled).
+//!
+//! # Example
+//!
+//! ```
+//! use ahs_obs::{Metrics, MetricsSnapshot};
+//! use std::sync::Arc;
+//!
+//! let metrics = Arc::new(Metrics::new());
+//! metrics.add_replications(100);
+//! metrics.record_run(12, 3, true);
+//! metrics.record_weight(0.5);
+//! let snap: MetricsSnapshot = metrics.snapshot();
+//! assert_eq!(snap.replications, 100);
+//! assert_eq!(snap.timed_completions, 12);
+//! assert_eq!(snap.cascades, 1);
+//! assert!((snap.weight_min - 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod manifest;
+mod metrics;
+mod progress;
+
+pub use json::{push_json_string, Json};
+pub use manifest::{git_revision, EstimatePoint, RunManifest, StoppingSpec, MANIFEST_SCHEMA};
+pub use metrics::{Metrics, MetricsSnapshot, WorkerStats};
+pub use progress::ProgressSink;

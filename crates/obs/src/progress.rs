@@ -1,0 +1,123 @@
+//! JSON-lines progress reporting.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// A sink for JSON-lines progress events.
+///
+/// Each [`emit`](ProgressSink::emit) call writes one line:
+///
+/// ```json
+/// {"event":"study_started","elapsed_s":0.01,"seed":2009,"threads":4}
+/// ```
+///
+/// The `elapsed_s` field is seconds since the sink was created. Writes
+/// are serialized through a mutex so workers may share one sink; a
+/// failed write is silently dropped (progress must never abort a
+/// study).
+pub struct ProgressSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    start: Instant,
+}
+
+impl std::fmt::Debug for ProgressSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressSink")
+            .field("elapsed_s", &self.start.elapsed().as_secs_f64())
+            .finish()
+    }
+}
+
+impl ProgressSink {
+    /// A sink writing to an arbitrary writer.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> Self {
+        ProgressSink {
+            out: Mutex::new(out),
+            start: Instant::now(),
+        }
+    }
+
+    /// A sink appending to the file at `path` (created if missing,
+    /// parent directories included).
+    pub fn file(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self::to_writer(Box::new(file)))
+    }
+
+    /// A sink writing to stderr.
+    pub fn stderr() -> Self {
+        Self::to_writer(Box::new(std::io::stderr()))
+    }
+
+    /// Emits one event line with the given name and extra fields.
+    pub fn emit(&self, event: &str, fields: Vec<(&str, Json)>) {
+        let mut obj = vec![
+            ("event", Json::str(event)),
+            ("elapsed_s", self.start.elapsed().as_secs_f64().into()),
+        ];
+        obj.extend(fields);
+        let mut line = Json::obj(obj).render();
+        line.push('\n');
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_append_as_json_lines() {
+        let dir = std::env::temp_dir().join(format!(
+            "ahs-obs-progress-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("telemetry.jsonl");
+        {
+            let sink = ProgressSink::file(&path).expect("open sink");
+            sink.emit("study_started", vec![("seed", Json::UInt(7))]);
+            sink.emit("chunk_done", vec![("replications", Json::UInt(500))]);
+        }
+        let body = std::fs::read_to_string(&path).expect("readable");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"event\":\"study_started\""));
+        assert!(lines[0].contains("\"seed\":7"));
+        assert!(lines[1].contains("\"replications\":500"));
+        for line in lines {
+            assert!(line.contains("\"elapsed_s\":"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_sink_serializes_writers() {
+        let sink = std::sync::Arc::new(ProgressSink::to_writer(Box::new(Vec::new())));
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let sink = sink.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        sink.emit("tick", vec![("worker", Json::UInt(i))]);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -80,6 +80,11 @@ impl StoppingRule {
         self.confidence
     }
 
+    /// Target relative half-width, if this is a precision rule.
+    pub fn relative_half_width(&self) -> Option<f64> {
+        self.relative_half_width
+    }
+
     /// Minimum number of samples demanded.
     pub fn min_samples(&self) -> u64 {
         self.min_samples

@@ -34,6 +34,66 @@ proptest! {
     }
 
     #[test]
+    fn welford_merge_is_associative(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..30),
+        ys in prop::collection::vec(-1e6f64..1e6, 0..30),
+        zs in prop::collection::vec(-1e6f64..1e6, 0..30),
+    ) {
+        // (a ⊕ b) ⊕ c must equal a ⊕ (b ⊕ c): the parallel runner may
+        // fold worker results in any grouping.
+        let acc = |v: &[f64]| {
+            let mut s = RunningStats::new();
+            s.extend(v.iter().copied());
+            s
+        };
+        let (a, b, c) = (acc(&xs), acc(&ys), acc(&zs));
+
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!((left.mean() - right.mean()).abs() < 1e-6 * (1.0 + left.mean().abs()));
+        prop_assert!(
+            (left.sample_variance() - right.sample_variance()).abs()
+                < 1e-5 * (1.0 + left.sample_variance())
+        );
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+    }
+
+    #[test]
+    fn weighted_with_unit_weights_equals_unweighted(
+        xs in prop::collection::vec(-1e3f64..1e3, 0..60),
+    ) {
+        // At weight 1 the importance-sampling estimator degenerates to
+        // the plain estimator exactly (not just approximately).
+        let mut w = WeightedStats::new();
+        let mut p = RunningStats::new();
+        for &x in &xs {
+            w.push(x, 1.0);
+            p.push(x);
+        }
+        prop_assert_eq!(w.count(), p.count());
+        prop_assert_eq!(w.mean(), p.mean());
+        prop_assert_eq!(w.sample_variance(), p.sample_variance());
+        prop_assert_eq!(w.std_error(), p.std_error());
+        if !xs.is_empty() {
+            prop_assert!((w.mean_weight() - 1.0).abs() < 1e-12);
+            prop_assert!((w.effective_sample_size() - xs.len() as f64).abs() < 1e-9);
+        }
+        let wc = w.confidence_interval(0.99);
+        let pc = p.confidence_interval(0.99);
+        prop_assert_eq!(wc.mean(), pc.mean());
+        prop_assert_eq!(wc.half_width(), pc.half_width());
+    }
+
+    #[test]
     fn variance_is_never_negative(xs in prop::collection::vec(-1e9f64..1e9, 0..50)) {
         let mut s = RunningStats::new();
         s.extend(xs.iter().copied());

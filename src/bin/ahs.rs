@@ -3,7 +3,8 @@
 //! ```text
 //! ahs evaluate [--n N] [--lambda L] [--strategy DD|DC|CD|CC]
 //!              [--platoons P] [--horizon H] [--points K]
-//!              [--reps R | --paper] [--seed S] [--plain]
+//!              [--reps R | --paper] [--seed S] [--threads T] [--plain]
+//!              [--manifest PATH | --no-manifest] [--telemetry PATH] [--progress]
 //! ahs durations [--samples N] [--seed S]
 //! ahs involved [--n N]
 //! ahs dot [--n N] [--platoons P]
@@ -11,10 +12,12 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use ahs_safety::core::{
     involved_vehicles, AhsModel, BiasMode, Params, Strategy, UnsafetyEvaluator, MANEUVERS,
 };
+use ahs_safety::obs::{Metrics, ProgressSink};
 use ahs_safety::platoon::DurationModel;
 use ahs_safety::stats::{StoppingRule, TimeGrid};
 
@@ -64,7 +67,12 @@ evaluate flags:
   --reps R        fixed replication count         (default: paper rule)
   --paper         the paper's stopping rule (>=10k reps, 95%/0.1 rel.)
   --seed S        master seed                     (default 2009)
-  --plain         plain Monte Carlo instead of dynamic importance sampling";
+  --threads T     worker threads                  (default: all cores)
+  --plain         plain Monte Carlo instead of dynamic importance sampling
+  --manifest P    where to write the run manifest (default results/ahs-evaluate.manifest.json)
+  --no-manifest   skip writing the run manifest
+  --telemetry P   append JSON-lines progress events to file P
+  --progress      emit JSON-lines progress events to stderr";
 
 /// Pulls `--key value` pairs and bare flags out of `args`.
 struct Flags<'a> {
@@ -134,9 +142,24 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
         TimeGrid::linspace(horizon / points as f64, horizon, points)
     };
 
-    let mut eval = UnsafetyEvaluator::new(params.clone()).with_seed(f.parse("--seed", 2009u64)?);
+    let metrics = Arc::new(Metrics::new());
+    let mut eval = UnsafetyEvaluator::new(params.clone())
+        .with_seed(f.parse("--seed", 2009u64)?)
+        .with_metrics(metrics.clone());
     if f.has("--plain") {
         eval = eval.with_bias(BiasMode::None);
+    }
+    if let Some(t) = f.value("--threads")? {
+        let t: usize = t
+            .parse()
+            .map_err(|e| format!("invalid value `{t}` for --threads: {e}"))?;
+        eval = eval.with_threads(t);
+    }
+    if let Some(path) = f.value("--telemetry")? {
+        let sink = ProgressSink::file(std::path::Path::new(path)).map_err(|e| e.to_string())?;
+        eval = eval.with_progress(Arc::new(sink));
+    } else if f.has("--progress") {
+        eval = eval.with_progress(Arc::new(ProgressSink::stderr()));
     }
     eval = if f.has("--paper") {
         eval.with_rule(
@@ -159,7 +182,9 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
             eval.second_level_boost()
         );
     }
+    let start = std::time::Instant::now();
     let curve = eval.evaluate(&grid).map_err(|e| e.to_string())?;
+    let wall = start.elapsed().as_secs_f64();
     println!("\ntrip (h)     S(t)         95% half-width");
     for p in curve.points() {
         println!("{:>7.2}   {:.4e}    {:.2e}", p.x, p.y, p.half_width);
@@ -173,6 +198,16 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
             "not evaluated (fixed budget)"
         }
     );
+    if !f.has("--no-manifest") {
+        let path = f
+            .value("--manifest")?
+            .unwrap_or("results/ahs-evaluate.manifest.json");
+        let manifest = eval.manifest("ahs evaluate", &curve, wall);
+        manifest
+            .write(std::path::Path::new(path))
+            .map_err(|e| format!("writing manifest {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
     Ok(())
 }
 

@@ -50,8 +50,9 @@ fn dot_exports_graphviz() {
     assert!(text.contains("KO_total"));
 }
 
-#[test]
-fn evaluate_runs_a_small_study() {
+/// Runs a small `ahs evaluate` study writing its manifest to `path`,
+/// returning stdout.
+fn evaluate_small(manifest_path: &std::path::Path, seed: &str, threads: &str) -> String {
     let out = ahs()
         .args([
             "evaluate",
@@ -66,7 +67,11 @@ fn evaluate_runs_a_small_study() {
             "--horizon",
             "4",
             "--seed",
-            "3",
+            seed,
+            "--threads",
+            threads,
+            "--manifest",
+            manifest_path.to_str().unwrap(),
         ])
         .output()
         .expect("binary runs");
@@ -75,9 +80,97 @@ fn evaluate_runs_a_small_study() {
         "stderr: {}",
         String::from_utf8_lossy(&out.stderr)
     );
-    let text = String::from_utf8(out.stdout).unwrap();
+    String::from_utf8(out.stdout).unwrap()
+}
+
+#[test]
+fn evaluate_runs_a_small_study() {
+    let dir = std::env::temp_dir().join("ahs_cli_eval_test");
+    let manifest = dir.join("run.manifest.json");
+    let text = evaluate_small(&manifest, "3", "2");
     assert!(text.contains("S(t)"));
     assert!(text.contains("replications"));
+    assert!(manifest.is_file(), "manifest must be written");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The top-level keys `tests/run-manifest.schema.json` marks required.
+fn schema_required_keys() -> Vec<String> {
+    let schema = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/run-manifest.schema.json"),
+    )
+    .expect("schema file exists");
+    let start = schema
+        .find("\"required\": [")
+        .expect("schema has required list");
+    let block = &schema[start..start + schema[start..].find(']').expect("list closes")];
+    block
+        .match_indices('"')
+        .collect::<Vec<_>>()
+        .chunks(2)
+        .skip(1) // the "required" token itself
+        .filter_map(|pair| match pair {
+            [(a, _), (b, _)] => Some(schema[start + a + 1..start + *b].to_owned()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn evaluate_manifest_matches_schema() {
+    let dir = std::env::temp_dir().join("ahs_cli_manifest_schema_test");
+    let manifest_path = dir.join("run.manifest.json");
+    evaluate_small(&manifest_path, "5", "1");
+    let manifest = std::fs::read_to_string(&manifest_path).expect("manifest written");
+
+    let required = schema_required_keys();
+    assert!(
+        required.len() >= 14,
+        "schema should list the manifest's required keys, got {required:?}"
+    );
+    for key in &required {
+        assert!(
+            manifest.contains(&format!("\"{key}\":")),
+            "manifest is missing required key `{key}`:\n{manifest}"
+        );
+    }
+    // Spot checks on the values behind the provenance-critical keys.
+    assert!(manifest.contains("\"schema\":\"ahs-run-manifest/v1\""));
+    assert!(manifest.contains("\"seed\":5"));
+    assert!(manifest.contains("\"threads\":1"));
+    assert!(manifest.contains("\"lambda\":0.005"));
+    assert!(manifest.contains("\"series\":\"unsafety\""));
+    assert!(!manifest.contains("\"git_revision\":\"\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn evaluate_reproduces_from_manifest_seed_and_threads() {
+    // The acceptance contract of the manifest: re-running with its seed
+    // and thread count reproduces the estimates bit for bit — even at a
+    // different thread count, since fixed-budget studies are
+    // thread-count invariant.
+    let dir = std::env::temp_dir().join("ahs_cli_manifest_repro_test");
+    let first = dir.join("first.manifest.json");
+    let second = dir.join("second.manifest.json");
+    let third = dir.join("third.manifest.json");
+    evaluate_small(&first, "9", "1");
+    evaluate_small(&second, "9", "1");
+    evaluate_small(&third, "9", "4");
+
+    let estimates = |p: &std::path::Path| {
+        let text = std::fs::read_to_string(p).expect("manifest written");
+        let start = text.find("\"estimates\":").expect("has estimates");
+        let end = text[start..].find(']').expect("estimates close");
+        text[start..start + end].to_owned()
+    };
+    assert_eq!(estimates(&first), estimates(&second), "same seed, same run");
+    assert_eq!(
+        estimates(&first),
+        estimates(&third),
+        "fixed budgets are thread-count invariant"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
