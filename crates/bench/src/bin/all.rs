@@ -1,14 +1,15 @@
 //! Runs every table and figure reproduction, printing Markdown and
 //! writing CSVs plus run manifests under results/.
-//! Flags: --paper --reps N --seed S --threads T --telemetry PATH --progress.
+//! Flags: --paper --reps N --seed S --threads T --telemetry PATH --progress
+//! --checkpoint-dir DIR --checkpoint-every N (exit code 75 = interrupted, resumable).
 
 use ahs_bench::{
     ext_platoons, fig10, fig11, fig12, fig13, fig14, fig15, figure_to_markdown, maneuver_durations,
-    tables, write_manifest, write_results, RunConfig,
+    run_exit_code, tables, write_manifest, write_results, RunConfig,
 };
 use ahs_stats::format_markdown;
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = RunConfig::from_args(&args);
     let dir = std::path::Path::new("results");
@@ -47,5 +48,12 @@ fn main() {
             mpath.display(),
             start.elapsed().as_secs_f64()
         );
+        if run.interrupted {
+            // The flag stays raised, so later figures would spin up
+            // only to stop immediately; bail out here instead.
+            eprintln!("stopping after {name}");
+            return run_exit_code(&run);
+        }
     }
+    std::process::ExitCode::SUCCESS
 }

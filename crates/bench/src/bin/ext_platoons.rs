@@ -1,9 +1,12 @@
 //! Extension experiment: highways of 2-4 platoons (the paper's stated
-//! future work). Flags: --paper --reps N --seed S --threads T --telemetry PATH --progress.
+//! future work). Flags: --paper --reps N --seed S --threads T --telemetry PATH --progress
+//! --checkpoint-dir DIR --checkpoint-every N (exit code 75 = interrupted, resumable).
 
-use ahs_bench::{ext_platoons, figure_to_markdown, write_manifest, write_results, RunConfig};
+use ahs_bench::{
+    ext_platoons, figure_to_markdown, run_exit_code, write_manifest, write_results, RunConfig,
+};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = RunConfig::from_args(&args);
     let run = ext_platoons(&cfg).expect("experiment failed");
@@ -12,4 +15,5 @@ fn main() {
     let path = write_results(&run.figure, dir).expect("write results");
     let mpath = write_manifest(&run.manifest, dir).expect("write manifest");
     eprintln!("wrote {} and {}", path.display(), mpath.display());
+    run_exit_code(&run)
 }

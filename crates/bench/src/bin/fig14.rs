@@ -1,8 +1,11 @@
-//! Reproduces Figure 14 of the paper. Flags: --paper --reps N --seed S --threads T --telemetry PATH --progress.
+//! Reproduces Figure 14 of the paper. Flags: --paper --reps N --seed S --threads T --telemetry PATH --progress
+//! --checkpoint-dir DIR --checkpoint-every N (exit code 75 = interrupted, resumable).
 
-use ahs_bench::{fig14, figure_to_markdown, write_manifest, write_results, RunConfig};
+use ahs_bench::{
+    fig14, figure_to_markdown, run_exit_code, write_manifest, write_results, RunConfig,
+};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = RunConfig::from_args(&args);
     let run = fig14(&cfg).expect("experiment failed");
@@ -11,4 +14,5 @@ fn main() {
     let path = write_results(&run.figure, dir).expect("write results");
     let mpath = write_manifest(&run.manifest, dir).expect("write manifest");
     eprintln!("wrote {} and {}", path.display(), mpath.display());
+    run_exit_code(&run)
 }

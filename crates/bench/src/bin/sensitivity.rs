@@ -1,10 +1,13 @@
 //! Calibration-sensitivity sweep over the constants the paper does not
 //! publish (maneuver base failure probability, impairment penalty).
-//! Flags: --paper --reps N --seed S --threads T --telemetry PATH --progress.
+//! Flags: --paper --reps N --seed S --threads T --telemetry PATH --progress
+//! --checkpoint-dir DIR --checkpoint-every N (exit code 75 = interrupted, resumable).
 
-use ahs_bench::{figure_to_markdown, sensitivity, write_manifest, write_results, RunConfig};
+use ahs_bench::{
+    figure_to_markdown, run_exit_code, sensitivity, write_manifest, write_results, RunConfig,
+};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = RunConfig::from_args(&args);
     let run = sensitivity(&cfg).expect("experiment failed");
@@ -13,4 +16,5 @@ fn main() {
     let path = write_results(&run.figure, dir).expect("write results");
     let mpath = write_manifest(&run.manifest, dir).expect("write manifest");
     eprintln!("wrote {} and {}", path.display(), mpath.display());
+    run_exit_code(&run)
 }

@@ -20,7 +20,10 @@
 //! provenance record — seed, parameters, stopping rule, git revision,
 //! throughput, and the estimates themselves (see
 //! `docs/observability.md`) — and accepts `--telemetry PATH` /
-//! `--progress` for JSON-lines progress events.
+//! `--progress` for JSON-lines progress events, plus
+//! `--checkpoint-dir DIR` / `--checkpoint-every N` for crash-safe
+//! checkpoint/resume (an interrupted run exits with code 75 and a
+//! rerun resumes bitwise-identically; see `docs/robustness.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,5 +35,5 @@ mod runner;
 pub use figures::{
     ext_platoons, fig10, fig11, fig12, fig13, fig14, fig15, maneuver_durations, sensitivity, tables,
 };
-pub use output::{figure_to_csv, figure_to_markdown, write_manifest, write_results};
+pub use output::{figure_to_csv, figure_to_markdown, run_exit_code, write_manifest, write_results};
 pub use runner::{FigureResult, FigureRun, RunConfig, Series, SeriesPoint};

@@ -1,12 +1,16 @@
 //! Rendering and persisting experiment results.
+//!
+//! All artifacts go to disk through [`ahs_obs::atomic_write`]
+//! (temp file + rename): a crash or interrupt mid-write can never
+//! leave a truncated CSV or manifest behind.
 
-use std::io::Write as _;
 use std::path::Path;
+use std::process::ExitCode;
 
-use ahs_obs::RunManifest;
+use ahs_obs::{atomic_write, RunManifest, EXIT_INTERRUPTED};
 use ahs_stats::{format_csv, format_markdown, Table};
 
-use crate::runner::FigureResult;
+use crate::runner::{FigureResult, FigureRun};
 
 /// Renders a figure as a Markdown table: one row per x value, one
 /// column per series (with ± half-width).
@@ -57,16 +61,15 @@ fn figure_table(fig: &FigureResult) -> Table {
     table
 }
 
-/// Writes a figure's CSV under `dir/<id>.csv` and returns the path.
+/// Writes a figure's CSV atomically under `dir/<id>.csv` and returns
+/// the path.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_results(fig: &FigureResult, dir: &Path) -> std::io::Result<std::path::PathBuf> {
-    std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.csv", fig.id));
-    let mut f = std::fs::File::create(&path)?;
-    f.write_all(figure_to_csv(fig).as_bytes())?;
+    atomic_write(&path, figure_to_csv(fig).as_bytes())?;
     Ok(path)
 }
 
@@ -80,6 +83,21 @@ pub fn write_manifest(manifest: &RunManifest, dir: &Path) -> std::io::Result<std
     let path = dir.join(format!("{}.manifest.json", manifest.model));
     manifest.write(&path)?;
     Ok(path)
+}
+
+/// Standard fig-binary epilogue: maps an interrupted (partial but
+/// checkpointed) run to exit code [`EXIT_INTERRUPTED`] with a resume
+/// hint on stderr, and a complete run to success.
+pub fn run_exit_code(run: &FigureRun) -> ExitCode {
+    if run.interrupted {
+        eprintln!(
+            "interrupted: results are partial; rerun with the same flags \
+             and --checkpoint-dir to resume"
+        );
+        ExitCode::from(EXIT_INTERRUPTED)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,12 @@ pub struct RunConfig {
     pub telemetry: Option<String>,
     /// If set, emit JSON-lines progress events to stderr.
     pub progress: bool,
+    /// If set, write per-point crash-safe checkpoints under this
+    /// directory (`<dir>/point-<seed>-<params digest>.checkpoint.json`)
+    /// and resume from any that already exist there.
+    pub checkpoint_dir: Option<String>,
+    /// Replications between checkpoint flushes.
+    pub checkpoint_every: u64,
 }
 
 impl RunConfig {
@@ -72,6 +78,8 @@ impl RunConfig {
             threads: 0,
             telemetry: None,
             progress: false,
+            checkpoint_dir: None,
+            checkpoint_every: 100_000,
         }
     }
 
@@ -85,8 +93,9 @@ impl RunConfig {
     }
 
     /// Parses `--paper`, `--reps N`, `--seed S`, `--threads T`,
-    /// `--telemetry PATH`, and `--progress` from command-line arguments
-    /// (used by every `fig*` binary).
+    /// `--telemetry PATH`, `--progress`, `--checkpoint-dir DIR`, and
+    /// `--checkpoint-every N` from command-line arguments (used by
+    /// every `fig*` binary).
     pub fn from_args(args: &[String]) -> Self {
         let mut cfg = RunConfig::quick();
         let mut i = 0;
@@ -110,10 +119,25 @@ impl RunConfig {
                     i += 1;
                     cfg.telemetry = Some(args[i].clone());
                 }
+                "--checkpoint-dir" => {
+                    i += 1;
+                    cfg.checkpoint_dir = Some(args[i].clone());
+                }
+                "--checkpoint-every" => {
+                    i += 1;
+                    cfg.checkpoint_every = args[i]
+                        .parse()
+                        .expect("--checkpoint-every takes a positive integer");
+                    assert!(
+                        cfg.checkpoint_every > 0,
+                        "--checkpoint-every takes a positive integer"
+                    );
+                }
                 other => {
                     panic!(
                         "unknown argument `{other}` (expected --paper/--reps/--seed/\
-                         --threads/--telemetry/--progress)"
+                         --threads/--telemetry/--progress/--checkpoint-dir/\
+                         --checkpoint-every)"
                     )
                 }
             }
@@ -137,7 +161,8 @@ impl RunConfig {
 
     /// Builds the evaluator for one experiment point.
     pub(crate) fn evaluator(&self, params: Params, salt: u64) -> UnsafetyEvaluator {
-        let mut e = UnsafetyEvaluator::new(params).with_seed(self.seed ^ salt);
+        let seed = self.seed ^ salt;
+        let mut e = UnsafetyEvaluator::new(params).with_seed(seed);
         e = if self.paper_precision {
             e.with_rule(
                 StoppingRule::relative_precision(0.95, 0.1)
@@ -150,8 +175,36 @@ impl RunConfig {
         if self.threads > 0 {
             e = e.with_threads(self.threads);
         }
+        if let Some(dir) = &self.checkpoint_dir {
+            // One checkpoint per experiment point, keyed by the point's
+            // effective seed *and* a digest of its parameters: several
+            // series of one figure deliberately share a seed (common
+            // random numbers), so the seed alone does not identify the
+            // study. The key is stable across runs, so a resumed sweep
+            // picks each point's file back up regardless of iteration
+            // order.
+            let digest = fnv1a(e.params().to_json().render().as_bytes());
+            let path = std::path::Path::new(dir)
+                .join(format!("point-{seed:016x}-{digest:016x}.checkpoint.json"));
+            if path.exists() {
+                e = e.with_resume(&path);
+            }
+            e = e.with_checkpoint(path, self.checkpoint_every);
+            e = e.with_interrupt(ahs_obs::interrupt_flag());
+        }
         e
     }
+}
+
+/// FNV-1a 64, used to give every experiment point a stable checkpoint
+/// file name derived from its parameters.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 impl Default for RunConfig {
@@ -168,6 +221,10 @@ pub struct FigureRun {
     /// Seed, parameters, stopping rule, telemetry, and estimates of the
     /// run that produced it.
     pub manifest: RunManifest,
+    /// True when any study was cut short by SIGINT/SIGTERM; the figure
+    /// is partial and the binary should exit with
+    /// [`ahs_obs::EXIT_INTERRUPTED`] so callers know to resume.
+    pub interrupted: bool,
 }
 
 /// Per-figure telemetry accumulator: one shared [`Metrics`] sink for
@@ -178,6 +235,9 @@ pub(crate) struct FigTally {
     start: Instant,
     replications: u64,
     converged: bool,
+    interrupted: bool,
+    quarantined: u64,
+    resume_generations: u64,
     stopping: Option<StoppingSpec>,
     params: Vec<(String, Json)>,
 }
@@ -190,6 +250,9 @@ impl FigTally {
             start: Instant::now(),
             replications: 0,
             converged: true,
+            interrupted: false,
+            quarantined: 0,
+            resume_generations: 0,
             stopping: None,
             params: Vec::new(),
         }
@@ -215,6 +278,11 @@ impl FigTally {
     pub(crate) fn absorb(&mut self, label: &str, ev: &UnsafetyEvaluator, curve: &UnsafetyCurve) {
         self.replications += curve.replications();
         self.converged &= curve.converged();
+        self.interrupted |= curve.interrupted();
+        self.quarantined += curve.quarantined();
+        self.resume_generations = self
+            .resume_generations
+            .max(curve.resume_lineage().len() as u64);
         let rule = ev.rule();
         self.stopping.get_or_insert_with(|| StoppingSpec {
             confidence: rule.confidence(),
@@ -257,9 +325,16 @@ impl FigTally {
             })
             .collect();
         m.metrics = Some(self.metrics.snapshot());
+        m.extra
+            .push(("interrupted".into(), self.interrupted.into()));
+        m.extra
+            .push(("quarantined".into(), self.quarantined.into()));
+        m.extra
+            .push(("resume_generations".into(), self.resume_generations.into()));
         FigureRun {
             figure,
             manifest: m,
+            interrupted: self.interrupted,
         }
     }
 }

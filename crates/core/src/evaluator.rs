@@ -1,8 +1,10 @@
 //! High-level evaluation of the unsafety measure `S(t)`.
 
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use ahs_des::{Backend, BiasScheme, Study};
+use ahs_des::{Backend, BiasScheme, Study, StudyCheckpoint, Watchdog};
 use ahs_obs::{EstimatePoint, Json, Metrics, ProgressSink, RunManifest, StoppingSpec};
 use ahs_stats::{StoppingRule, TimeGrid};
 use serde::{Deserialize, Serialize};
@@ -30,6 +32,9 @@ pub struct UnsafetyCurve {
     points: Vec<UnsafetyPoint>,
     replications: u64,
     converged: bool,
+    interrupted: bool,
+    quarantined: u64,
+    resume_lineage: Vec<u64>,
 }
 
 impl UnsafetyCurve {
@@ -46,6 +51,25 @@ impl UnsafetyCurve {
     /// Whether the stopping rule's precision target was met.
     pub fn converged(&self) -> bool {
         self.converged
+    }
+
+    /// Whether the evaluation stopped early on an interrupt
+    /// (SIGINT/SIGTERM); when a checkpoint path was configured, the
+    /// final state was flushed there first.
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
+    }
+
+    /// Replications whose body panicked and was quarantined (excluded
+    /// from the estimates).
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined
+    }
+
+    /// Watermarks of the checkpoints this evaluation (transitively)
+    /// resumed from, oldest first; empty for a fresh run.
+    pub fn resume_lineage(&self) -> &[u64] {
+        &self.resume_lineage
     }
 
     /// `S(t)` at the grid point closest to `t_hours`.
@@ -122,6 +146,11 @@ pub struct UnsafetyEvaluator {
     bias: BiasMode,
     metrics: Option<Arc<Metrics>>,
     progress: Option<Arc<ProgressSink>>,
+    checkpoint: Option<(PathBuf, u64)>,
+    resume: Option<PathBuf>,
+    interrupt: Option<Arc<AtomicBool>>,
+    quarantine_budget: u64,
+    watchdog: Option<Watchdog>,
 }
 
 impl UnsafetyEvaluator {
@@ -140,6 +169,11 @@ impl UnsafetyEvaluator {
             bias: BiasMode::Auto,
             metrics: None,
             progress: None,
+            checkpoint: None,
+            resume: None,
+            interrupt: None,
+            quarantine_budget: 0,
+            watchdog: None,
         }
     }
 
@@ -190,6 +224,53 @@ impl UnsafetyEvaluator {
     #[must_use]
     pub fn with_progress(mut self, progress: Arc<ProgressSink>) -> Self {
         self.progress = Some(progress);
+        self
+    }
+
+    /// Writes an atomic `ahs-checkpoint/v1` snapshot to `path` every
+    /// `every` completed replications (and always once at the end, so
+    /// an interrupted evaluation can be resumed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: u64) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.checkpoint = Some((path.into(), every));
+        self
+    }
+
+    /// Resumes from the checkpoint at `path` (loaded and validated in
+    /// [`evaluate`](UnsafetyEvaluator::evaluate)); the resumed run is
+    /// bitwise identical to an uninterrupted one.
+    #[must_use]
+    pub fn with_resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
+
+    /// Polls `flag` at chunk boundaries and stops gracefully when it is
+    /// raised (pair with [`ahs_obs::interrupt_flag`] for SIGINT/SIGTERM
+    /// handling).
+    #[must_use]
+    pub fn with_interrupt(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.interrupt = Some(flag);
+        self
+    }
+
+    /// Tolerates up to `budget` panicking replications per evaluation
+    /// (quarantined and excluded rather than fatal).
+    #[must_use]
+    pub fn with_quarantine_budget(mut self, budget: u64) -> Self {
+        self.quarantine_budget = budget;
+        self
+    }
+
+    /// Bounds each replication by event count / wall-clock time.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = Some(watchdog);
         self
     }
 
@@ -257,6 +338,20 @@ impl UnsafetyEvaluator {
                 BiasMode::None => "none".to_owned(),
                 BiasMode::Fixed(f) => format!("fixed:{f}"),
             }),
+        ));
+        m.extra
+            .push(("interrupted".to_owned(), curve.interrupted().into()));
+        m.extra
+            .push(("quarantined".to_owned(), curve.quarantined().into()));
+        m.extra.push((
+            "resume_lineage".to_owned(),
+            Json::Arr(
+                curve
+                    .resume_lineage()
+                    .iter()
+                    .map(|w| Json::UInt(*w))
+                    .collect(),
+            ),
         ));
         m
     }
@@ -333,6 +428,19 @@ impl UnsafetyEvaluator {
         if let Some(p) = &self.progress {
             study = study.with_progress(p.clone());
         }
+        if let Some((path, every)) = &self.checkpoint {
+            study = study.with_checkpoint(path, *every);
+        }
+        if let Some(path) = &self.resume {
+            study = study.with_resume(StudyCheckpoint::load(path)?);
+        }
+        if let Some(flag) = &self.interrupt {
+            study = study.with_interrupt(flag.clone());
+        }
+        study = study.with_quarantine_budget(self.quarantine_budget);
+        if let Some(w) = &self.watchdog {
+            study = study.with_watchdog(*w);
+        }
 
         let ko = handles.ko_total;
         let est = study.first_passage(move |m| m.is_marked(ko), grid, backend)?;
@@ -352,6 +460,9 @@ impl UnsafetyEvaluator {
             points,
             replications: est.replications,
             converged: est.converged,
+            interrupted: est.interrupted,
+            quarantined: est.quarantined.len() as u64,
+            resume_lineage: est.resume_lineage,
         })
     }
 }
@@ -455,6 +566,9 @@ mod tests {
             ],
             replications: 2,
             converged: true,
+            interrupted: false,
+            quarantined: 0,
+            resume_lineage: Vec::new(),
         };
         assert_eq!(curve.at(5.9).x, 6.0);
         assert_eq!(curve.at(0.0).x, 2.0);

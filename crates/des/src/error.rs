@@ -28,6 +28,41 @@ pub enum SimError {
     /// An error bubbled up from the SAN layer (case distributions,
     /// instantaneous livelocks, …).
     San(SanError),
+    /// A replication tripped its watchdog budget (event count or
+    /// wall-clock) — the model lints clean but cycles at simulation
+    /// time, or a single path is pathologically long.
+    Runaway {
+        /// Events executed when the watchdog tripped.
+        events: u64,
+        /// Wall-clock seconds elapsed in the replication when it tripped.
+        wall_seconds: f64,
+    },
+    /// More replications panicked than the quarantine budget allows;
+    /// the study aborts rather than silently dropping a growing share
+    /// of its sample.
+    QuarantineOverflow {
+        /// Total quarantined replications, exceeding the budget.
+        quarantined: u64,
+        /// The configured quarantine budget.
+        budget: u64,
+        /// Panic message of the replication that overflowed the budget.
+        message: String,
+    },
+    /// A checkpoint could not be written, read, or validated against
+    /// the study about to resume from it.
+    Checkpoint {
+        /// Human-readable reason (schema mismatch, fingerprint drift,
+        /// IO failure, …).
+        reason: String,
+    },
+    /// An internal engine invariant was violated. This indicates a bug
+    /// in the simulator, not in the model; it is surfaced as a typed
+    /// error instead of a panic so a multi-thousand-replication study
+    /// fails cleanly with context.
+    Internal {
+        /// Which invariant broke.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -44,6 +79,26 @@ impl std::fmt::Display for SimError {
                 write!(f, "activity `{activity}` produced invalid rate {rate}")
             }
             SimError::San(e) => write!(f, "{e}"),
+            SimError::Runaway {
+                events,
+                wall_seconds,
+            } => write!(
+                f,
+                "replication watchdog tripped after {events} events / {wall_seconds:.3}s wall-clock"
+            ),
+            SimError::QuarantineOverflow {
+                quarantined,
+                budget,
+                message,
+            } => write!(
+                f,
+                "{quarantined} replication(s) panicked, exceeding the quarantine budget \
+                 of {budget} (last panic: {message})"
+            ),
+            SimError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
+            SimError::Internal { context } => {
+                write!(f, "internal simulator invariant violated: {context}")
+            }
         }
     }
 }
@@ -74,5 +129,29 @@ mod tests {
         assert!(std::error::Error::source(&e).is_some());
         let e = SimError::EventBudgetExceeded { budget: 10 };
         assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn robustness_variants_display() {
+        let e = SimError::Runaway {
+            events: 5_000,
+            wall_seconds: 1.25,
+        };
+        assert!(e.to_string().contains("watchdog"), "{e}");
+        let e = SimError::QuarantineOverflow {
+            quarantined: 3,
+            budget: 2,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("quarantine budget"), "{e}");
+        assert!(e.to_string().contains("boom"), "{e}");
+        let e = SimError::Checkpoint {
+            reason: "schema mismatch".into(),
+        };
+        assert!(e.to_string().contains("schema mismatch"), "{e}");
+        let e = SimError::Internal {
+            context: "peeked event vanished".into(),
+        };
+        assert!(e.to_string().contains("invariant"), "{e}");
     }
 }

@@ -10,6 +10,7 @@ use crate::error::SimError;
 use crate::event::EventQueue;
 use crate::observer::Observer;
 use crate::ssa::RunOutcome;
+use crate::watchdog::Watchdog;
 
 /// Default per-replication event budget.
 const DEFAULT_MAX_EVENTS: u64 = 10_000_000;
@@ -30,6 +31,7 @@ pub struct EventDrivenSimulator<'m> {
     model: &'m SanModel,
     max_events: u64,
     metrics: Option<Arc<Metrics>>,
+    watchdog: Option<Watchdog>,
 }
 
 /// Per-run tallies accumulated locally and flushed once per
@@ -49,6 +51,7 @@ impl<'m> EventDrivenSimulator<'m> {
             model,
             max_events: DEFAULT_MAX_EVENTS,
             metrics: None,
+            watchdog: None,
         }
     }
 
@@ -65,6 +68,15 @@ impl<'m> EventDrivenSimulator<'m> {
     #[must_use]
     pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Arms a per-replication watchdog (event-count and wall-clock
+    /// budgets); a violation fails the run with [`SimError::Runaway`]
+    /// instead of spinning until the much larger event budget.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = Some(watchdog);
         self
     }
 
@@ -155,6 +167,7 @@ impl<'m> EventDrivenSimulator<'m> {
         tally.queue_depth_max = queue.live();
         let mut events = 0_u64;
         let mut t = 0.0_f64;
+        let watchdog = self.watchdog.map(|w| w.start());
 
         loop {
             if observer.should_stop(t, &marking) {
@@ -188,6 +201,9 @@ impl<'m> EventDrivenSimulator<'m> {
                 return Err(SimError::EventBudgetExceeded {
                     budget: self.max_events,
                 });
+            }
+            if let Some(wd) = &watchdog {
+                wd.check(events)?;
             }
         }
     }
@@ -256,7 +272,11 @@ impl<'m> EventDrivenSimulator<'m> {
         R: Rng + ?Sized,
         F: Fn(&Marking) -> bool,
     {
-        let horizon = *grid.last().expect("grid must not be empty");
+        let Some(&horizon) = grid.last() else {
+            return Err(SimError::Internal {
+                context: "run_transient called with an empty grid".to_owned(),
+            });
+        };
         let mut out = Vec::with_capacity(grid.len());
         let mut next = 0_usize;
 
@@ -269,6 +289,7 @@ impl<'m> EventDrivenSimulator<'m> {
         self.reconcile(0.0, &marking, &mut queue, rng);
         tally.queue_depth_max = queue.live();
         let mut events = 0_u64;
+        let watchdog = self.watchdog.map(|w| w.start());
 
         while next < grid.len() {
             let t_next = queue.peek_time().unwrap_or(f64::INFINITY);
@@ -282,7 +303,11 @@ impl<'m> EventDrivenSimulator<'m> {
             if next >= grid.len() || t_next > horizon {
                 break;
             }
-            let ev = queue.pop().expect("peeked event exists");
+            let Some(ev) = queue.pop() else {
+                return Err(SimError::Internal {
+                    context: "peeked event vanished from the queue".to_owned(),
+                });
+            };
             let a = self.model.timed_activities()[ev.activity];
             let case = self.model.select_case(a, &marking, rng)?;
             self.model.fire(a, case, &mut marking);
@@ -297,6 +322,9 @@ impl<'m> EventDrivenSimulator<'m> {
                 return Err(SimError::EventBudgetExceeded {
                     budget: self.max_events,
                 });
+            }
+            if let Some(wd) = &watchdog {
+                wd.check(events)?;
             }
         }
         // Deadlock before the horizon: remaining instants see the final
@@ -467,6 +495,36 @@ mod tests {
         assert!(matches!(
             sim.run(1e9, &mut rng, &mut crate::NullObserver),
             Err(SimError::EventBudgetExceeded { budget: 50 })
+        ));
+    }
+
+    #[test]
+    fn watchdog_trips_on_instantaneous_cycle() {
+        // A zero-delay ping-pong lints clean structurally but cycles
+        // without advancing the clock; the watchdog catches it far
+        // below the 10M default event budget.
+        let mut b = SanBuilder::new("zeno");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place("q").unwrap();
+        b.timed_activity("pq", Delay::Deterministic(0.0))
+            .unwrap()
+            .input_place(p)
+            .output_place(q)
+            .build()
+            .unwrap();
+        b.timed_activity("qp", Delay::Deterministic(0.0))
+            .unwrap()
+            .input_place(q)
+            .output_place(p)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let sim =
+            EventDrivenSimulator::new(&model).with_watchdog(Watchdog::new().with_max_events(100));
+        let mut rng = SmallRng::seed_from_u64(11);
+        assert!(matches!(
+            sim.run(1.0, &mut rng, &mut crate::NullObserver),
+            Err(SimError::Runaway { events: 101, .. })
         ));
     }
 

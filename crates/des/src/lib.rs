@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod bias;
+mod checkpoint;
 mod error;
 mod event;
 mod executor;
@@ -56,8 +57,10 @@ mod reward;
 mod rng;
 mod splitting;
 mod ssa;
+mod watchdog;
 
 pub use bias::BiasScheme;
+pub use checkpoint::{model_fingerprint, QuarantinedRep, StudyCheckpoint, CHECKPOINT_SCHEMA};
 pub use error::SimError;
 pub use event::{EventQueue, ScheduledEvent};
 pub use executor::EventDrivenSimulator;
@@ -67,3 +70,4 @@ pub use reward::{RewardSpec, RewardStudy};
 pub use rng::{replication_rng, split_seed};
 pub use splitting::{SplittingEstimate, SplittingStudy};
 pub use ssa::{MarkovSimulator, RunOutcome};
+pub use watchdog::Watchdog;

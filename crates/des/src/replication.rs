@@ -1,20 +1,41 @@
-//! Independent-replication studies with parallel workers and
-//! sequential stopping.
+//! Independent-replication studies with parallel workers, sequential
+//! stopping, and fault-tolerant execution.
+//!
+//! Robustness (see `docs/robustness.md`):
+//!
+//! * **Checkpoint/resume** — [`Study::with_checkpoint`] periodically
+//!   writes an atomic `ahs-checkpoint/v1` snapshot of the merged
+//!   replication prefix; [`Study::with_resume`] restarts from one and
+//!   produces estimates **bitwise identical** to an uninterrupted run.
+//! * **Panic quarantine** — each replication body runs under
+//!   `catch_unwind`; a panicking replication is recorded and excluded
+//!   instead of tearing down the whole study, up to
+//!   [`Study::with_quarantine_budget`].
+//! * **Watchdog** — [`Study::with_watchdog`] bounds each replication
+//!   by event count and wall-clock time ([`SimError::Runaway`]).
+//! * **Graceful interruption** — [`Study::with_interrupt`] polls a
+//!   flag (e.g. [`ahs_obs::interrupt_flag`]) at chunk boundaries,
+//!   drains in-flight chunks, and flushes a final checkpoint.
 
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use ahs_obs::{Json, Metrics, ProgressSink};
+use ahs_obs::{Json, Metrics, ProgressSink, StoppingSpec};
 use ahs_san::{Marking, SanModel};
 use ahs_stats::{Curve, StoppingRule, TimeGrid};
 use parking_lot::Mutex;
 
 use crate::bias::BiasScheme;
+use crate::checkpoint::{model_fingerprint, QuarantinedRep, StudyCheckpoint};
 use crate::error::SimError;
 use crate::executor::EventDrivenSimulator;
 use crate::rng::replication_rng;
 use crate::ssa::MarkovSimulator;
+use crate::watchdog::Watchdog;
 
 /// Which executor a study uses.
 #[derive(Debug, Clone)]
@@ -33,11 +54,28 @@ pub enum Backend {
 pub struct CurveEstimate {
     /// The accumulated per-instant estimators.
     pub curve: Curve,
-    /// Total replications executed.
+    /// Total replications contributing to the estimates (quarantined
+    /// replications are excluded).
     pub replications: u64,
     /// Whether the stopping rule's precision target was reached (as
-    /// opposed to hitting the replication cap).
+    /// opposed to hitting the replication cap or being interrupted).
     pub converged: bool,
+    /// Whether the study stopped early because its interrupt flag was
+    /// raised (SIGINT/SIGTERM or a manual request). When a checkpoint
+    /// path is configured the final state was flushed there first.
+    pub interrupted: bool,
+    /// Replications whose body panicked and was quarantined.
+    pub quarantined: Vec<QuarantinedRep>,
+    /// Watermarks of the checkpoints this run (transitively) resumed
+    /// from, oldest first; empty for a fresh run.
+    pub resume_lineage: Vec<u64>,
+}
+
+/// How often and where a study checkpoints.
+#[derive(Debug, Clone)]
+struct CheckpointPlan {
+    path: PathBuf,
+    every: u64,
 }
 
 /// A replication study: a model plus sampling configuration.
@@ -50,6 +88,12 @@ pub struct CurveEstimate {
 /// tier enforces this). Precision-rule studies are deterministic per
 /// replication too, but the total replication count may vary slightly
 /// with scheduling because the rule fires between chunks.
+///
+/// The same two properties make studies resumable: a checkpoint stores
+/// the merged estimator state over the completed replication prefix
+/// `[0, W)`, and a resumed study replays replications `W..` with
+/// identical streams and merge order (the recovery test tier enforces
+/// bitwise-identical resume at 1, 2, and 4 threads).
 ///
 /// The default stopping rule mirrors the paper: at least 10 000
 /// replications and a 95% confidence interval within 0.1 relative
@@ -64,6 +108,11 @@ pub struct Study {
     chunk: u64,
     metrics: Option<Arc<Metrics>>,
     progress: Option<Arc<ProgressSink>>,
+    watchdog: Option<Watchdog>,
+    quarantine_budget: u64,
+    checkpoint: Option<CheckpointPlan>,
+    resume: Option<StudyCheckpoint>,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl Study {
@@ -81,6 +130,11 @@ impl Study {
             chunk: 1_000,
             metrics: None,
             progress: None,
+            watchdog: None,
+            quarantine_budget: 0,
+            checkpoint: None,
+            resume: None,
+            interrupt: None,
         }
     }
 
@@ -146,7 +200,7 @@ impl Study {
 
     /// Attaches a telemetry sink shared by all workers (replication
     /// counts, per-run tallies, weight diagnostics, chunk merges,
-    /// per-worker throughput).
+    /// quarantined replications, per-worker throughput).
     #[must_use]
     pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
         self.metrics = Some(metrics);
@@ -154,10 +208,68 @@ impl Study {
     }
 
     /// Attaches a JSON-lines progress sink; the study emits
-    /// `study_started`, `chunk_done`, and `study_finished` events.
+    /// `study_started`, `chunk_done`, `checkpoint_written`,
+    /// `replication_quarantined`, and `study_finished` events.
     #[must_use]
     pub fn with_progress(mut self, progress: Arc<ProgressSink>) -> Self {
         self.progress = Some(progress);
+        self
+    }
+
+    /// Bounds every replication by the given runtime budgets; a
+    /// violation fails the study with [`SimError::Runaway`].
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Allows up to `budget` replications to panic: each one is
+    /// quarantined (recorded, excluded from the estimates, reported in
+    /// metrics and the result) instead of aborting the study. The
+    /// default budget is 0 — the first panic surfaces as
+    /// [`SimError::QuarantineOverflow`].
+    #[must_use]
+    pub fn with_quarantine_budget(mut self, budget: u64) -> Self {
+        self.quarantine_budget = budget;
+        self
+    }
+
+    /// Writes an atomic checkpoint to `path` every time at least
+    /// `every` further replications have been merged into the
+    /// contiguous prefix, plus a final checkpoint when the study ends
+    /// (normally or interrupted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>, every: u64) -> Self {
+        assert!(every > 0, "checkpoint interval must be positive");
+        self.checkpoint = Some(CheckpointPlan {
+            path: path.into(),
+            every,
+        });
+        self
+    }
+
+    /// Resumes from a checkpoint previously written by this study
+    /// configuration (validated against seed, chunk size, grid,
+    /// stopping rule, and model fingerprint when the study runs).
+    #[must_use]
+    pub fn with_resume(mut self, checkpoint: StudyCheckpoint) -> Self {
+        self.resume = Some(checkpoint);
+        self
+    }
+
+    /// Polls `flag` at every chunk boundary; once raised, workers
+    /// drain their in-flight chunks and the study returns early with
+    /// [`CurveEstimate::interrupted`] set (after flushing a final
+    /// checkpoint when one is configured). Pair with
+    /// [`ahs_obs::interrupt_flag`] for SIGINT/SIGTERM handling.
+    #[must_use]
+    pub fn with_interrupt(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.interrupt = Some(flag);
         self
     }
 
@@ -181,6 +293,11 @@ impl Study {
         self.threads
     }
 
+    /// Replications per work chunk.
+    pub fn chunk(&self) -> u64 {
+        self.chunk
+    }
+
     /// The stopping rule in force.
     pub fn rule(&self) -> StoppingRule {
         self.rule
@@ -193,7 +310,9 @@ impl Study {
     ///
     /// Returns the first [`SimError`] raised by any replication
     /// (non-Markovian model on an SSA backend, event-budget exhaustion,
-    /// invalid rates, SAN-level errors).
+    /// watchdog violations, invalid rates, SAN-level errors), a
+    /// checkpoint failure, or [`SimError::QuarantineOverflow`] when
+    /// more replications panic than the quarantine budget allows.
     pub fn first_passage<F>(
         &self,
         target: F,
@@ -204,20 +323,17 @@ impl Study {
         F: Fn(&Marking) -> bool + Send + Sync,
     {
         let horizon = grid.horizon();
-        self.run_study(grid, backend, |engine, rng, curve| {
+        self.run_study(grid, backend, |engine, rng| {
             let outcome = match engine {
                 Engine::Event(sim) => sim.run_first_passage(&target, horizon, rng)?,
                 Engine::Markov(sim) => sim.run_first_passage(&target, horizon, rng)?,
             };
-            curve.record_first_passage(
-                outcome.hit_time,
-                if outcome.hit_time.is_some() {
-                    outcome.hit_weight
-                } else {
-                    1.0
-                },
-            );
-            Ok(())
+            let weight = if outcome.hit_time.is_some() {
+                outcome.hit_weight
+            } else {
+                1.0
+            };
+            Ok(RepOutcome::FirstPassage(outcome.hit_time, weight))
         })
     }
 
@@ -236,14 +352,94 @@ impl Study {
     where
         F: Fn(&Marking) -> bool + Send + Sync,
     {
-        self.run_study(grid, backend, |engine, rng, curve| {
+        self.run_study(grid, backend, |engine, rng| {
             let obs = match engine {
                 Engine::Event(sim) => sim.run_transient(&pred, grid.points(), rng)?,
                 Engine::Markov(sim) => sim.run_transient(&pred, grid.points(), rng)?,
             };
-            curve.record_weighted(&obs);
-            Ok(())
+            Ok(RepOutcome::Weighted(obs))
         })
+    }
+
+    /// The stopping rule as a serializable spec (for manifests and
+    /// checkpoints).
+    fn stopping_spec(&self) -> StoppingSpec {
+        StoppingSpec {
+            confidence: self.rule.confidence(),
+            relative_half_width: self.rule.relative_half_width(),
+            min_samples: self.rule.min_samples(),
+            max_samples: self.rule.max_samples(),
+        }
+    }
+
+    /// Validates that `cp` was taken from this exact study
+    /// configuration, so replaying replications `cp.watermark..`
+    /// reproduces the uninterrupted run bit for bit.
+    fn validate_resume(
+        &self,
+        cp: &StudyCheckpoint,
+        grid: &TimeGrid,
+        fingerprint: u64,
+    ) -> Result<(), SimError> {
+        let reject = |reason: String| Err(SimError::Checkpoint { reason });
+        if cp.seed != self.seed {
+            return reject(format!(
+                "master seed mismatch: checkpoint {}, study {}",
+                cp.seed, self.seed
+            ));
+        }
+        if cp.chunk != self.chunk {
+            return reject(format!(
+                "chunk size mismatch: checkpoint {}, study {} — merge order would differ",
+                cp.chunk, self.chunk
+            ));
+        }
+        if cp.model_fingerprint != fingerprint {
+            return reject(format!(
+                "model fingerprint mismatch: checkpoint {:#018x}, study {:#018x} \
+                 (model `{}` changed since the checkpoint was taken)",
+                cp.model_fingerprint,
+                fingerprint,
+                self.model.name()
+            ));
+        }
+        if cp.curve.grid() != grid {
+            return reject(format!(
+                "time grid mismatch: checkpoint {:?}, study {:?}",
+                cp.curve.grid().points(),
+                grid.points()
+            ));
+        }
+        let spec = self.stopping_spec();
+        if cp.stopping != spec {
+            return reject(format!(
+                "stopping rule mismatch: checkpoint {:?}, study {:?}",
+                cp.stopping, spec
+            ));
+        }
+        if cp.confidence != self.confidence {
+            return reject(format!(
+                "confidence mismatch: checkpoint {}, study {}",
+                cp.confidence, self.confidence
+            ));
+        }
+        let aligned = cp.watermark.is_multiple_of(self.chunk)
+            || self.rule.max_samples() == Some(cp.watermark);
+        if !aligned {
+            return reject(format!(
+                "watermark {} is not a chunk boundary (chunk {})",
+                cp.watermark, self.chunk
+            ));
+        }
+        if cp.quarantined.len() as u64 > self.quarantine_budget {
+            return reject(format!(
+                "checkpoint carries {} quarantined replication(s) but the study's \
+                 quarantine budget is {}",
+                cp.quarantined.len(),
+                self.quarantine_budget
+            ));
+        }
+        Ok(())
     }
 
     fn run_study<W>(
@@ -253,19 +449,69 @@ impl Study {
         work: W,
     ) -> Result<CurveEstimate, SimError>
     where
-        W: Fn(&Engine<'_>, &mut rand::rngs::SmallRng, &mut Curve) -> Result<(), SimError>
-            + Send
-            + Sync,
+        W: Fn(&Engine<'_>, &mut rand::rngs::SmallRng) -> Result<RepOutcome, SimError> + Send + Sync,
     {
-        // `global` feeds the stopping checks; the per-chunk curves in
-        // `chunks` are re-merged in replication order at the end so the
-        // final estimate is independent of worker scheduling.
-        let global = Mutex::new(Curve::new(grid.clone()));
-        let chunks: Mutex<Vec<(u64, Curve)>> = Mutex::new(Vec::new());
-        let next_rep = AtomicU64::new(0);
+        // Only checkpointing and resume need the fingerprint; skip the
+        // structural dump on plain runs.
+        let fingerprint = if self.checkpoint.is_some() || self.resume.is_some() {
+            model_fingerprint(&self.model)
+        } else {
+            0
+        };
+        let mut initial = Curve::new(grid.clone());
+        let mut start_watermark = 0_u64;
+        let mut lineage: Vec<u64> = Vec::new();
+        let mut initial_quarantined: Vec<QuarantinedRep> = Vec::new();
+        if let Some(cp) = &self.resume {
+            self.validate_resume(cp, grid, fingerprint)?;
+            initial = cp.curve.clone();
+            start_watermark = cp.watermark;
+            lineage = cp.lineage.clone();
+            lineage.push(cp.watermark);
+            initial_quarantined = cp.quarantined.clone();
+        }
+        let lineage = lineage; // frozen; shared by checkpoints and the result
+
+        // `global` feeds the stopping checks (merge order immaterial);
+        // `ordered` maintains the contiguous replication prefix merged
+        // in start order — the deterministic state that checkpoints
+        // snapshot and the final estimate is read from.
+        let global = Mutex::new(initial.clone());
+        let ordered = Mutex::new(OrderedState {
+            prefix: initial,
+            prefix_end: start_watermark,
+            pending: BTreeMap::new(),
+            last_flush: start_watermark,
+        });
+        let quarantined: Mutex<Vec<QuarantinedRep>> = Mutex::new(initial_quarantined);
+        let next_rep = AtomicU64::new(start_watermark);
         let done = AtomicBool::new(false);
+        let interrupted = AtomicBool::new(false);
         let failure: Mutex<Option<SimError>> = Mutex::new(None);
         let converged = AtomicBool::new(false);
+        let ran_chunks = AtomicBool::new(false);
+
+        let fail = |e: SimError| {
+            let mut f = failure.lock();
+            if f.is_none() {
+                *f = Some(e);
+            }
+            done.store(true, Ordering::SeqCst);
+        };
+
+        let make_checkpoint =
+            |curve: Curve, watermark: u64, quarantined: Vec<QuarantinedRep>| StudyCheckpoint {
+                seed: self.seed,
+                chunk: self.chunk,
+                watermark,
+                model_name: self.model.name().to_owned(),
+                model_fingerprint: fingerprint,
+                confidence: self.confidence,
+                stopping: self.stopping_spec(),
+                curve,
+                quarantined,
+                lineage: lineage.clone(),
+            };
 
         if let Some(p) = &self.progress {
             p.emit(
@@ -275,11 +521,17 @@ impl Study {
                     ("seed", self.seed.into()),
                     ("threads", self.threads.into()),
                     ("chunk", self.chunk.into()),
+                    (
+                        "resumed_from",
+                        self.resume
+                            .as_ref()
+                            .map_or(Json::Null, |cp| cp.watermark.into()),
+                    ),
                 ],
             );
         }
 
-        let run_worker = || -> () {
+        let run_worker = || {
             let worker_clock = Instant::now();
             let mut worker_reps = 0_u64;
             let engine = match &backend {
@@ -288,6 +540,9 @@ impl Study {
                     if let Some(m) = &self.metrics {
                         sim = sim.with_metrics(m.clone());
                     }
+                    if let Some(w) = &self.watchdog {
+                        sim = sim.with_watchdog(*w);
+                    }
                     Engine::Event(sim)
                 }
                 Backend::Markov => match MarkovSimulator::new(&self.model) {
@@ -295,11 +550,13 @@ impl Study {
                         if let Some(m) = &self.metrics {
                             sim = sim.with_metrics(m.clone());
                         }
+                        if let Some(w) = &self.watchdog {
+                            sim = sim.with_watchdog(*w);
+                        }
                         Engine::Markov(sim)
                     }
                     Err(e) => {
-                        *failure.lock() = Some(e);
-                        done.store(true, Ordering::SeqCst);
+                        fail(e);
                         return;
                     }
                 },
@@ -309,16 +566,25 @@ impl Study {
                         if let Some(m) = &self.metrics {
                             sim = sim.with_metrics(m.clone());
                         }
+                        if let Some(w) = &self.watchdog {
+                            sim = sim.with_watchdog(*w);
+                        }
                         Engine::Markov(sim)
                     }
                     Err(e) => {
-                        *failure.lock() = Some(e);
-                        done.store(true, Ordering::SeqCst);
+                        fail(e);
                         return;
                     }
                 },
             };
             while !done.load(Ordering::SeqCst) {
+                if let Some(flag) = &self.interrupt {
+                    if flag.load(Ordering::Relaxed) {
+                        interrupted.store(true, Ordering::SeqCst);
+                        done.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
                 let start = next_rep.fetch_add(self.chunk, Ordering::SeqCst);
                 let mut end = start + self.chunk;
                 if let Some(max) = self.rule.max_samples() {
@@ -329,27 +595,120 @@ impl Study {
                     end = end.min(max);
                 }
                 let mut local = Curve::new(grid.clone());
+                let mut chunk_quarantined = 0_u64;
                 for rep in start..end {
                     let mut rng = replication_rng(self.seed, rep);
-                    if let Err(e) = work(&engine, &mut rng, &mut local) {
-                        let mut f = failure.lock();
-                        if f.is_none() {
-                            *f = Some(e);
+                    // The engine holds only configuration (per-run state
+                    // is local to each `run_*` call), so unwinding out
+                    // of a replication cannot corrupt it; recording
+                    // happens out here, after validation, so a panic
+                    // can never leave `local` half-updated either.
+                    let result = catch_unwind(AssertUnwindSafe(|| work(&engine, &mut rng)));
+                    match result {
+                        Ok(Ok(outcome)) => {
+                            if let Err(e) = record_outcome(&mut local, outcome) {
+                                fail(e);
+                                return;
+                            }
                         }
-                        done.store(true, Ordering::SeqCst);
-                        return;
+                        Ok(Err(e)) => {
+                            fail(e);
+                            return;
+                        }
+                        Err(payload) => {
+                            let message = panic_message(payload.as_ref());
+                            chunk_quarantined += 1;
+                            if let Some(m) = &self.metrics {
+                                m.record_quarantined();
+                            }
+                            if let Some(p) = &self.progress {
+                                p.emit(
+                                    "replication_quarantined",
+                                    vec![
+                                        ("replication", rep.into()),
+                                        ("message", Json::str(message.clone())),
+                                    ],
+                                );
+                            }
+                            let total = {
+                                let mut q = quarantined.lock();
+                                q.push(QuarantinedRep {
+                                    replication: rep,
+                                    message: message.clone(),
+                                });
+                                q.len() as u64
+                            };
+                            if total > self.quarantine_budget {
+                                fail(SimError::QuarantineOverflow {
+                                    quarantined: total,
+                                    budget: self.quarantine_budget,
+                                    message,
+                                });
+                                return;
+                            }
+                        }
                     }
                 }
-                worker_reps += end - start;
+                let completed = (end - start) - chunk_quarantined;
+                worker_reps += completed;
                 let mut g = global.lock();
                 g.merge(&local);
                 let merged_total = g.samples();
                 let last = grid.len() - 1;
                 let stats = *g.estimator(last).product_stats();
                 drop(g);
-                chunks.lock().push((start, local));
+                // Advance the contiguous prefix and decide whether this
+                // merge crossed a checkpoint boundary.
+                let flush = {
+                    let mut ord = ordered.lock();
+                    ord.pending.insert(start, (end, local));
+                    loop {
+                        let front = ord.pending.keys().next().copied();
+                        match front {
+                            Some(s) if s == ord.prefix_end => {
+                                if let Some((e, c)) = ord.pending.remove(&s) {
+                                    ord.prefix.merge(&c);
+                                    ord.prefix_end = e;
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                    match &self.checkpoint {
+                        Some(plan)
+                            if ord.prefix_end.saturating_sub(ord.last_flush) >= plan.every =>
+                        {
+                            ord.last_flush = ord.prefix_end;
+                            Some((ord.prefix_end, ord.prefix.clone()))
+                        }
+                        _ => None,
+                    }
+                };
+                if let (Some((watermark, snapshot)), Some(plan)) = (flush, &self.checkpoint) {
+                    let quarantined_below: Vec<QuarantinedRep> = quarantined
+                        .lock()
+                        .iter()
+                        .filter(|r| r.replication < watermark)
+                        .cloned()
+                        .collect();
+                    let cp = make_checkpoint(snapshot, watermark, quarantined_below);
+                    if let Err(e) = cp.write(&plan.path) {
+                        fail(e);
+                        return;
+                    }
+                    if let Some(p) = &self.progress {
+                        p.emit(
+                            "checkpoint_written",
+                            vec![
+                                ("watermark", watermark.into()),
+                                ("path", Json::str(plan.path.display().to_string())),
+                            ],
+                        );
+                    }
+                }
+                ran_chunks.store(true, Ordering::SeqCst);
                 if let Some(m) = &self.metrics {
-                    m.add_replications(end - start);
+                    m.add_replications(completed);
                     m.record_chunk_merge();
                 }
                 if let Some(p) = &self.progress {
@@ -357,7 +716,7 @@ impl Study {
                         "chunk_done",
                         vec![
                             ("start", start.into()),
-                            ("replications", (end - start).into()),
+                            ("replications", completed.into()),
                             ("total", merged_total.into()),
                         ],
                     );
@@ -386,25 +745,50 @@ impl Study {
         if let Some(e) = failure.into_inner() {
             return Err(e);
         }
-        // Deterministic re-merge: sort chunks by first replication
-        // index and fold in that order. Floating-point merge order is
-        // then a pure function of the chunk set, which for fixed-budget
-        // rules is itself scheduling-independent.
-        let mut chunks = chunks.into_inner();
-        chunks.sort_by_key(|&(start, _)| start);
-        let mut curve = Curve::new(grid.clone());
-        for (_, local) in &chunks {
-            curve.merge(local);
-        }
+        let OrderedState {
+            prefix: curve,
+            prefix_end,
+            pending,
+            ..
+        } = ordered.into_inner();
+        // Every grabbed chunk completes before its worker exits, so the
+        // chunk set is contiguous whenever no failure occurred.
+        debug_assert!(pending.is_empty(), "non-contiguous chunks left pending");
         debug_assert_eq!(curve.samples(), global.into_inner().samples());
+        let quarantined = quarantined.into_inner();
+        let interrupted = interrupted.load(Ordering::SeqCst);
         let replications = curve.samples();
-        let converged = converged.load(Ordering::SeqCst);
+        let last = grid.len() - 1;
+        let stats = *curve.estimator(last).product_stats();
+        // A fully-resumed study runs no chunks, so the in-loop check
+        // never fires; evaluate the rule on the final state instead.
+        let converged = if ran_chunks.load(Ordering::SeqCst) {
+            converged.load(Ordering::SeqCst)
+        } else {
+            self.rule.is_satisfied(&stats) && self.rule.precision_reached(&stats)
+        };
+        if let Some(plan) = &self.checkpoint {
+            let cp = make_checkpoint(curve.clone(), prefix_end, quarantined.clone());
+            cp.write(&plan.path)?;
+            if let Some(p) = &self.progress {
+                p.emit(
+                    "checkpoint_written",
+                    vec![
+                        ("watermark", prefix_end.into()),
+                        ("path", Json::str(plan.path.display().to_string())),
+                        ("final", true.into()),
+                    ],
+                );
+            }
+        }
         if let Some(p) = &self.progress {
             p.emit(
                 "study_finished",
                 vec![
                     ("replications", replications.into()),
                     ("converged", converged.into()),
+                    ("interrupted", interrupted.into()),
+                    ("quarantined", (quarantined.len() as u64).into()),
                 ],
             );
         }
@@ -412,6 +796,9 @@ impl Study {
             curve,
             replications,
             converged,
+            interrupted,
+            quarantined,
+            resume_lineage: lineage,
         })
     }
 }
@@ -423,6 +810,77 @@ impl std::fmt::Debug for Study {
             .field("seed", &self.seed)
             .field("threads", &self.threads)
             .finish_non_exhaustive()
+    }
+}
+
+/// The contiguous-prefix merge state shared by workers: chunks arrive
+/// in any order but are folded into `prefix` strictly by start index,
+/// so the floating-point merge order — and therefore the bits of every
+/// estimate — is a pure function of the chunk set.
+struct OrderedState {
+    prefix: Curve,
+    /// Replications `[0, prefix_end)` are merged into `prefix`.
+    prefix_end: u64,
+    /// Out-of-order chunks waiting for their predecessors:
+    /// `start -> (end, curve)`.
+    pending: BTreeMap<u64, (u64, Curve)>,
+    /// Watermark of the last checkpoint flush.
+    last_flush: u64,
+}
+
+/// What one replication contributes, produced inside `catch_unwind`
+/// and recorded outside it so a panic can never half-update a curve.
+enum RepOutcome {
+    /// First-passage time (`None` = censored at the horizon) and its
+    /// likelihood weight.
+    FirstPassage(Option<f64>, f64),
+    /// One `(value, weight)` observation per grid point.
+    Weighted(Vec<(f64, f64)>),
+}
+
+/// Validates and records one replication outcome. Validation happens
+/// before any estimator is touched, so an engine bug (e.g. an
+/// overflowed likelihood ratio) surfaces as a typed error instead of a
+/// mid-record panic.
+fn record_outcome(curve: &mut Curve, outcome: RepOutcome) -> Result<(), SimError> {
+    match outcome {
+        RepOutcome::FirstPassage(hit_time, weight) => {
+            if !(weight.is_finite() && weight >= 0.0) {
+                return Err(SimError::Internal {
+                    context: format!("replication produced invalid likelihood weight {weight}"),
+                });
+            }
+            curve.record_first_passage(hit_time, weight);
+        }
+        RepOutcome::Weighted(obs) => {
+            if obs.len() != curve.grid().len() {
+                return Err(SimError::Internal {
+                    context: format!(
+                        "replication produced {} observations for {} grid points",
+                        obs.len(),
+                        curve.grid().len()
+                    ),
+                });
+            }
+            if let Some((_, w)) = obs.iter().find(|(_, w)| !(w.is_finite() && *w >= 0.0)) {
+                return Err(SimError::Internal {
+                    context: format!("replication produced invalid likelihood weight {w}"),
+                });
+            }
+            curve.record_weighted(&obs);
+        }
+    }
+    Ok(())
+}
+
+/// Extracts a human-readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -466,6 +924,9 @@ mod tests {
         let p3 = 1.0 - (-0.9_f64).exp();
         assert!((pts[0].y - p1).abs() < 0.01, "{} vs {p1}", pts[0].y);
         assert!((pts[1].y - p3).abs() < 0.01, "{} vs {p3}", pts[1].y);
+        assert!(!est.interrupted);
+        assert!(est.quarantined.is_empty());
+        assert!(est.resume_lineage.is_empty());
     }
 
     #[test]
@@ -619,5 +1080,23 @@ mod tests {
             .first_passage(|_| false, &grid, Backend::Markov)
             .unwrap_err();
         assert!(matches!(err, SimError::NonMarkovian { .. }));
+    }
+
+    #[test]
+    fn pre_raised_interrupt_stops_before_any_replication() {
+        let (model, down) = single_failure(1.0);
+        let flag = Arc::new(AtomicBool::new(true));
+        let study = Study::new(model)
+            .with_seed(7)
+            .with_fixed_replications(10_000)
+            .with_threads(2)
+            .with_interrupt(flag);
+        let grid = TimeGrid::new(vec![1.0]);
+        let est = study
+            .first_passage(move |m| m.is_marked(down), &grid, Backend::Markov)
+            .unwrap();
+        assert!(est.interrupted);
+        assert_eq!(est.replications, 0);
+        assert!(!est.converged);
     }
 }

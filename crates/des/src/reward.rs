@@ -8,6 +8,7 @@
 //! interval-of-time variables of the Möbius reward formalism, estimated
 //! here over independent replications.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use ahs_obs::Metrics;
@@ -16,9 +17,10 @@ use ahs_stats::{RunningStats, StoppingRule};
 
 use crate::error::SimError;
 use crate::observer::Observer;
-use crate::replication::Backend;
+use crate::replication::{panic_message, Backend};
 use crate::rng::replication_rng;
 use crate::ssa::MarkovSimulator;
+use crate::watchdog::Watchdog;
 use crate::EventDrivenSimulator;
 
 /// Specification of a reward variable accumulated over `[0, horizon]`.
@@ -168,6 +170,8 @@ pub struct RewardStudy {
     seed: u64,
     rule: StoppingRule,
     metrics: Option<Arc<Metrics>>,
+    quarantine_budget: u64,
+    watchdog: Option<Watchdog>,
 }
 
 impl RewardStudy {
@@ -179,6 +183,8 @@ impl RewardStudy {
             seed: 0x5EED,
             rule: StoppingRule::fixed(10_000),
             metrics: None,
+            quarantine_budget: 0,
+            watchdog: None,
         }
     }
 
@@ -208,6 +214,24 @@ impl RewardStudy {
     #[must_use]
     pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Tolerates up to `budget` panicking replications: a panicking
+    /// reward closure (or simulator invariant) quarantines that
+    /// replication instead of aborting the study. The default budget is
+    /// zero — the first panic surfaces as
+    /// [`SimError::QuarantineOverflow`].
+    #[must_use]
+    pub fn with_quarantine_budget(mut self, budget: u64) -> Self {
+        self.quarantine_budget = budget;
+        self
+    }
+
+    /// Applies per-replication runtime budgets (see [`Watchdog`]).
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = Some(watchdog);
         self
     }
 
@@ -245,37 +269,67 @@ impl RewardStudy {
                 if let Some(m) = &self.metrics {
                     sim = sim.with_metrics(m.clone());
                 }
-                let mut rep = 0u64;
-                while !self.rule.is_satisfied(&stats) {
-                    let mut rng = replication_rng(self.seed, rep);
+                if let Some(w) = &self.watchdog {
+                    sim = sim.with_watchdog(*w);
+                }
+                self.run_loop(&mut stats, |rng| {
                     let mut obs = RewardObserver::new(spec);
-                    sim.run_with_observer(horizon, &mut rng, &mut obs)?;
-                    stats.push(obs.total);
-                    rep += 1;
-                }
-                if let Some(m) = &self.metrics {
-                    m.add_replications(rep);
-                }
+                    sim.run_with_observer(horizon, rng, &mut obs)?;
+                    Ok(obs.total)
+                })?;
             }
             Backend::EventDriven => {
                 let mut sim = EventDrivenSimulator::new(&self.model);
                 if let Some(m) = &self.metrics {
                     sim = sim.with_metrics(m.clone());
                 }
-                let mut rep = 0u64;
-                while !self.rule.is_satisfied(&stats) {
-                    let mut rng = replication_rng(self.seed, rep);
+                if let Some(w) = &self.watchdog {
+                    sim = sim.with_watchdog(*w);
+                }
+                self.run_loop(&mut stats, |rng| {
                     let mut obs = RewardObserver::new(spec);
-                    sim.run(horizon, &mut rng, &mut obs)?;
-                    stats.push(obs.total);
-                    rep += 1;
-                }
-                if let Some(m) = &self.metrics {
-                    m.add_replications(rep);
-                }
+                    sim.run(horizon, rng, &mut obs)?;
+                    Ok(obs.total)
+                })?;
             }
         }
         Ok(stats)
+    }
+
+    /// The shared replication loop: one deterministic RNG stream per
+    /// replication index, panics quarantined up to the configured
+    /// budget, typed errors surfaced immediately.
+    fn run_loop<F>(&self, stats: &mut RunningStats, mut one_rep: F) -> Result<(), SimError>
+    where
+        F: FnMut(&mut rand::rngs::SmallRng) -> Result<f64, SimError>,
+    {
+        let mut rep = 0u64;
+        let mut quarantined = 0u64;
+        while !self.rule.is_satisfied(stats) {
+            let mut rng = replication_rng(self.seed, rep);
+            rep += 1;
+            match catch_unwind(AssertUnwindSafe(|| one_rep(&mut rng))) {
+                Ok(Ok(total)) => stats.push(total),
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    quarantined += 1;
+                    if let Some(m) = &self.metrics {
+                        m.record_quarantined();
+                    }
+                    if quarantined > self.quarantine_budget {
+                        return Err(SimError::QuarantineOverflow {
+                            quarantined,
+                            budget: self.quarantine_budget,
+                            message: panic_message(&*payload),
+                        });
+                    }
+                }
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.add_replications(rep - quarantined);
+        }
+        Ok(())
     }
 }
 
@@ -389,6 +443,52 @@ mod tests {
             "precision not reached: {}",
             est.confidence_interval(0.95)
         );
+    }
+
+    #[test]
+    fn panicking_reward_closure_is_quarantined() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (model, down) = repairable(1.0, 1.0);
+        let fired = Arc::new(AtomicBool::new(false));
+        let f = fired.clone();
+        let spec = RewardSpec::rate(move |m| {
+            if !f.swap(true, Ordering::SeqCst) {
+                panic!("injected reward panic");
+            }
+            f64::from(u8::from(m.is_marked(down)))
+        });
+        let metrics = Arc::new(Metrics::new());
+        let est = RewardStudy::new(model)
+            .with_seed(6)
+            .with_replications(200)
+            .with_quarantine_budget(1)
+            .with_metrics(metrics.clone())
+            .estimate(&spec, 10.0, Backend::Markov)
+            .unwrap();
+        assert_eq!(est.count(), 200, "quarantined rep must not count");
+        assert_eq!(metrics.snapshot().quarantined, 1);
+    }
+
+    #[test]
+    fn quarantine_budget_zero_surfaces_first_panic() {
+        let (model, _) = repairable(1.0, 1.0);
+        let spec = RewardSpec::rate(|_| panic!("always broken"));
+        let err = RewardStudy::new(model)
+            .with_seed(7)
+            .with_replications(10)
+            .estimate(&spec, 1.0, Backend::EventDriven)
+            .unwrap_err();
+        match err {
+            SimError::QuarantineOverflow {
+                quarantined,
+                budget,
+                message,
+            } => {
+                assert_eq!((quarantined, budget), (1, 0));
+                assert!(message.contains("always broken"), "{message}");
+            }
+            other => panic!("expected QuarantineOverflow, got {other:?}"),
+        }
     }
 
     #[test]

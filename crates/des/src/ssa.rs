@@ -10,6 +10,7 @@ use rand::Rng;
 use crate::bias::BiasScheme;
 use crate::error::SimError;
 use crate::observer::Observer;
+use crate::watchdog::Watchdog;
 
 /// Default per-replication event budget.
 const DEFAULT_MAX_EVENTS: u64 = 10_000_000;
@@ -53,6 +54,7 @@ pub struct MarkovSimulator<'m> {
     // with the model's timed activity list).
     timed: Vec<ActivityId>,
     metrics: Option<Arc<Metrics>>,
+    watchdog: Option<Watchdog>,
 }
 
 impl<'m> MarkovSimulator<'m> {
@@ -83,6 +85,7 @@ impl<'m> MarkovSimulator<'m> {
             max_events: DEFAULT_MAX_EVENTS,
             timed: model.timed_activities().to_vec(),
             metrics: None,
+            watchdog: None,
         })
     }
 
@@ -109,6 +112,15 @@ impl<'m> MarkovSimulator<'m> {
         self
     }
 
+    /// Arms a per-replication watchdog (event-count and wall-clock
+    /// budgets); a violation fails the run with [`SimError::Runaway`]
+    /// instead of spinning until the much larger event budget.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
     /// The model being simulated.
     pub fn model(&self) -> &SanModel {
         self.model
@@ -123,10 +135,18 @@ impl<'m> MarkovSimulator<'m> {
     }
 
     fn rate_of(&self, a: ActivityId, m: &Marking) -> Result<f64, SimError> {
+        // The constructor verified every timed activity is exponential;
+        // a `None` here is an engine bug, surfaced as a typed error so
+        // a study fails cleanly instead of panicking a worker.
         let r = self
             .model
             .exponential_rate(a, m)
-            .expect("constructor verified all timed activities are exponential");
+            .ok_or_else(|| SimError::Internal {
+                context: format!(
+                    "activity `{}` lost its exponential rate after construction",
+                    self.model.activity(a).name()
+                ),
+            })?;
         if !r.is_finite() || r < 0.0 {
             return Err(SimError::InvalidRate {
                 activity: self.model.activity(a).name().to_owned(),
@@ -198,6 +218,7 @@ impl<'m> MarkovSimulator<'m> {
         let mut t = t0;
         let mut log_lr = 0.0_f64;
         let mut events = 0_u64;
+        let watchdog = self.watchdog.map(|w| w.start());
 
         if target(&marking) {
             self.flush_run(0, instantaneous, cascaded, 1.0);
@@ -247,7 +268,8 @@ impl<'m> MarkovSimulator<'m> {
                     marking,
                 ));
             }
-            let (a, r_true, r_biased) = pick_weighted(&rates, total_biased, rng);
+            let (a, r_true, r_biased) =
+                pick_weighted(&rates, total_biased, rng).ok_or_else(empty_rate_table)?;
             log_lr += (r_true / r_biased).ln() - (total_true - total_biased) * tau;
             t += tau;
 
@@ -261,6 +283,9 @@ impl<'m> MarkovSimulator<'m> {
                 return Err(SimError::EventBudgetExceeded {
                     budget: self.max_events,
                 });
+            }
+            if let Some(wd) = &watchdog {
+                wd.check(events)?;
             }
             if target(&marking) {
                 let w = log_lr.exp();
@@ -300,7 +325,11 @@ impl<'m> MarkovSimulator<'m> {
         R: Rng + ?Sized,
         F: Fn(&Marking) -> bool,
     {
-        let horizon = *grid.last().expect("grid must not be empty");
+        let Some(&horizon) = grid.last() else {
+            return Err(SimError::Internal {
+                context: "run_transient called with an empty grid".to_owned(),
+            });
+        };
         let mut out = Vec::with_capacity(grid.len());
         let mut next = 0_usize;
 
@@ -310,6 +339,7 @@ impl<'m> MarkovSimulator<'m> {
         let mut t = 0.0_f64;
         let mut log_lr = 0.0_f64;
         let mut events = 0_u64;
+        let watchdog = self.watchdog.map(|w| w.start());
 
         while next < grid.len() {
             let (total_true, total_biased, rates) = self.enabled_rates(&marking)?;
@@ -330,7 +360,8 @@ impl<'m> MarkovSimulator<'m> {
                 break;
             }
 
-            let (a, r_true, r_biased) = pick_weighted(&rates, total_biased, rng);
+            let (a, r_true, r_biased) =
+                pick_weighted(&rates, total_biased, rng).ok_or_else(empty_rate_table)?;
             let tau = t_next_event - t;
             log_lr += (r_true / r_biased).ln() - (total_true - total_biased) * tau;
             t = t_next_event;
@@ -345,6 +376,9 @@ impl<'m> MarkovSimulator<'m> {
                 return Err(SimError::EventBudgetExceeded {
                     budget: self.max_events,
                 });
+            }
+            if let Some(wd) = &watchdog {
+                wd.check(events)?;
             }
         }
         debug_assert_eq!(out.len(), grid.len());
@@ -387,6 +421,7 @@ impl<'m> MarkovSimulator<'m> {
         }
         let mut t = 0.0_f64;
         let mut events = 0_u64;
+        let watchdog = self.watchdog.map(|w| w.start());
 
         loop {
             if observer.should_stop(t, &marking) {
@@ -407,7 +442,7 @@ impl<'m> MarkovSimulator<'m> {
                 return Ok(horizon);
             }
             t += tau;
-            let (a, _, _) = pick_weighted(&rates, total, rng);
+            let (a, _, _) = pick_weighted(&rates, total, rng).ok_or_else(empty_rate_table)?;
             let case = self.model.select_case(a, &marking, rng)?;
             self.model.fire(a, case, &mut marking);
             observer.on_event(t, a, &marking);
@@ -422,6 +457,9 @@ impl<'m> MarkovSimulator<'m> {
                 return Err(SimError::EventBudgetExceeded {
                     budget: self.max_events,
                 });
+            }
+            if let Some(wd) = &watchdog {
+                wd.check(events)?;
             }
         }
     }
@@ -477,16 +515,23 @@ fn pick_weighted<R: Rng + ?Sized>(
     rates: &[(ActivityId, f64, f64)],
     total_biased: f64,
     rng: &mut R,
-) -> (ActivityId, f64, f64) {
+) -> Option<(ActivityId, f64, f64)> {
     let mut u: f64 = rng.random::<f64>() * total_biased;
     for &(a, r, rb) in rates {
         if u < rb {
-            return (a, r, rb);
+            return Some((a, r, rb));
         }
         u -= rb;
     }
-    let &(a, r, rb) = rates.last().expect("total rate positive implies non-empty");
-    (a, r, rb)
+    rates.last().copied()
+}
+
+/// Invariant violation: a positive total rate was computed but the rate
+/// table turned out to be empty when an activity was drawn from it.
+fn empty_rate_table() -> SimError {
+    SimError::Internal {
+        context: "positive total rate with an empty rate table".to_owned(),
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,118 @@
+//! Crash-safe artifact writes.
+//!
+//! Every JSON artifact the workspace produces (manifests, checkpoints,
+//! bench CSVs) goes through [`atomic_write`]: the bytes land in
+//! `<path>.tmp` first and are published with a single `rename`, so a
+//! crash mid-write can truncate only the temporary file — a reader
+//! never observes a partial document at the final path.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Serial number making every temporary name unique within the
+/// process; combined with the pid it is unique across concurrent
+/// writers of the same artifact (two simultaneous `atomic_write`s to
+/// one path must not race on a shared temporary, or the loser's
+/// `rename` fails with `ENOENT`).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The temporary sibling `<path>.<pid>.<seq>.tmp` used by
+/// [`atomic_write`].
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    path.with_file_name(name)
+}
+
+/// Writes `contents` to `path` atomically: parent directories are
+/// created, the bytes are written and synced to `<path>.tmp`, and the
+/// temporary is renamed over `path`. On any error the temporary is
+/// removed and `path` is left as it was.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = tmp_path(path);
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(contents)?;
+        // Flush to disk before publishing, so the rename can never
+        // expose a file whose bytes are still in flight.
+        file.sync_all()
+    })();
+    match result.and_then(|()| std::fs::rename(&tmp, path)) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ahs-obs-fsio-{}-{:?}-{name}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = scratch("replace");
+        let path = dir.join("nested/out.json");
+        atomic_write(&path, b"{\"v\":1}\n").expect("first write");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}\n");
+        atomic_write(&path, b"{\"v\":2}\n").expect("overwrite");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leaves_no_temporary_behind() {
+        let dir = scratch("tmpfile");
+        let path = dir.join("out.json");
+        atomic_write(&path, b"x").expect("write");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["out.json"], "temporary must be renamed away");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_path_never_fail() {
+        let dir = scratch("race");
+        let path = dir.join("contended.json");
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let path = &path;
+                s.spawn(move || {
+                    for j in 0..50 {
+                        atomic_write(path, format!("{i}:{j}\n").as_bytes())
+                            .expect("no writer may lose the temp-file race");
+                    }
+                });
+            }
+        });
+        // Whatever write won last, the file is a complete document.
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.ends_with('\n') && body.contains(':'), "{body:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -20,6 +20,12 @@
 //!   `--telemetry <path>`, or to stderr via `--progress`) emitted while
 //!   a study runs.
 //!
+//! Robustness plumbing lives here too: [`atomic_write`] makes every
+//! artifact crash-safe (temp file + rename), [`Json::parse`] reads
+//! them back (checkpoint resume), and [`interrupt_flag`] installs the
+//! SIGINT/SIGTERM handler behind graceful interruption (see
+//! `docs/robustness.md`).
+//!
 //! The crate is intentionally dependency-free: JSON is emitted through
 //! the small [`Json`] value tree (the build environment vendors a
 //! no-op `serde`, so all machine-readable output in this workspace is
@@ -42,15 +48,22 @@
 //! assert!((snap.weight_min - 0.5).abs() < 1e-12);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `interrupt` module carries the one
+// allowed `unsafe` in the workspace (an FFI declaration of POSIX
+// `signal(2)` — no libc crate is vendored) behind a module-level allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fsio;
+mod interrupt;
 mod json;
 mod manifest;
 mod metrics;
 mod progress;
 
-pub use json::{push_json_string, Json};
+pub use fsio::atomic_write;
+pub use interrupt::{interrupt_flag, interrupted, EXIT_INTERRUPTED};
+pub use json::{push_json_string, Json, JsonParseError};
 pub use manifest::{git_revision, EstimatePoint, RunManifest, StoppingSpec, MANIFEST_SCHEMA};
 pub use metrics::{Metrics, MetricsSnapshot, WorkerStats};
 pub use progress::ProgressSink;

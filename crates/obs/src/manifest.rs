@@ -1,8 +1,8 @@
 //! Run manifests: JSON provenance records for studies and benchmarks.
 
-use std::io::Write;
 use std::path::Path;
 
+use crate::fsio::atomic_write;
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
@@ -209,16 +209,11 @@ impl RunManifest {
         s
     }
 
-    /// Writes the manifest to `path`, creating parent directories as
-    /// needed.
+    /// Writes the manifest to `path` atomically (temp file + rename;
+    /// see [`atomic_write`]), creating parent directories as needed. A
+    /// crash mid-write can never leave a truncated manifest at `path`.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(self.render().as_bytes())
+        atomic_write(path, self.render().as_bytes())
     }
 }
 

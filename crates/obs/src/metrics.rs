@@ -110,6 +110,7 @@ impl WorkerStats {
 #[derive(Debug)]
 pub struct Metrics {
     replications: AtomicU64,
+    quarantined: AtomicU64,
     timed_completions: AtomicU64,
     instantaneous_completions: AtomicU64,
     cascades: AtomicU64,
@@ -138,6 +139,7 @@ impl Metrics {
     pub fn new() -> Self {
         Metrics {
             replications: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
             timed_completions: AtomicU64::new(0),
             instantaneous_completions: AtomicU64::new(0),
             cascades: AtomicU64::new(0),
@@ -191,6 +193,11 @@ impl Metrics {
         self.replications.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one quarantined (panicked) replication.
+    pub fn record_quarantined(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one worker-chunk merge into the global estimator.
     pub fn record_chunk_merge(&self) {
         self.chunk_merges.fetch_add(1, Ordering::Relaxed);
@@ -214,6 +221,7 @@ impl Metrics {
         let weight_count = self.weight_count.load(Ordering::Relaxed);
         MetricsSnapshot {
             replications: self.replications.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
             timed_completions: self.timed_completions.load(Ordering::Relaxed),
             instantaneous_completions: self.instantaneous_completions.load(Ordering::Relaxed),
             cascades: self.cascades.load(Ordering::Relaxed),
@@ -254,6 +262,9 @@ impl Default for Metrics {
 pub struct MetricsSnapshot {
     /// Completed replications.
     pub replications: u64,
+    /// Replications whose body panicked and was quarantined (excluded
+    /// from the estimates; see `docs/robustness.md`).
+    pub quarantined: u64,
     /// Timed activity completions across all runs.
     pub timed_completions: u64,
     /// Instantaneous activity completions across all runs.
@@ -319,6 +330,7 @@ impl MetricsSnapshot {
     /// extreme min/max, concatenating worker lists).
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         self.replications += other.replications;
+        self.quarantined += other.quarantined;
         self.timed_completions += other.timed_completions;
         self.instantaneous_completions += other.instantaneous_completions;
         self.cascades += other.cascades;
@@ -362,6 +374,7 @@ impl MetricsSnapshot {
         };
         Json::obj(vec![
             ("replications", self.replications.into()),
+            ("quarantined", self.quarantined.into()),
             ("timed_completions", self.timed_completions.into()),
             (
                 "instantaneous_completions",
@@ -431,6 +444,20 @@ mod tests {
         assert_eq!(s.chunk_merges, 1);
         assert_eq!(s.queue_depth_max, 4);
         assert_eq!(s.events_total(), 157);
+    }
+
+    #[test]
+    fn quarantined_counter_accumulates_and_serializes() {
+        let m = Metrics::new();
+        m.record_quarantined();
+        m.record_quarantined();
+        let mut s = m.snapshot();
+        assert_eq!(s.quarantined, 2);
+        let other = Metrics::new();
+        other.record_quarantined();
+        s.merge(&other.snapshot());
+        assert_eq!(s.quarantined, 3);
+        assert!(s.to_json().render().contains("\"quarantined\":3"));
     }
 
     #[test]

@@ -195,6 +195,27 @@ impl Curve {
         &self.estimators[i]
     }
 
+    /// All per-point estimators in grid order (for checkpoint
+    /// serialization; pair with [`from_parts`](Curve::from_parts)).
+    pub fn estimators(&self) -> &[WeightedStats] {
+        &self.estimators
+    }
+
+    /// Rebuilds a curve from a grid and its per-point estimators, used
+    /// by checkpoint/resume to restore accumulated state bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `estimators` does not match the grid length.
+    pub fn from_parts(grid: TimeGrid, estimators: Vec<WeightedStats>) -> Self {
+        assert_eq!(
+            estimators.len(),
+            grid.len(),
+            "expected one estimator per grid point"
+        );
+        Curve { grid, estimators }
+    }
+
     /// Confidence interval at grid index `i`.
     ///
     /// # Panics

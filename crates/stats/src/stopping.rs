@@ -96,6 +96,12 @@ impl StoppingRule {
     }
 
     /// Whether the precision target (ignoring the cap) is met.
+    ///
+    /// A zero or non-finite estimated mean never satisfies the target:
+    /// the relative half-width divides by the mean, and a rare event
+    /// with zero observed hits says nothing about precision — such a
+    /// run must report "not converged" (and stop only at the
+    /// `max_samples` cap) rather than stop instantly or propagate NaN.
     pub fn precision_reached(&self, stats: &RunningStats) -> bool {
         match self.relative_half_width {
             None => true,
@@ -103,10 +109,11 @@ impl StoppingRule {
                 if stats.count() < 2 {
                     return false;
                 }
+                let mean = stats.mean();
+                if mean == 0.0 || !mean.is_finite() {
+                    return false;
+                }
                 let ci = stats.confidence_interval(self.confidence);
-                // A mean of exactly zero with zero spread is converged
-                // (e.g. rare event never observed under plain MC: the
-                // caller must widen max_samples or switch estimator).
                 ci.half_width() == 0.0 || ci.relative_half_width() <= target
             }
         }
@@ -181,10 +188,38 @@ mod tests {
     }
 
     #[test]
-    fn zero_mean_without_hits_counts_as_converged_half_width_zero() {
+    fn zero_mean_without_hits_is_not_converged() {
+        // A rare event with zero observed hits must keep sampling: the
+        // relative criterion is undefined at mean zero, and stopping
+        // instantly would certify an estimate backed by no information.
         let rule = StoppingRule::relative_precision(0.95, 0.1).with_min_samples(5);
         let mut s = RunningStats::new();
         s.extend(std::iter::repeat_n(0.0, 5));
+        assert!(!rule.precision_reached(&s));
+        assert!(!rule.is_satisfied(&s));
+        // Only the replication cap ends such a run — flagged as not
+        // converged.
+        let capped = rule.with_max_samples(5);
+        assert!(capped.is_satisfied(&s));
+        assert!(!capped.precision_reached(&s));
+    }
+
+    #[test]
+    fn non_finite_mean_is_not_converged() {
+        let rule = StoppingRule::relative_precision(0.95, 0.1);
+        let mut s = RunningStats::new();
+        s.extend([f64::INFINITY, f64::INFINITY, f64::INFINITY]);
+        assert!(!rule.precision_reached(&s));
+        let mut nan = RunningStats::new();
+        nan.extend([f64::NAN, 1.0, 2.0]);
+        assert!(!rule.precision_reached(&nan));
+    }
+
+    #[test]
+    fn nonzero_mean_with_zero_spread_still_converges() {
+        let rule = StoppingRule::relative_precision(0.95, 0.1).with_min_samples(5);
+        let mut s = RunningStats::new();
+        s.extend(std::iter::repeat_n(3.0, 5));
         assert!(rule.is_satisfied(&s));
     }
 

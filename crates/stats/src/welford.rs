@@ -20,13 +20,22 @@ use crate::ci::{student_t_quantile, ConfidenceInterval};
 /// assert!((s.mean() - 2.5).abs() < 1e-12);
 /// assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// Same as [`RunningStats::new`]; a derived `Default` would zero-fill
+/// `min`/`max` instead of the ±∞ an empty accumulator requires, which
+/// silently corrupts `min()` after the first push.
+impl Default for RunningStats {
+    fn default() -> Self {
+        RunningStats::new()
+    }
 }
 
 impl RunningStats {
@@ -110,6 +119,35 @@ impl RunningStats {
     /// Largest observed sample; `-inf` when empty.
     pub fn max(&self) -> f64 {
         self.max
+    }
+
+    /// The raw second central moment `M2 = Σ(x - mean)²` (for
+    /// checkpoint serialization; pair with
+    /// [`from_parts`](RunningStats::from_parts)).
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuilds an accumulator from its raw state, the inverse of the
+    /// `count`/`mean`/`m2`/`min`/`max` accessors. Used by
+    /// checkpoint/resume to restore an estimator bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m2` is negative (NaN is accepted nowhere on the
+    /// write side, so a negative `m2` always means a corrupt source).
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        assert!(
+            m2 >= 0.0 || m2.is_nan(),
+            "m2 must be non-negative, got {m2}"
+        );
+        RunningStats {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
     }
 
     /// Two-sided Student-t confidence interval on the mean at the given
@@ -231,6 +269,29 @@ impl WeightedStats {
         &self.product
     }
 
+    /// Sum of observed weights (for checkpoint serialization).
+    pub fn weight_sum(&self) -> f64 {
+        self.weight_sum
+    }
+
+    /// Sum of squared observed weights (for checkpoint serialization).
+    pub fn weight_sq_sum(&self) -> f64 {
+        self.weight_sq_sum
+    }
+
+    /// Rebuilds an accumulator from its raw state (the inverse of
+    /// [`product_stats`](WeightedStats::product_stats) /
+    /// [`weight_sum`](WeightedStats::weight_sum) /
+    /// [`weight_sq_sum`](WeightedStats::weight_sq_sum)), used by
+    /// checkpoint/resume.
+    pub fn from_parts(product: RunningStats, weight_sum: f64, weight_sq_sum: f64) -> Self {
+        WeightedStats {
+            product,
+            weight_sum,
+            weight_sq_sum,
+        }
+    }
+
     /// Combines two accumulators.
     pub fn merge(&mut self, other: &WeightedStats) {
         self.product.merge(&other.product);
@@ -346,6 +407,28 @@ mod tests {
         }
         assert!((w.mean() - p / 2.0 / q).abs() < 1e-12); // 0.5 of samples hit
         assert!(w.effective_sample_size() > 1000.0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_exactly() {
+        let mut w = WeightedStats::new();
+        for i in 0..25 {
+            w.push((i % 4) as f64, 1.0 + (i % 3) as f64 * 0.25);
+        }
+        let p = *w.product_stats();
+        let rebuilt = WeightedStats::from_parts(
+            RunningStats::from_parts(p.count(), p.mean(), p.m2(), p.min(), p.max()),
+            w.weight_sum(),
+            w.weight_sq_sum(),
+        );
+        // Bitwise equality, not approximate: resume depends on it.
+        assert_eq!(rebuilt, w);
+        // And the rebuilt accumulator keeps evolving identically.
+        let mut a = w;
+        let mut b = rebuilt;
+        a.push(1.0, 0.5);
+        b.push(1.0, 0.5);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -5,11 +5,19 @@
 //!              [--platoons P] [--horizon H] [--points K]
 //!              [--reps R | --paper] [--seed S] [--threads T] [--plain]
 //!              [--manifest PATH | --no-manifest] [--telemetry PATH] [--progress]
+//!              [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]
+//!              [--quarantine-budget B] [--watchdog-events E] [--watchdog-seconds W]
 //! ahs durations [--samples N] [--seed S]
 //! ahs involved [--n N]
 //! ahs dot [--n N] [--platoons P]
 //! ahs help
 //! ```
+//!
+//! `evaluate` installs a SIGINT/SIGTERM handler: the first signal
+//! requests a graceful stop, the study drains in-flight chunks,
+//! flushes a final checkpoint (when `--checkpoint` is set) and the
+//! manifest, and the process exits with code 75 (`EX_TEMPFAIL`,
+//! "interrupted but resumable").
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -17,7 +25,8 @@ use std::sync::Arc;
 use ahs_safety::core::{
     involved_vehicles, AhsModel, BiasMode, Params, Strategy, UnsafetyEvaluator, MANEUVERS,
 };
-use ahs_safety::obs::{Metrics, ProgressSink};
+use ahs_safety::des::Watchdog;
+use ahs_safety::obs::{interrupt_flag, Metrics, ProgressSink, EXIT_INTERRUPTED};
 use ahs_safety::platoon::DurationModel;
 use ahs_safety::stats::{StoppingRule, TimeGrid};
 
@@ -29,17 +38,17 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "evaluate" => cmd_evaluate(rest),
-        "durations" => cmd_durations(rest),
-        "involved" => cmd_involved(rest),
-        "dot" => cmd_dot(rest),
+        "durations" => cmd_durations(rest).map(|()| ExitCode::SUCCESS),
+        "involved" => cmd_involved(rest).map(|()| ExitCode::SUCCESS),
+        "dot" => cmd_dot(rest).map(|()| ExitCode::SUCCESS),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
@@ -72,7 +81,18 @@ evaluate flags:
   --manifest P    where to write the run manifest (default results/ahs-evaluate.manifest.json)
   --no-manifest   skip writing the run manifest
   --telemetry P   append JSON-lines progress events to file P
-  --progress      emit JSON-lines progress events to stderr";
+  --progress      emit JSON-lines progress events to stderr
+
+robustness flags (evaluate):
+  --checkpoint P        write crash-safe study checkpoints to file P
+  --checkpoint-every N  replications between checkpoints (default 100000)
+  --resume P            resume from the checkpoint at P (bitwise-identical result)
+  --quarantine-budget B tolerate up to B panicking replications (default 0)
+  --watchdog-events E   fail any replication exceeding E events
+  --watchdog-seconds W  fail any replication exceeding W seconds wall-clock
+
+on SIGINT/SIGTERM, evaluate stops gracefully, flushes the checkpoint and
+manifest, and exits with code 75 (resumable)";
 
 /// Pulls `--key value` pairs and bare flags out of `args`.
 struct Flags<'a> {
@@ -128,7 +148,7 @@ fn parse_params(f: &Flags<'_>) -> Result<Params, String> {
         .map_err(|e| e.to_string())
 }
 
-fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+fn cmd_evaluate(args: &[String]) -> Result<ExitCode, String> {
     let f = Flags::new(args);
     let params = parse_params(&f)?;
     let horizon: f64 = f.parse("--horizon", 10.0)?;
@@ -160,6 +180,40 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
         eval = eval.with_progress(Arc::new(sink));
     } else if f.has("--progress") {
         eval = eval.with_progress(Arc::new(ProgressSink::stderr()));
+    }
+    eval = eval.with_interrupt(interrupt_flag());
+    if let Some(path) = f.value("--checkpoint")? {
+        let every: u64 = f.parse("--checkpoint-every", 100_000u64)?;
+        if every == 0 {
+            return Err("--checkpoint-every must be positive".into());
+        }
+        eval = eval.with_checkpoint(path, every);
+    }
+    if let Some(path) = f.value("--resume")? {
+        eval = eval.with_resume(path);
+    }
+    eval = eval.with_quarantine_budget(f.parse("--quarantine-budget", 0u64)?);
+    let mut watchdog = Watchdog::new();
+    if let Some(e) = f.value("--watchdog-events")? {
+        let e: u64 = e
+            .parse()
+            .map_err(|err| format!("invalid value `{e}` for --watchdog-events: {err}"))?;
+        if e == 0 {
+            return Err("--watchdog-events must be positive".into());
+        }
+        watchdog = watchdog.with_max_events(e);
+    }
+    if let Some(w) = f.value("--watchdog-seconds")? {
+        let w: f64 = w
+            .parse()
+            .map_err(|err| format!("invalid value `{w}` for --watchdog-seconds: {err}"))?;
+        if !(w.is_finite() && w > 0.0) {
+            return Err("--watchdog-seconds must be positive and finite".into());
+        }
+        watchdog = watchdog.with_max_wall_seconds(w);
+    }
+    if watchdog.is_armed() {
+        eval = eval.with_watchdog(watchdog);
     }
     eval = if f.has("--paper") {
         eval.with_rule(
@@ -198,6 +252,18 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
             "not evaluated (fixed budget)"
         }
     );
+    if !curve.resume_lineage().is_empty() {
+        println!(
+            "resumed from checkpoint watermark(s) {:?}",
+            curve.resume_lineage()
+        );
+    }
+    if curve.quarantined() > 0 {
+        eprintln!(
+            "warning: {} replication(s) panicked and were quarantined",
+            curve.quarantined()
+        );
+    }
     if !f.has("--no-manifest") {
         let path = f
             .value("--manifest")?
@@ -208,7 +274,19 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("writing manifest {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
-    Ok(())
+    if curve.interrupted() {
+        eprintln!(
+            "interrupted: study stopped after {} replications{}",
+            curve.replications(),
+            if f.value("--checkpoint")?.is_some() {
+                "; resume with --resume <checkpoint>"
+            } else {
+                " (no --checkpoint configured, progress is lost)"
+            }
+        );
+        return Ok(ExitCode::from(EXIT_INTERRUPTED));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_durations(args: &[String]) -> Result<(), String> {
