@@ -12,6 +12,7 @@ use ahs_stats::format_markdown;
 fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = RunConfig::from_args(&args);
+    cfg.arm_failpoints();
     let dir = std::path::Path::new("results");
 
     let [t1, t2, t3] = tables();

@@ -8,6 +8,7 @@ use ahs_bench::{
 fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = RunConfig::from_args(&args);
+    cfg.arm_failpoints();
     let run = fig14(&cfg).expect("experiment failed");
     print!("{}", figure_to_markdown(&run.figure));
     let dir = std::path::Path::new("results");

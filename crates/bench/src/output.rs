@@ -1,13 +1,15 @@
 //! Rendering and persisting experiment results.
 //!
-//! All artifacts go to disk through [`ahs_obs::atomic_write`]
-//! (temp file + rename): a crash or interrupt mid-write can never
-//! leave a truncated CSV or manifest behind.
+//! All artifacts go to disk through [`ahs_obs::write_with_retry`]
+//! (temp file + rename, with bounded deterministic backoff on
+//! transient errors): a crash or interrupt mid-write can never leave
+//! a truncated CSV or manifest behind, and a transient ENOSPC/EINTR
+//! does not lose an hours-long sweep's results.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use ahs_obs::{atomic_write, RunManifest, EXIT_INTERRUPTED};
+use ahs_obs::{write_with_retry, RunManifest, EXIT_INTERRUPTED};
 use ahs_stats::{format_csv, format_markdown, Table};
 
 use crate::runner::{FigureResult, FigureRun};
@@ -69,7 +71,7 @@ fn figure_table(fig: &FigureResult) -> Table {
 /// Propagates I/O errors.
 pub fn write_results(fig: &FigureResult, dir: &Path) -> std::io::Result<std::path::PathBuf> {
     let path = dir.join(format!("{}.csv", fig.id));
-    atomic_write(&path, figure_to_csv(fig).as_bytes())?;
+    write_with_retry(&path, figure_to_csv(fig).as_bytes())?;
     Ok(path)
 }
 

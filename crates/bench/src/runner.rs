@@ -66,6 +66,9 @@ pub struct RunConfig {
     pub checkpoint_dir: Option<String>,
     /// Replications between checkpoint flushes.
     pub checkpoint_every: u64,
+    /// Deterministic failpoint spec (`--failpoints`); only effective in
+    /// builds with the `inject` feature, loudly rejected otherwise.
+    pub failpoints: Option<String>,
 }
 
 impl RunConfig {
@@ -80,6 +83,7 @@ impl RunConfig {
             progress: false,
             checkpoint_dir: None,
             checkpoint_every: 100_000,
+            failpoints: None,
         }
     }
 
@@ -93,9 +97,9 @@ impl RunConfig {
     }
 
     /// Parses `--paper`, `--reps N`, `--seed S`, `--threads T`,
-    /// `--telemetry PATH`, `--progress`, `--checkpoint-dir DIR`, and
-    /// `--checkpoint-every N` from command-line arguments (used by
-    /// every `fig*` binary).
+    /// `--telemetry PATH`, `--progress`, `--checkpoint-dir DIR`,
+    /// `--checkpoint-every N`, and `--failpoints SPEC` from
+    /// command-line arguments (used by every `fig*` binary).
     pub fn from_args(args: &[String]) -> Self {
         let mut cfg = RunConfig::quick();
         let mut i = 0;
@@ -133,17 +137,36 @@ impl RunConfig {
                         "--checkpoint-every takes a positive integer"
                     );
                 }
+                "--failpoints" => {
+                    i += 1;
+                    cfg.failpoints = Some(args[i].clone());
+                }
                 other => {
                     panic!(
                         "unknown argument `{other}` (expected --paper/--reps/--seed/\
                          --threads/--telemetry/--progress/--checkpoint-dir/\
-                         --checkpoint-every)"
+                         --checkpoint-every/--failpoints)"
                     )
                 }
             }
             i += 1;
         }
         cfg
+    }
+
+    /// Arms fault injection from `--failpoints` / `AHS_FAILPOINTS`.
+    /// Called once by every `fig*` binary before running; a non-empty
+    /// spec against a build without the `inject` feature panics instead
+    /// of silently doing nothing.
+    pub fn arm_failpoints(&self) {
+        match &self.failpoints {
+            Some(spec) => {
+                ahs_inject::configure_from_spec(spec).expect("--failpoints");
+            }
+            None => {
+                ahs_inject::configure_from_env().expect(ahs_inject::ENV_VAR);
+            }
+        }
     }
 
     /// The progress sink implied by `--telemetry` / `--progress`, if any.

@@ -35,6 +35,7 @@ pub struct UnsafetyCurve {
     interrupted: bool,
     quarantined: u64,
     resume_lineage: Vec<u64>,
+    resume_fallback: Option<u32>,
 }
 
 impl UnsafetyCurve {
@@ -70,6 +71,14 @@ impl UnsafetyCurve {
     /// resumed from, oldest first; empty for a fresh run.
     pub fn resume_lineage(&self) -> &[u64] {
         &self.resume_lineage
+    }
+
+    /// When resuming had to fall back past a corrupt latest checkpoint,
+    /// the generation that was actually loaded (1 = `<name>.1.<ext>`);
+    /// `None` when the latest generation was valid or no resume
+    /// happened.
+    pub fn resume_fallback(&self) -> Option<u32> {
+        self.resume_fallback
     }
 
     /// `S(t)` at the grid point closest to `t_hours`.
@@ -147,6 +156,7 @@ pub struct UnsafetyEvaluator {
     metrics: Option<Arc<Metrics>>,
     progress: Option<Arc<ProgressSink>>,
     checkpoint: Option<(PathBuf, u64)>,
+    checkpoint_generations: u32,
     resume: Option<PathBuf>,
     interrupt: Option<Arc<AtomicBool>>,
     quarantine_budget: u64,
@@ -170,6 +180,7 @@ impl UnsafetyEvaluator {
             metrics: None,
             progress: None,
             checkpoint: None,
+            checkpoint_generations: 2,
             resume: None,
             interrupt: None,
             quarantine_budget: 0,
@@ -241,9 +252,26 @@ impl UnsafetyEvaluator {
         self
     }
 
+    /// How many checkpoint generations to retain and to consult on
+    /// resume (default 2: the latest plus one fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `generations` is zero.
+    #[must_use]
+    pub fn with_checkpoint_generations(mut self, generations: u32) -> Self {
+        assert!(generations > 0, "need at least one checkpoint generation");
+        self.checkpoint_generations = generations;
+        self
+    }
+
     /// Resumes from the checkpoint at `path` (loaded and validated in
     /// [`evaluate`](UnsafetyEvaluator::evaluate)); the resumed run is
-    /// bitwise identical to an uninterrupted one.
+    /// bitwise identical to an uninterrupted one. When the latest
+    /// checkpoint is corrupt or truncated, resume falls back to the
+    /// newest valid retained generation (`<name>.1.<ext>`, …) with a
+    /// logged warning, recorded in
+    /// [`UnsafetyCurve::resume_fallback`] and the manifest.
     #[must_use]
     pub fn with_resume(mut self, path: impl Into<PathBuf>) -> Self {
         self.resume = Some(path.into());
@@ -353,6 +381,16 @@ impl UnsafetyEvaluator {
                     .collect(),
             ),
         ));
+        m.extra.push((
+            "resume_fallback".to_owned(),
+            curve
+                .resume_fallback()
+                .map_or(Json::Null, |g| Json::UInt(u64::from(g))),
+        ));
+        m.extra.push((
+            "telemetry_dropped".to_owned(),
+            self.progress.as_ref().map_or(0_u64, |p| p.dropped()).into(),
+        ));
         m
     }
 
@@ -429,10 +467,35 @@ impl UnsafetyEvaluator {
             study = study.with_progress(p.clone());
         }
         if let Some((path, every)) = &self.checkpoint {
-            study = study.with_checkpoint(path, *every);
+            study = study
+                .with_checkpoint(path, *every)
+                .with_checkpoint_generations(self.checkpoint_generations);
         }
+        let mut resume_fallback = None;
         if let Some(path) = &self.resume {
-            study = study.with_resume(StudyCheckpoint::load(path)?);
+            let (cp, generation) =
+                StudyCheckpoint::load_with_fallback(path, self.checkpoint_generations)?;
+            if generation > 0 {
+                eprintln!(
+                    "warning: checkpoint {} was corrupt or unreadable; \
+                     resuming from retained generation {generation} \
+                     (watermark {})",
+                    path.display(),
+                    cp.watermark
+                );
+                if let Some(p) = &self.progress {
+                    p.emit(
+                        "resume_fallback",
+                        vec![
+                            ("path", Json::str(path.display().to_string())),
+                            ("generation", u64::from(generation).into()),
+                            ("watermark", cp.watermark.into()),
+                        ],
+                    );
+                }
+                resume_fallback = Some(generation);
+            }
+            study = study.with_resume(cp);
         }
         if let Some(flag) = &self.interrupt {
             study = study.with_interrupt(flag.clone());
@@ -463,6 +526,7 @@ impl UnsafetyEvaluator {
             interrupted: est.interrupted,
             quarantined: est.quarantined.len() as u64,
             resume_lineage: est.resume_lineage,
+            resume_fallback,
         })
     }
 }
@@ -548,6 +612,106 @@ mod tests {
     }
 
     #[test]
+    fn failing_telemetry_sink_degrades_but_completes() {
+        // A progress sink whose writer always fails must never abort
+        // the study; the losses surface as `telemetry_dropped` in the
+        // manifest instead.
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "telemetry disk full",
+                ))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let p = Params::builder().lambda(0.05).n(2).build().unwrap();
+        let sink = Arc::new(ProgressSink::to_writer(Box::new(Broken)));
+        let e = UnsafetyEvaluator::new(p)
+            .with_seed(3)
+            .with_replications(2_000)
+            .with_bias(BiasMode::None)
+            .with_threads(2)
+            .with_progress(sink.clone());
+        let grid = TimeGrid::new(vec![2.0]);
+        let curve = e
+            .evaluate(&grid)
+            .expect("telemetry loss must not fail the study");
+        assert!(curve.replications() >= 2_000);
+        assert!(sink.dropped() > 0, "every emit should have failed");
+
+        let manifest = e.manifest("test", &curve, 0.1);
+        let dropped = manifest
+            .extra
+            .iter()
+            .find(|(k, _)| k == "telemetry_dropped")
+            .and_then(|(_, v)| v.as_u64())
+            .expect("manifest records telemetry_dropped");
+        assert!(dropped > 0, "manifest must report the dropped events");
+    }
+
+    #[test]
+    fn resume_falls_back_past_corrupt_latest_checkpoint() {
+        // A checkpointed evaluation retains the previous generation;
+        // corrupting the latest file must not strand the resume — it
+        // falls back to `<name>.1.json`, records the generation on the
+        // curve and in the manifest, and still reproduces the baseline
+        // bitwise.
+        let dir = std::env::temp_dir().join(format!(
+            "ahs-core-fallback-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("eval.checkpoint.json");
+
+        let p = Params::builder().lambda(0.05).n(2).build().unwrap();
+        let make = || {
+            UnsafetyEvaluator::new(p.clone())
+                .with_seed(9)
+                .with_replications(2_000)
+                .with_bias(BiasMode::None)
+                .with_threads(2)
+        };
+        let grid = TimeGrid::new(vec![2.0]);
+        let baseline = make().evaluate(&grid).unwrap();
+        assert_eq!(baseline.resume_fallback(), None);
+
+        make()
+            .with_checkpoint(&path, 500)
+            .evaluate(&grid)
+            .expect("checkpointed run completes");
+        assert!(path.exists(), "latest checkpoint written");
+
+        // Truncate the latest generation mid-document.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+        let e = make().with_resume(&path);
+        let resumed = e.evaluate(&grid).expect("fallback resume succeeds");
+        assert_eq!(resumed.resume_fallback(), Some(1));
+        assert_eq!(
+            resumed.points(),
+            baseline.points(),
+            "fallback resume must stay bitwise identical"
+        );
+
+        let manifest = e.manifest("test", &resumed, 0.1);
+        let generation = manifest
+            .extra
+            .iter()
+            .find(|(k, _)| k == "resume_fallback")
+            .and_then(|(_, v)| v.as_u64())
+            .expect("manifest records resume_fallback");
+        assert_eq!(generation, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn curve_lookup_at() {
         let curve = UnsafetyCurve {
             points: vec![
@@ -569,6 +733,7 @@ mod tests {
             interrupted: false,
             quarantined: 0,
             resume_lineage: Vec::new(),
+            resume_fallback: None,
         };
         assert_eq!(curve.at(5.9).x, 6.0);
         assert_eq!(curve.at(0.0).x, 2.0);

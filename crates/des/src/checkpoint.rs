@@ -22,9 +22,9 @@
 //! match, otherwise [`SimError::Checkpoint`] explains the drift. See
 //! `docs/robustness.md` and `tests/checkpoint.schema.json`.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use ahs_obs::{atomic_write, Json, StoppingSpec};
+use ahs_obs::{write_with_retry, Json, StoppingSpec};
 use ahs_san::SanModel;
 use ahs_stats::{Curve, RunningStats, TimeGrid, WeightedStats};
 
@@ -134,19 +134,53 @@ impl StudyCheckpoint {
         ])
     }
 
-    /// Writes the checkpoint atomically (temp file + rename); a crash
-    /// mid-write leaves any previous checkpoint at `path` intact.
+    /// Writes the checkpoint atomically (temp file + rename) with
+    /// bounded retry of transient IO failures; a crash mid-write leaves
+    /// any previous checkpoint at `path` intact.
+    ///
+    /// The `des::checkpoint::save` failpoint lands here: `torn-write`
+    /// truncates the document and `corrupt-bytes` damages its header —
+    /// both *succeed* on disk, simulating the valid-looking-but-broken
+    /// latest generation that [`StudyCheckpoint::load_with_fallback`]
+    /// exists to survive.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Checkpoint`] when the file cannot be
     /// written.
     pub fn write(&self, path: &Path) -> Result<(), SimError> {
+        let checkpoint_err = |e: std::io::Error| SimError::Checkpoint {
+            reason: format!("cannot write {}: {e}", path.display()),
+        };
         let mut doc = self.to_json().render();
         doc.push('\n');
-        atomic_write(path, doc.as_bytes()).map_err(|e| SimError::Checkpoint {
-            reason: format!("cannot write {}: {e}", path.display()),
-        })
+        let mut bytes = doc.into_bytes();
+        match ahs_inject::fire_io("des::checkpoint::save").map_err(checkpoint_err)? {
+            Some(ahs_inject::Fault::TornWrite(n)) => bytes.truncate(n),
+            Some(ahs_inject::Fault::CorruptBytes(n)) => ahs_inject::corrupt_prefix(&mut bytes, n),
+            _ => {}
+        }
+        write_with_retry(path, &bytes).map_err(checkpoint_err)
+    }
+
+    /// Writes the checkpoint at `path`, first rotating existing
+    /// generations (`path` → `<name>.1.<ext>` → `<name>.2.<ext>` …) so
+    /// the newest `generations` documents survive. Rotation is
+    /// best-effort — a failed rename costs retention depth, never the
+    /// checkpoint itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] when the new checkpoint cannot
+    /// be written.
+    pub fn write_rotated(&self, path: &Path, generations: u32) -> Result<(), SimError> {
+        for k in (1..generations).rev() {
+            let from = generation_path(path, k - 1);
+            if from.exists() {
+                std::fs::rename(&from, generation_path(path, k)).ok();
+            }
+        }
+        self.write(path)
     }
 
     /// Loads and structurally validates a checkpoint written by
@@ -157,14 +191,51 @@ impl StudyCheckpoint {
     /// Returns [`SimError::Checkpoint`] on IO failure, malformed JSON,
     /// a schema mismatch, or internally inconsistent state.
     pub fn load(path: &Path) -> Result<Self, SimError> {
-        let text = std::fs::read_to_string(path).map_err(|e| SimError::Checkpoint {
+        let fault =
+            ahs_inject::fire_io("des::checkpoint::load").map_err(|e| SimError::Checkpoint {
+                reason: format!("cannot read {}: {e}", path.display()),
+            })?;
+        let mut text = std::fs::read_to_string(path).map_err(|e| SimError::Checkpoint {
             reason: format!("cannot read {}: {e}", path.display()),
         })?;
+        if let Some(ahs_inject::Fault::CorruptBytes(n)) = fault {
+            let mut bytes = text.into_bytes();
+            ahs_inject::corrupt_prefix(&mut bytes, n);
+            text = String::from_utf8_lossy(&bytes).into_owned();
+        }
         let doc = Json::parse(&text).map_err(|e| SimError::Checkpoint {
             reason: format!("{} is not valid JSON: {e}", path.display()),
         })?;
         Self::from_json(&doc).map_err(|reason| SimError::Checkpoint {
             reason: format!("{}: {reason}", path.display()),
+        })
+    }
+
+    /// Loads the newest *valid* checkpoint generation: `path` itself
+    /// (generation 0), then `<name>.1.<ext>`, … up to
+    /// `generations - 1`. Returns the checkpoint and the generation it
+    /// came from, so callers can warn (and record `resume_fallback`)
+    /// when the latest was corrupt or truncated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] listing why every generation
+    /// was rejected.
+    pub fn load_with_fallback(path: &Path, generations: u32) -> Result<(Self, u32), SimError> {
+        let mut reasons = Vec::new();
+        for k in 0..generations.max(1) {
+            match Self::load(&generation_path(path, k)) {
+                Ok(cp) => return Ok((cp, k)),
+                Err(e) => reasons.push(format!("generation {k}: {e}")),
+            }
+        }
+        Err(SimError::Checkpoint {
+            reason: format!(
+                "no valid checkpoint among {} generation(s) of {} — {}",
+                generations.max(1),
+                path.display(),
+                reasons.join("; ")
+            ),
         })
     }
 
@@ -274,6 +345,24 @@ impl StudyCheckpoint {
             quarantined,
             lineage,
         })
+    }
+}
+
+/// The path of checkpoint generation `k`: generation 0 is `path`
+/// itself; older generations insert `.k` before the final extension
+/// (`run.ckpt.json` → `run.ckpt.1.json`), or append `.k` when there is
+/// none.
+pub fn generation_path(path: &Path, generation: u32) -> PathBuf {
+    if generation == 0 {
+        return path.to_path_buf();
+    }
+    match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => path.with_extension(format!("{generation}.{ext}")),
+        None => {
+            let mut name = path.as_os_str().to_os_string();
+            name.push(format!(".{generation}"));
+            PathBuf::from(name)
+        }
     }
 }
 
@@ -514,6 +603,90 @@ mod tests {
             }
             other => panic!("expected Checkpoint error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn generation_paths_insert_before_the_final_extension() {
+        let p = Path::new("out/run.ckpt.json");
+        assert_eq!(generation_path(p, 0), PathBuf::from("out/run.ckpt.json"));
+        assert_eq!(generation_path(p, 1), PathBuf::from("out/run.ckpt.1.json"));
+        assert_eq!(generation_path(p, 2), PathBuf::from("out/run.ckpt.2.json"));
+        assert_eq!(
+            generation_path(Path::new("bare"), 1),
+            PathBuf::from("bare.1")
+        );
+    }
+
+    #[test]
+    fn rotation_retains_previous_generations() {
+        let dir =
+            std::env::temp_dir().join(format!("ahs-checkpoint-rotate-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("run.ckpt.json");
+        let mut cp = sample_checkpoint();
+        cp.write_rotated(&path, 3).unwrap();
+        cp.seed = 0xFACE;
+        cp.write_rotated(&path, 3).unwrap();
+        cp.seed = 0xBEEF;
+        cp.write_rotated(&path, 3).unwrap();
+        assert_eq!(StudyCheckpoint::load(&path).unwrap().seed, 0xBEEF);
+        assert_eq!(
+            StudyCheckpoint::load(&generation_path(&path, 1))
+                .unwrap()
+                .seed,
+            0xFACE
+        );
+        assert_eq!(
+            StudyCheckpoint::load(&generation_path(&path, 2))
+                .unwrap()
+                .seed,
+            0xDEAD_BEEF
+        );
+        // A fourth write with the same depth drops the oldest.
+        cp.seed = 1;
+        cp.write_rotated(&path, 3).unwrap();
+        assert_eq!(
+            StudyCheckpoint::load(&generation_path(&path, 2))
+                .unwrap()
+                .seed,
+            0xFACE
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fallback_load_survives_a_corrupt_latest_generation() {
+        let dir =
+            std::env::temp_dir().join(format!("ahs-checkpoint-fallback-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("run.ckpt.json");
+        let cp = sample_checkpoint();
+        cp.write_rotated(&path, 2).unwrap();
+        cp.write_rotated(&path, 2).unwrap();
+
+        // Pristine latest: generation 0 wins.
+        let (_, generation) = StudyCheckpoint::load_with_fallback(&path, 2).unwrap();
+        assert_eq!(generation, 0);
+
+        // Truncate the latest mid-document: fall back to generation 1,
+        // bitwise-equal to what was checkpointed.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let (back, generation) = StudyCheckpoint::load_with_fallback(&path, 2).unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(back.curve.estimators(), cp.curve.estimators());
+
+        // Corrupt *both* generations: a typed error naming each reason.
+        std::fs::write(generation_path(&path, 1), b"{broken").unwrap();
+        let err = StudyCheckpoint::load_with_fallback(&path, 2).unwrap_err();
+        match err {
+            SimError::Checkpoint { reason } => {
+                assert!(reason.contains("generation 0"), "{reason}");
+                assert!(reason.contains("generation 1"), "{reason}");
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -196,6 +196,7 @@ impl<'m> EventDrivenSimulator<'m> {
             self.reconcile(t, &marking, &mut queue, rng);
             tally.queue_depth_max = tally.queue_depth_max.max(queue.live());
             events += 1;
+            crate::watchdog::sim_step_failpoint();
             tally.timed = events;
             if events > self.max_events {
                 return Err(SimError::EventBudgetExceeded {
@@ -317,6 +318,7 @@ impl<'m> EventDrivenSimulator<'m> {
             self.reconcile(ev.time, &marking, &mut queue, rng);
             tally.queue_depth_max = tally.queue_depth_max.max(queue.live());
             events += 1;
+            crate::watchdog::sim_step_failpoint();
             tally.timed = events;
             if events > self.max_events {
                 return Err(SimError::EventBudgetExceeded {

@@ -60,7 +60,9 @@ mod ssa;
 mod watchdog;
 
 pub use bias::BiasScheme;
-pub use checkpoint::{model_fingerprint, QuarantinedRep, StudyCheckpoint, CHECKPOINT_SCHEMA};
+pub use checkpoint::{
+    generation_path, model_fingerprint, QuarantinedRep, StudyCheckpoint, CHECKPOINT_SCHEMA,
+};
 pub use error::SimError;
 pub use event::{EventQueue, ScheduledEvent};
 pub use executor::EventDrivenSimulator;

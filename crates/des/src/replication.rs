@@ -111,6 +111,7 @@ pub struct Study {
     watchdog: Option<Watchdog>,
     quarantine_budget: u64,
     checkpoint: Option<CheckpointPlan>,
+    checkpoint_generations: u32,
     resume: Option<StudyCheckpoint>,
     interrupt: Option<Arc<AtomicBool>>,
 }
@@ -133,6 +134,7 @@ impl Study {
             watchdog: None,
             quarantine_budget: 0,
             checkpoint: None,
+            checkpoint_generations: 2,
             resume: None,
             interrupt: None,
         }
@@ -238,7 +240,10 @@ impl Study {
     /// Writes an atomic checkpoint to `path` every time at least
     /// `every` further replications have been merged into the
     /// contiguous prefix, plus a final checkpoint when the study ends
-    /// (normally or interrupted).
+    /// (normally or interrupted). Before each write the previous
+    /// document is rotated to `<name>.1.<ext>` (and so on, up to
+    /// [`Study::with_checkpoint_generations`]), so a checkpoint that
+    /// lands corrupt never destroys the last good one.
     ///
     /// # Panics
     ///
@@ -250,6 +255,19 @@ impl Study {
             path: path.into(),
             every,
         });
+        self
+    }
+
+    /// How many checkpoint generations to retain (default 2: the
+    /// latest plus one fallback). `1` disables rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `generations == 0`.
+    #[must_use]
+    pub fn with_checkpoint_generations(mut self, generations: u32) -> Self {
+        assert!(generations > 0, "need at least one checkpoint generation");
+        self.checkpoint_generations = generations;
         self
     }
 
@@ -578,6 +596,22 @@ impl Study {
                 },
             };
             while !done.load(Ordering::SeqCst) {
+                // Chaos hook: `raise-interrupt` simulates SIGINT landing
+                // at this chunk boundary, `delay` a stalled worker.
+                match ahs_inject::eval("des::replication::chunk") {
+                    Some(ahs_inject::Fault::RaiseInterrupt) => {
+                        if let Some(flag) = &self.interrupt {
+                            flag.store(true, Ordering::SeqCst);
+                        } else {
+                            interrupted.store(true, Ordering::SeqCst);
+                            done.store(true, Ordering::SeqCst);
+                        }
+                    }
+                    Some(ahs_inject::Fault::Delay(ms)) => {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                    _ => {}
+                }
                 if let Some(flag) = &self.interrupt {
                     if flag.load(Ordering::Relaxed) {
                         interrupted.store(true, Ordering::SeqCst);
@@ -603,7 +637,27 @@ impl Study {
                     // of a replication cannot corrupt it; recording
                     // happens out here, after validation, so a panic
                     // can never leave `local` half-updated either.
-                    let result = catch_unwind(AssertUnwindSafe(|| work(&engine, &mut rng)));
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        // Chaos hook, deliberately *inside* the unwind
+                        // boundary: an injected panic exercises the real
+                        // quarantine path, an injected error the typed
+                        // failure path.
+                        match ahs_inject::eval("des::replication::body") {
+                            Some(ahs_inject::Fault::Panic(msg)) => {
+                                panic!("injected panic in replication body: {msg}")
+                            }
+                            Some(ahs_inject::Fault::Error(kind)) => {
+                                return Err(SimError::Internal {
+                                    context: format!("injected fault in replication body: {kind}"),
+                                });
+                            }
+                            Some(ahs_inject::Fault::Delay(ms)) => {
+                                std::thread::sleep(std::time::Duration::from_millis(ms));
+                            }
+                            _ => {}
+                        }
+                        work(&engine, &mut rng)
+                    }));
                     match result {
                         Ok(Ok(outcome)) => {
                             if let Err(e) = record_outcome(&mut local, outcome) {
@@ -692,7 +746,7 @@ impl Study {
                         .cloned()
                         .collect();
                     let cp = make_checkpoint(snapshot, watermark, quarantined_below);
-                    if let Err(e) = cp.write(&plan.path) {
+                    if let Err(e) = cp.write_rotated(&plan.path, self.checkpoint_generations) {
                         fail(e);
                         return;
                     }
@@ -769,7 +823,7 @@ impl Study {
         };
         if let Some(plan) = &self.checkpoint {
             let cp = make_checkpoint(curve.clone(), prefix_end, quarantined.clone());
-            cp.write(&plan.path)?;
+            cp.write_rotated(&plan.path, self.checkpoint_generations)?;
             if let Some(p) = &self.progress {
                 p.emit(
                     "checkpoint_written",

@@ -279,6 +279,7 @@ impl<'m> MarkovSimulator<'m> {
             instantaneous += fired.len() as u64;
             cascaded |= fired.len() >= 2;
             events += 1;
+            crate::watchdog::sim_step_failpoint();
             if events > self.max_events {
                 return Err(SimError::EventBudgetExceeded {
                     budget: self.max_events,
@@ -372,6 +373,7 @@ impl<'m> MarkovSimulator<'m> {
             instantaneous += fired.len() as u64;
             cascaded |= fired.len() >= 2;
             events += 1;
+            crate::watchdog::sim_step_failpoint();
             if events > self.max_events {
                 return Err(SimError::EventBudgetExceeded {
                     budget: self.max_events,
@@ -453,6 +455,7 @@ impl<'m> MarkovSimulator<'m> {
                 observer.on_event(t, ia, &marking);
             }
             events += 1;
+            crate::watchdog::sim_step_failpoint();
             if events > self.max_events {
                 return Err(SimError::EventBudgetExceeded {
                     budget: self.max_events,

@@ -92,6 +92,24 @@ impl Watchdog {
     }
 }
 
+/// The `des::sim::step` chaos hook, evaluated once per simulation
+/// event alongside the watchdog check: `delay` stalls the inner loop
+/// (what a wall-clock watchdog exists to catch) and `panic` tears a
+/// replication down mid-event (what quarantine exists to catch).
+/// Compiled to nothing without the `inject` feature.
+#[inline]
+pub(crate) fn sim_step_failpoint() {
+    match ahs_inject::eval("des::sim::step") {
+        Some(ahs_inject::Fault::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        Some(ahs_inject::Fault::Panic(msg)) => {
+            panic!("injected panic at des::sim::step: {msg}")
+        }
+        _ => {}
+    }
+}
+
 /// A running watchdog for one replication.
 #[derive(Debug)]
 pub(crate) struct WatchdogRun {

@@ -10,7 +10,7 @@ use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use ahs_des::{Backend, SimError, Study, StudyCheckpoint, Watchdog};
+use ahs_des::{generation_path, Backend, SimError, Study, StudyCheckpoint, Watchdog};
 use ahs_obs::{Metrics, ProgressSink};
 use ahs_san::{Delay, PlaceId, SanBuilder, SanModel};
 use ahs_stats::TimeGrid;
@@ -162,6 +162,65 @@ fn interrupted_study_resumes_bitwise_identical_at_any_thread_count() {
             resumed.curve.estimators(),
             baseline.curve.estimators(),
             "resumed study diverged from uninterrupted run at {threads} threads"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_latest_checkpoint_falls_back_to_previous_generation_bitwise() {
+    let dir = scratch_dir("gen-fallback");
+    let (baseline_study, ko) = study(1, 2009);
+    let baseline = baseline_study
+        .first_passage(move |m| m.is_marked(ko), &grid(), Backend::Markov)
+        .unwrap();
+
+    for threads in [1_usize, 2, 4] {
+        let cp_path = dir.join(format!("study-{threads}.checkpoint.json"));
+
+        // Interrupt after the third completed chunk so at least two
+        // checkpoint generations exist on disk (rotation depth 2 is
+        // the default).
+        let flag = Arc::new(AtomicBool::new(false));
+        let sink = Arc::new(ProgressSink::to_writer(Box::new(RaiseAfter {
+            needle: "chunk_done",
+            remaining: 3,
+            flag: flag.clone(),
+        })));
+        let (s, ko) = study(threads, 2009);
+        s.with_checkpoint(&cp_path, 100)
+            .with_interrupt(flag)
+            .with_progress(sink)
+            .first_passage(move |m| m.is_marked(ko), &grid(), Backend::Markov)
+            .unwrap();
+        assert!(
+            generation_path(&cp_path, 1).exists(),
+            "rotation left no fallback generation at {threads} threads"
+        );
+
+        // Mangle the latest generation the way a crash mid-sector
+        // would: truncate it in half. Plain load must reject it…
+        let full = std::fs::read(&cp_path).unwrap();
+        std::fs::write(&cp_path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            StudyCheckpoint::load(&cp_path),
+            Err(SimError::Checkpoint { .. })
+        ));
+
+        // …while fallback retreats one generation and the resumed run
+        // still lands bit-for-bit on the uninterrupted result.
+        let (cp, generation) = StudyCheckpoint::load_with_fallback(&cp_path, 2).unwrap();
+        assert!(generation > 0, "fallback should not have used generation 0");
+        let (s, ko) = study(threads, 2009);
+        let resumed = s
+            .with_resume(cp)
+            .first_passage(move |m| m.is_marked(ko), &grid(), Backend::Markov)
+            .unwrap();
+        assert_eq!(resumed.replications, 600);
+        assert_eq!(
+            resumed.curve.estimators(),
+            baseline.curve.estimators(),
+            "generation-fallback resume diverged at {threads} threads"
         );
     }
     std::fs::remove_dir_all(&dir).ok();

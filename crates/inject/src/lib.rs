@@ -1,0 +1,462 @@
+//! Deterministic fault injection (`ahs-inject`).
+//!
+//! The workspace's recovery stack — checkpoints, quarantine, watchdog,
+//! graceful interruption, retrying IO — makes claims that only count
+//! once they are exercised under injected faults, exactly as the
+//! paper's recovery maneuvers are only trusted because the SAN model
+//! injects failures at the worst moments. This crate is the injector:
+//! a process-wide registry of **named failpoints**, each driven by a
+//! deterministic, schedule-based action so every chaos run is exactly
+//! reproducible.
+//!
+//! In the spirit of the `fail` crate, but with two deliberate
+//! differences: actions are *scheduled by hit count* (never sampled at
+//! run time), and the set of failpoints is a static [`catalog`] so a
+//! chaos sweep can prove it covered every one.
+//!
+//! # Feature gating
+//!
+//! Everything is behind the `inject` cargo feature. Without it,
+//! [`eval`] is a constant `None` that inlines to nothing — call sites
+//! stay in the source, the compiled artifact carries no registry, no
+//! locks, and no overhead. [`configure_from_spec`] with a non-empty
+//! spec then fails loudly ([`SpecError::Disabled`]) instead of
+//! silently ignoring the request.
+//!
+//! # Spec syntax
+//!
+//! Configured from `AHS_FAILPOINTS` (or `--failpoints` on the CLI):
+//!
+//! ```text
+//! spec     := entry (';' entry)*
+//! entry    := failpoint-name '=' term ('->' term)*
+//! term     := [count '*'] action
+//! action   := 'off'
+//!           | 'return' [ '(' kind ')' ]        error kinds: enospc, interrupted,
+//!                                              wouldblock, timedout, busy,
+//!                                              invalid-input, not-found,
+//!                                              permission-denied, broken-pipe, other
+//!           | 'panic' [ '(' message ')' ]
+//!           | 'delay' '(' millis ')'
+//!           | 'torn-write' '(' nbytes ')'
+//!           | 'corrupt-bytes' [ '(' nbytes ')' ]
+//!           | 'raise-interrupt'
+//! ```
+//!
+//! Terms consume evaluations in order; a term without a count repeats
+//! forever, and an exhausted schedule means `off`. So
+//! `des::replication::body=3*off->1*panic(chaos)` panics exactly the
+//! fourth replication body and nothing else, every run.
+//!
+//! # Example
+//!
+//! ```
+//! // Works with or without the `inject` feature: disabled, eval() is None
+//! // and a non-empty configure fails loudly.
+//! if ahs_inject::enabled() {
+//!     ahs_inject::configure_from_spec("obs::fsio::rename=1*return(enospc)").unwrap();
+//!     assert!(ahs_inject::eval("obs::fsio::rename").is_some());
+//!     assert!(ahs_inject::eval("obs::fsio::rename").is_none()); // schedule exhausted
+//!     ahs_inject::clear();
+//! } else {
+//!     assert!(ahs_inject::eval("obs::fsio::rename").is_none());
+//!     assert!(ahs_inject::configure_from_spec("x=panic").is_err());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod spec;
+
+pub use catalog::{catalog, is_registered, FailpointDesc};
+pub use spec::{IoKind, SpecError};
+
+use spec::{ActionSpec, Entry};
+
+/// Environment variable consulted by [`configure_from_env`].
+pub const ENV_VAR: &str = "AHS_FAILPOINTS";
+
+/// The fault a failpoint evaluation asks its site to inject.
+///
+/// `Error`, `Panic`, and `Delay` have uniform meanings; `TornWrite`,
+/// `CorruptBytes`, and `RaiseInterrupt` are interpreted by the site
+/// (see the [`catalog`] for which failpoint supports which action).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the operation with an IO error of the given kind.
+    Error(IoKind),
+    /// Panic with the given message (sites inside `catch_unwind`
+    /// surface this as a quarantined replication).
+    Panic(String),
+    /// Stall for the given number of milliseconds.
+    Delay(u64),
+    /// Truncate the bytes about to be written to the given length and
+    /// then fail, simulating a torn write.
+    TornWrite(usize),
+    /// Corrupt the leading `n` bytes of the document in flight
+    /// (deterministic XOR — always *detectable* corruption, which is
+    /// the interesting case for generation fallback).
+    CorruptBytes(usize),
+    /// Raise the process interrupt flag, as if SIGINT had arrived.
+    RaiseInterrupt,
+}
+
+impl Fault {
+    /// The IO error this fault injects, for `Error` and `TornWrite`
+    /// faults (torn writes surface as transient `Interrupted` errors so
+    /// the retry layer gets a chance to repair them).
+    pub fn to_io_error(&self, site: &str) -> Option<std::io::Error> {
+        match self {
+            Fault::Error(kind) => Some(std::io::Error::new(
+                kind.to_error_kind(),
+                format!("injected fault at {site}: {kind}"),
+            )),
+            Fault::TornWrite(n) => Some(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!("injected torn write at {site}: only {n} byte(s) reached the disk"),
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// Deterministically corrupts the first `n` bytes of `bytes` in place
+/// (XOR with 0xFF). Corrupting the document *header* guarantees the
+/// damage is detectable by any structural validator, which is the
+/// scenario generation fallback exists for.
+pub fn corrupt_prefix(bytes: &mut [u8], n: usize) {
+    let n = n.min(bytes.len());
+    for b in &mut bytes[..n] {
+        *b ^= 0xFF;
+    }
+}
+
+/// Fires an IO-layer failpoint: `Error` faults become `Err`, `Panic`
+/// panics, `Delay` sleeps inline, and the data-shaping faults
+/// (`TornWrite`, `CorruptBytes`, `RaiseInterrupt`) are handed back for
+/// site-specific interpretation.
+///
+/// # Errors
+///
+/// Returns the injected [`std::io::Error`] when the active schedule
+/// says this evaluation fails.
+pub fn fire_io(name: &str) -> std::io::Result<Option<Fault>> {
+    match eval(name) {
+        Some(Fault::Error(kind)) => Err(Fault::Error(kind).to_io_error(name).expect("error fault")),
+        Some(Fault::Panic(msg)) => panic!("injected panic at {name}: {msg}"),
+        Some(Fault::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(None)
+        }
+        other => Ok(other),
+    }
+}
+
+/// Whether this build carries the failpoint registry (the `inject`
+/// cargo feature).
+pub fn enabled() -> bool {
+    cfg!(feature = "inject")
+}
+
+/// Configures the registry from [`ENV_VAR`], returning whether a spec
+/// was found and applied. An unset or empty variable is not an error.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] when the variable is set but malformed, names
+/// an unregistered failpoint, or this build lacks the `inject` feature.
+pub fn configure_from_env() -> Result<bool, SpecError> {
+    match std::env::var(ENV_VAR) {
+        Ok(spec) if !spec.trim().is_empty() => {
+            configure_from_spec(&spec)?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+#[cfg(feature = "inject")]
+mod registry {
+    use super::{catalog, spec, Fault, SpecError};
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    struct FailpointState {
+        terms: Vec<spec::Term>,
+        hits: u64,
+    }
+
+    static REGISTRY: Mutex<Option<HashMap<String, FailpointState>>> = Mutex::new(None);
+
+    pub fn configure_from_spec(text: &str) -> Result<(), SpecError> {
+        let entries = spec::parse_spec(text)?;
+        for e in &entries {
+            if !catalog::is_registered(&e.name) {
+                return Err(SpecError::UnknownFailpoint(e.name.clone()));
+            }
+        }
+        let mut map = HashMap::new();
+        for e in entries {
+            map.insert(
+                e.name.clone(),
+                FailpointState {
+                    terms: e.terms,
+                    hits: 0,
+                },
+            );
+        }
+        *REGISTRY.lock().expect("failpoint registry poisoned") = Some(map);
+        Ok(())
+    }
+
+    pub fn clear() {
+        *REGISTRY.lock().expect("failpoint registry poisoned") = None;
+    }
+
+    pub fn eval(name: &str) -> Option<Fault> {
+        let mut guard = REGISTRY.lock().expect("failpoint registry poisoned");
+        let state = guard.as_mut()?.get_mut(name)?;
+        let hit = state.hits;
+        state.hits += 1;
+        let mut remaining = hit;
+        for term in &state.terms {
+            match term.count {
+                None => return term.action.to_fault(),
+                Some(c) if remaining < c => return term.action.to_fault(),
+                Some(c) => remaining -= c,
+            }
+        }
+        None // schedule exhausted: off
+    }
+
+    pub fn hits(name: &str) -> u64 {
+        REGISTRY
+            .lock()
+            .expect("failpoint registry poisoned")
+            .as_ref()
+            .and_then(|m| m.get(name))
+            .map_or(0, |s| s.hits)
+    }
+}
+
+#[cfg(feature = "inject")]
+pub use active::*;
+
+#[cfg(feature = "inject")]
+mod active {
+    use super::{registry, Fault, SpecError};
+
+    /// Replaces the active failpoint configuration with `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on a malformed spec or an unregistered
+    /// failpoint name.
+    pub fn configure_from_spec(spec: &str) -> Result<(), SpecError> {
+        if spec.trim().is_empty() {
+            registry::clear();
+            return Ok(());
+        }
+        registry::configure_from_spec(spec)
+    }
+
+    /// Removes every configured failpoint (all evaluations return
+    /// `None` again) and resets hit counters.
+    pub fn clear() {
+        registry::clear();
+    }
+
+    /// Evaluates the named failpoint against its configured schedule,
+    /// consuming one hit. Unconfigured failpoints return `None`.
+    pub fn eval(name: &str) -> Option<Fault> {
+        registry::eval(name)
+    }
+
+    /// How many times the named failpoint has been evaluated since it
+    /// was configured (0 when unconfigured) — for tests and reports.
+    pub fn hits(name: &str) -> u64 {
+        registry::hits(name)
+    }
+}
+
+#[cfg(not(feature = "inject"))]
+pub use inert::*;
+
+#[cfg(not(feature = "inject"))]
+mod inert {
+    use super::{Fault, SpecError};
+
+    /// Inert stub: a non-empty spec fails with [`SpecError::Disabled`]
+    /// so a chaos run against a non-chaos build is loud, not silent.
+    pub fn configure_from_spec(spec: &str) -> Result<(), SpecError> {
+        if spec.trim().is_empty() {
+            Ok(())
+        } else {
+            Err(SpecError::Disabled)
+        }
+    }
+
+    /// Inert stub: nothing to clear.
+    pub fn clear() {}
+
+    /// Inert stub: always `None`; inlines to nothing.
+    #[inline(always)]
+    pub fn eval(_name: &str) -> Option<Fault> {
+        None
+    }
+
+    /// Inert stub: always 0.
+    pub fn hits(_name: &str) -> u64 {
+        0
+    }
+}
+
+// Keep the spec types referenced from both cfg arms.
+impl ActionSpec {
+    // Only the live registry schedules faults; the inert build still
+    // parses (for validate_spec) but never converts.
+    #[cfg_attr(not(feature = "inject"), allow(dead_code))]
+    fn to_fault(&self) -> Option<Fault> {
+        match self {
+            ActionSpec::Off => None,
+            ActionSpec::Return(kind) => Some(Fault::Error(*kind)),
+            ActionSpec::Panic(msg) => Some(Fault::Panic(msg.clone())),
+            ActionSpec::Delay(ms) => Some(Fault::Delay(*ms)),
+            ActionSpec::TornWrite(n) => Some(Fault::TornWrite(*n)),
+            ActionSpec::CorruptBytes(n) => Some(Fault::CorruptBytes(*n)),
+            ActionSpec::RaiseInterrupt => Some(Fault::RaiseInterrupt),
+        }
+    }
+}
+
+/// Parses a spec without touching the registry — validation for CLIs
+/// and tests, available with or without the `inject` feature.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] on malformed syntax or an unregistered
+/// failpoint name.
+pub fn validate_spec(text: &str) -> Result<(), SpecError> {
+    for entry in spec::parse_spec(text)? {
+        let Entry { name, .. } = entry;
+        if !catalog::is_registered(&name) {
+            return Err(SpecError::UnknownFailpoint(name));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_prefix_flips_and_clamps() {
+        let mut buf = vec![b'{', b'"', b's'];
+        corrupt_prefix(&mut buf, 2);
+        assert_eq!(buf, vec![b'{' ^ 0xFF, b'"' ^ 0xFF, b's']);
+        corrupt_prefix(&mut buf, 100); // clamped, no panic
+    }
+
+    #[test]
+    fn validate_spec_checks_names_in_both_builds() {
+        assert!(validate_spec("obs::fsio::rename=return(enospc)").is_ok());
+        assert!(matches!(
+            validate_spec("no::such::point=panic"),
+            Err(SpecError::UnknownFailpoint(_))
+        ));
+    }
+
+    #[test]
+    fn error_faults_map_to_io_errors() {
+        let e = Fault::Error(IoKind::Enospc).to_io_error("here").unwrap();
+        assert_eq!(e.kind(), std::io::ErrorKind::StorageFull);
+        assert!(e.to_string().contains("here"));
+        assert!(Fault::RaiseInterrupt.to_io_error("x").is_none());
+        let torn = Fault::TornWrite(3).to_io_error("w").unwrap();
+        assert_eq!(torn.kind(), std::io::ErrorKind::Interrupted);
+    }
+
+    #[cfg(feature = "inject")]
+    mod live {
+        use super::super::*;
+        use std::sync::{Mutex, MutexGuard};
+
+        /// The registry is process-global; serialize tests that touch it.
+        fn serial() -> MutexGuard<'static, ()> {
+            static GUARD: Mutex<()> = Mutex::new(());
+            GUARD.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        #[test]
+        fn schedules_consume_terms_in_order_then_fall_off() {
+            let _g = serial();
+            configure_from_spec("des::replication::body=2*off->1*panic(boom)->1*delay(3)").unwrap();
+            assert_eq!(eval("des::replication::body"), None);
+            assert_eq!(eval("des::replication::body"), None);
+            assert_eq!(
+                eval("des::replication::body"),
+                Some(Fault::Panic("boom".into()))
+            );
+            assert_eq!(eval("des::replication::body"), Some(Fault::Delay(3)));
+            assert_eq!(eval("des::replication::body"), None, "exhausted => off");
+            assert_eq!(hits("des::replication::body"), 5);
+            clear();
+            assert_eq!(eval("des::replication::body"), None);
+        }
+
+        #[test]
+        fn uncounted_terminal_term_repeats_forever() {
+            let _g = serial();
+            configure_from_spec("obs::fsio::sync=1*off->return(interrupted)").unwrap();
+            assert_eq!(eval("obs::fsio::sync"), None);
+            for _ in 0..10 {
+                assert_eq!(
+                    eval("obs::fsio::sync"),
+                    Some(Fault::Error(IoKind::Interrupted))
+                );
+            }
+            clear();
+        }
+
+        #[test]
+        fn configure_rejects_unknown_names_and_bad_syntax() {
+            let _g = serial();
+            assert!(matches!(
+                configure_from_spec("no::such::point=panic"),
+                Err(SpecError::UnknownFailpoint(_))
+            ));
+            assert!(configure_from_spec("obs::fsio::sync=explode").is_err());
+            assert!(configure_from_spec("obs::fsio::sync").is_err());
+            // A failed configure leaves the registry unchanged.
+            configure_from_spec("obs::fsio::sync=1*return").unwrap();
+            assert!(configure_from_spec("garbage").is_err());
+            assert!(eval("obs::fsio::sync").is_some());
+            clear();
+        }
+
+        #[test]
+        fn evaluation_is_deterministic_across_reconfigure() {
+            let _g = serial();
+            let spec = "des::checkpoint::save=1*corrupt-bytes(4)->2*torn-write(10)";
+            let run = || {
+                configure_from_spec(spec).unwrap();
+                let seq: Vec<Option<Fault>> =
+                    (0..5).map(|_| eval("des::checkpoint::save")).collect();
+                clear();
+                seq
+            };
+            assert_eq!(run(), run());
+        }
+
+        #[test]
+        fn empty_spec_clears() {
+            let _g = serial();
+            configure_from_spec("obs::fsio::sync=return").unwrap();
+            configure_from_spec("  ").unwrap();
+            assert_eq!(eval("obs::fsio::sync"), None);
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Parser for the `AHS_FAILPOINTS` spec grammar.
+//!
+//! ```text
+//! spec     := entry (';' entry)*
+//! entry    := name '=' term ('->' term)*
+//! term     := [count '*'] action
+//! action   := 'off' | 'return'[(kind)] | 'panic'[(msg)] | 'delay'(ms)
+//!           | 'torn-write'(n) | 'corrupt-bytes'[(n)] | 'raise-interrupt'
+//! ```
+
+use std::fmt;
+
+/// Error kinds an injected IO failure can carry, a deliberately small
+/// vocabulary spanning both transient kinds (the retry layer should
+/// absorb) and permanent ones (it must not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum IoKind {
+    Enospc,
+    Interrupted,
+    WouldBlock,
+    TimedOut,
+    Busy,
+    InvalidInput,
+    NotFound,
+    PermissionDenied,
+    BrokenPipe,
+    Other,
+}
+
+impl IoKind {
+    /// The `std::io::ErrorKind` this injects.
+    pub fn to_error_kind(self) -> std::io::ErrorKind {
+        use std::io::ErrorKind as K;
+        match self {
+            IoKind::Enospc => K::StorageFull,
+            IoKind::Interrupted => K::Interrupted,
+            IoKind::WouldBlock => K::WouldBlock,
+            IoKind::TimedOut => K::TimedOut,
+            IoKind::Busy => K::ResourceBusy,
+            IoKind::InvalidInput => K::InvalidInput,
+            IoKind::NotFound => K::NotFound,
+            IoKind::PermissionDenied => K::PermissionDenied,
+            IoKind::BrokenPipe => K::BrokenPipe,
+            IoKind::Other => K::Other,
+        }
+    }
+
+    /// The spec-syntax spelling of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoKind::Enospc => "enospc",
+            IoKind::Interrupted => "interrupted",
+            IoKind::WouldBlock => "wouldblock",
+            IoKind::TimedOut => "timedout",
+            IoKind::Busy => "busy",
+            IoKind::InvalidInput => "invalid-input",
+            IoKind::NotFound => "not-found",
+            IoKind::PermissionDenied => "permission-denied",
+            IoKind::BrokenPipe => "broken-pipe",
+            IoKind::Other => "other",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "enospc" => IoKind::Enospc,
+            "interrupted" => IoKind::Interrupted,
+            "wouldblock" => IoKind::WouldBlock,
+            "timedout" => IoKind::TimedOut,
+            "busy" => IoKind::Busy,
+            "invalid-input" => IoKind::InvalidInput,
+            "not-found" => IoKind::NotFound,
+            "permission-denied" => IoKind::PermissionDenied,
+            "broken-pipe" => IoKind::BrokenPipe,
+            "other" => IoKind::Other,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for IoKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a failpoint spec asks for (before hit-count scheduling).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ActionSpec {
+    Off,
+    Return(IoKind),
+    Panic(String),
+    Delay(u64),
+    TornWrite(usize),
+    CorruptBytes(usize),
+    RaiseInterrupt,
+}
+
+/// One schedule term: `action` for the next `count` evaluations
+/// (forever when `count` is `None`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Term {
+    pub(crate) count: Option<u64>,
+    pub(crate) action: ActionSpec,
+}
+
+/// One parsed `name=schedule` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Entry {
+    pub(crate) name: String,
+    pub(crate) terms: Vec<Term>,
+}
+
+/// Why a failpoint spec was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// This build lacks the `inject` cargo feature; a non-empty spec
+    /// would be silently ignored, so it is refused instead.
+    Disabled,
+    /// The spec names a failpoint absent from the static catalog.
+    UnknownFailpoint(String),
+    /// Syntax error, with the offending fragment and what was wrong.
+    Parse {
+        /// The entry or term that failed to parse.
+        fragment: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Disabled => write!(
+                f,
+                "failpoints requested but this binary was built without the `inject` feature \
+                 (rebuild with `--features inject`)"
+            ),
+            SpecError::UnknownFailpoint(name) => write!(
+                f,
+                "unknown failpoint `{name}` (see `ahs_inject::catalog()` or docs/robustness.md \
+                 for the registered names)"
+            ),
+            SpecError::Parse { fragment, reason } => {
+                write!(f, "malformed failpoint spec at `{fragment}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn parse_err(fragment: &str, reason: impl Into<String>) -> SpecError {
+    SpecError::Parse {
+        fragment: fragment.to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Splits `action(arg)` into `("action", Some("arg"))`.
+fn split_arg(term: &str) -> Result<(&str, Option<&str>), SpecError> {
+    match term.find('(') {
+        None => Ok((term, None)),
+        Some(open) => {
+            let Some(inner) = term[open + 1..].strip_suffix(')') else {
+                return Err(parse_err(term, "missing closing `)`"));
+            };
+            Ok((&term[..open], Some(inner)))
+        }
+    }
+}
+
+fn parse_action(text: &str) -> Result<ActionSpec, SpecError> {
+    let (name, arg) = split_arg(text)?;
+    let no_arg = |action: &'static str| match arg {
+        None => Ok(()),
+        Some(_) => Err(parse_err(text, format!("`{action}` takes no argument"))),
+    };
+    let required = |action: &'static str| {
+        arg.ok_or_else(|| parse_err(text, format!("`{action}` requires an argument")))
+    };
+    match name {
+        "off" => {
+            no_arg("off")?;
+            Ok(ActionSpec::Off)
+        }
+        "return" | "return-error" => match arg {
+            None => Ok(ActionSpec::Return(IoKind::Other)),
+            Some(kind) => IoKind::parse(kind)
+                .map(ActionSpec::Return)
+                .ok_or_else(|| parse_err(text, format!("unknown error kind `{kind}`"))),
+        },
+        "panic" => Ok(ActionSpec::Panic(
+            arg.unwrap_or("injected panic").to_string(),
+        )),
+        "delay" => {
+            let ms = required("delay")?;
+            ms.parse()
+                .map(ActionSpec::Delay)
+                .map_err(|_| parse_err(text, format!("`{ms}` is not a millisecond count")))
+        }
+        "torn-write" => {
+            let n = required("torn-write")?;
+            n.parse()
+                .map(ActionSpec::TornWrite)
+                .map_err(|_| parse_err(text, format!("`{n}` is not a byte count")))
+        }
+        "corrupt-bytes" => match arg {
+            None => Ok(ActionSpec::CorruptBytes(16)),
+            Some(n) => n
+                .parse()
+                .map(ActionSpec::CorruptBytes)
+                .map_err(|_| parse_err(text, format!("`{n}` is not a byte count"))),
+        },
+        "raise-interrupt" => {
+            no_arg("raise-interrupt")?;
+            Ok(ActionSpec::RaiseInterrupt)
+        }
+        other => Err(parse_err(text, format!("unknown action `{other}`"))),
+    }
+}
+
+fn parse_term(text: &str) -> Result<Term, SpecError> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(parse_err(text, "empty schedule term"));
+    }
+    // `N*action` — but only when the prefix really is a count, so a
+    // future action containing `*` is not misparsed.
+    if let Some((head, tail)) = text.split_once('*') {
+        if let Ok(count) = head.trim().parse::<u64>() {
+            if count == 0 {
+                return Err(parse_err(text, "term count must be >= 1"));
+            }
+            return Ok(Term {
+                count: Some(count),
+                action: parse_action(tail.trim())?,
+            });
+        }
+    }
+    Ok(Term {
+        count: None,
+        action: parse_action(text)?,
+    })
+}
+
+/// Parses a full spec into entries. Purely syntactic — catalog
+/// membership is checked by the caller.
+pub(crate) fn parse_spec(text: &str) -> Result<Vec<Entry>, SpecError> {
+    let mut entries = Vec::new();
+    for raw in text.split(';') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let Some((name, schedule)) = raw.split_once('=') else {
+            return Err(parse_err(raw, "expected `name=schedule`"));
+        };
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(parse_err(raw, "empty failpoint name"));
+        }
+        let terms = schedule
+            .split("->")
+            .map(parse_term)
+            .collect::<Result<Vec<_>, _>>()?;
+        entries.push(Entry {
+            name: name.to_string(),
+            terms,
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multi_entry_multi_term_specs() {
+        let entries = parse_spec(
+            "obs::fsio::sync=2*off->1*return(enospc); \
+             des::replication::body=panic(boom)",
+        )
+        .unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "obs::fsio::sync");
+        assert_eq!(
+            entries[0].terms,
+            vec![
+                Term {
+                    count: Some(2),
+                    action: ActionSpec::Off
+                },
+                Term {
+                    count: Some(1),
+                    action: ActionSpec::Return(IoKind::Enospc)
+                },
+            ]
+        );
+        assert_eq!(
+            entries[1].terms,
+            vec![Term {
+                count: None,
+                action: ActionSpec::Panic("boom".into())
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_every_action_and_defaults() {
+        let one = |s: &str| parse_spec(&format!("x={s}")).unwrap()[0].terms[0].clone();
+        assert_eq!(one("off").action, ActionSpec::Off);
+        assert_eq!(one("return").action, ActionSpec::Return(IoKind::Other));
+        assert_eq!(
+            one("return-error(not-found)").action,
+            ActionSpec::Return(IoKind::NotFound)
+        );
+        assert_eq!(
+            one("panic").action,
+            ActionSpec::Panic("injected panic".into())
+        );
+        assert_eq!(one("delay(250)").action, ActionSpec::Delay(250));
+        assert_eq!(one("torn-write(7)").action, ActionSpec::TornWrite(7));
+        assert_eq!(one("corrupt-bytes").action, ActionSpec::CorruptBytes(16));
+        assert_eq!(one("corrupt-bytes(3)").action, ActionSpec::CorruptBytes(3));
+        assert_eq!(one("raise-interrupt").action, ActionSpec::RaiseInterrupt);
+    }
+
+    #[test]
+    fn rejects_malformed_fragments() {
+        for bad in [
+            "x",
+            "=panic",
+            "x=",
+            "x=explode",
+            "x=delay",
+            "x=delay(abc)",
+            "x=0*panic",
+            "x=return(diskful)",
+            "x=off(1)",
+            "x=delay(5",
+            "x=torn-write",
+        ] {
+            assert!(
+                matches!(parse_spec(bad), Err(SpecError::Parse { .. })),
+                "expected parse error for `{bad}`"
+            );
+        }
+    }
+
+    #[test]
+    fn io_kinds_round_trip_and_map() {
+        for kind in [
+            IoKind::Enospc,
+            IoKind::Interrupted,
+            IoKind::WouldBlock,
+            IoKind::TimedOut,
+            IoKind::Busy,
+            IoKind::InvalidInput,
+            IoKind::NotFound,
+            IoKind::PermissionDenied,
+            IoKind::BrokenPipe,
+            IoKind::Other,
+        ] {
+            assert_eq!(IoKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(
+            IoKind::Enospc.to_error_kind(),
+            std::io::ErrorKind::StorageFull
+        );
+    }
+
+    #[test]
+    fn empty_and_whitespace_entries_are_skipped() {
+        assert!(parse_spec("").unwrap().is_empty());
+        assert!(parse_spec(" ;; ").unwrap().is_empty());
+    }
+}

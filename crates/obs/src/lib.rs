@@ -21,10 +21,14 @@
 //!   a study runs.
 //!
 //! Robustness plumbing lives here too: [`atomic_write`] makes every
-//! artifact crash-safe (temp file + rename), [`Json::parse`] reads
-//! them back (checkpoint resume), and [`interrupt_flag`] installs the
-//! SIGINT/SIGTERM handler behind graceful interruption (see
-//! `docs/robustness.md`).
+//! artifact crash-safe (temp file + rename + parent-dir fsync),
+//! [`write_with_retry`] adds deterministic exponential backoff for
+//! transient failures ([`RetryPolicy`]), [`Json::parse`] reads
+//! artifacts back (checkpoint resume), and [`interrupt_flag`] installs
+//! the SIGINT/SIGTERM handler behind graceful interruption (see
+//! `docs/robustness.md`). The IO paths evaluate `obs::*` failpoints
+//! from `ahs-inject` — live only under the `inject` feature — so the
+//! chaos tier can fail any of these steps deterministically.
 //!
 //! The crate is intentionally dependency-free: JSON is emitted through
 //! the small [`Json`] value tree (the build environment vendors a
@@ -61,7 +65,7 @@ mod manifest;
 mod metrics;
 mod progress;
 
-pub use fsio::atomic_write;
+pub use fsio::{atomic_write, dir_sync_failures, retry_io, write_with_retry, RetryPolicy};
 pub use interrupt::{interrupt_flag, interrupted, EXIT_INTERRUPTED};
 pub use json::{push_json_string, Json, JsonParseError};
 pub use manifest::{git_revision, EstimatePoint, RunManifest, StoppingSpec, MANIFEST_SCHEMA};

@@ -2,7 +2,7 @@
 
 use std::path::Path;
 
-use crate::fsio::atomic_write;
+use crate::fsio::write_with_retry;
 use crate::json::Json;
 use crate::metrics::MetricsSnapshot;
 
@@ -209,11 +209,13 @@ impl RunManifest {
         s
     }
 
-    /// Writes the manifest to `path` atomically (temp file + rename;
-    /// see [`atomic_write`]), creating parent directories as needed. A
-    /// crash mid-write can never leave a truncated manifest at `path`.
+    /// Writes the manifest to `path` atomically (temp file + rename,
+    /// with bounded retry on transient errors; see
+    /// [`crate::write_with_retry`]), creating parent directories as
+    /// needed. A crash mid-write can never leave a truncated manifest
+    /// at `path`.
     pub fn write(&self, path: &Path) -> std::io::Result<()> {
-        atomic_write(path, self.render().as_bytes())
+        write_with_retry(path, self.render().as_bytes())
     }
 }
 

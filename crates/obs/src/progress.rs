@@ -2,6 +2,7 @@
 
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -17,11 +18,13 @@ use crate::json::Json;
 ///
 /// The `elapsed_s` field is seconds since the sink was created. Writes
 /// are serialized through a mutex so workers may share one sink; a
-/// failed write is silently dropped (progress must never abort a
-/// study).
+/// failed write is dropped — progress must never abort a study — but
+/// *counted*, so a run that lost telemetry says so in its manifest
+/// (`telemetry_dropped`) instead of silently looking healthy.
 pub struct ProgressSink {
     out: Mutex<Box<dyn Write + Send>>,
     start: Instant,
+    dropped: AtomicU64,
 }
 
 impl std::fmt::Debug for ProgressSink {
@@ -38,6 +41,7 @@ impl ProgressSink {
         ProgressSink {
             out: Mutex::new(out),
             start: Instant::now(),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -61,7 +65,9 @@ impl ProgressSink {
         Self::to_writer(Box::new(std::io::stderr()))
     }
 
-    /// Emits one event line with the given name and extra fields.
+    /// Emits one event line with the given name and extra fields. A
+    /// failed (or injected-to-fail) write increments the dropped
+    /// counter instead of propagating.
     pub fn emit(&self, event: &str, fields: Vec<(&str, Json)>) {
         let mut obj = vec![
             ("event", Json::str(event)),
@@ -70,10 +76,23 @@ impl ProgressSink {
         obj.extend(fields);
         let mut line = Json::obj(obj).render();
         line.push('\n');
-        if let Ok(mut out) = self.out.lock() {
-            let _ = out.write_all(line.as_bytes());
-            let _ = out.flush();
+        let wrote = ahs_inject::fire_io("obs::progress::emit").is_ok()
+            && match self.out.lock() {
+                Ok(mut out) => out
+                    .write_all(line.as_bytes())
+                    .and_then(|()| out.flush())
+                    .is_ok(),
+                Err(_) => false,
+            };
+        if !wrote {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// How many telemetry events this sink has dropped because the
+    /// underlying writer failed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -104,6 +123,24 @@ mod tests {
             assert!(line.contains("\"elapsed_s\":"));
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failing_writer_counts_drops_instead_of_aborting() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(std::io::ErrorKind::StorageFull, "full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = ProgressSink::to_writer(Box::new(Broken));
+        assert_eq!(sink.dropped(), 0);
+        sink.emit("tick", vec![]);
+        sink.emit("tick", vec![]);
+        assert_eq!(sink.dropped(), 2, "every failed emit is counted");
     }
 
     #[test]

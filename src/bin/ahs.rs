@@ -86,10 +86,18 @@ evaluate flags:
 robustness flags (evaluate):
   --checkpoint P        write crash-safe study checkpoints to file P
   --checkpoint-every N  replications between checkpoints (default 100000)
-  --resume P            resume from the checkpoint at P (bitwise-identical result)
+  --checkpoint-generations G
+                        checkpoint generations to retain / consult on
+                        resume (default 2: latest + one fallback)
+  --resume P            resume from the checkpoint at P (bitwise-identical
+                        result; falls back to the newest valid retained
+                        generation when the latest is corrupt)
   --quarantine-budget B tolerate up to B panicking replications (default 0)
   --watchdog-events E   fail any replication exceeding E events
   --watchdog-seconds W  fail any replication exceeding W seconds wall-clock
+  --failpoints SPEC     arm deterministic fault injection (builds with the
+                        `inject` feature only; also read from AHS_FAILPOINTS;
+                        see docs/robustness.md for the failpoint catalog)
 
 on SIGINT/SIGTERM, evaluate stops gracefully, flushes the checkpoint and
 manifest, and exits with code 75 (resumable)";
@@ -148,8 +156,23 @@ fn parse_params(f: &Flags<'_>) -> Result<Params, String> {
         .map_err(|e| e.to_string())
 }
 
+/// Arms fault injection from `--failpoints` / `AHS_FAILPOINTS`. The
+/// flag wins over the environment; on a build without the `inject`
+/// feature a non-empty spec is a loud error, never a silent no-op.
+fn configure_failpoints(f: &Flags<'_>) -> Result<(), String> {
+    match f.value("--failpoints")? {
+        Some(spec) => {
+            ahs_inject::configure_from_spec(spec).map_err(|e| format!("--failpoints: {e}"))
+        }
+        None => ahs_inject::configure_from_env()
+            .map(|_| ())
+            .map_err(|e| format!("{}: {e}", ahs_inject::ENV_VAR)),
+    }
+}
+
 fn cmd_evaluate(args: &[String]) -> Result<ExitCode, String> {
     let f = Flags::new(args);
+    configure_failpoints(&f)?;
     let params = parse_params(&f)?;
     let horizon: f64 = f.parse("--horizon", 10.0)?;
     let points: usize = f.parse("--points", 5usize)?;
@@ -189,6 +212,11 @@ fn cmd_evaluate(args: &[String]) -> Result<ExitCode, String> {
         }
         eval = eval.with_checkpoint(path, every);
     }
+    let generations: u32 = f.parse("--checkpoint-generations", 2u32)?;
+    if generations == 0 {
+        return Err("--checkpoint-generations must be positive".into());
+    }
+    eval = eval.with_checkpoint_generations(generations);
     if let Some(path) = f.value("--resume")? {
         eval = eval.with_resume(path);
     }
@@ -256,6 +284,12 @@ fn cmd_evaluate(args: &[String]) -> Result<ExitCode, String> {
         println!(
             "resumed from checkpoint watermark(s) {:?}",
             curve.resume_lineage()
+        );
+    }
+    if let Some(generation) = curve.resume_fallback() {
+        eprintln!(
+            "warning: latest checkpoint was corrupt; resumed from retained \
+             generation {generation}"
         );
     }
     if curve.quarantined() > 0 {

@@ -18,6 +18,7 @@
 //! | [`platoon`] | `ahs-platoon` | kinematic platoon substrate and maneuver-duration models |
 //! | [`core`] | `ahs-core` | the paper's models: failure modes, maneuvers, strategies, `S(t)` |
 //! | [`obs`] | `ahs-obs` | telemetry: metrics sinks, run manifests, JSON-lines progress |
+//! | [`inject`] | `ahs-inject` | deterministic failpoints for chaos/robustness testing |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@
 pub use ahs_core as core;
 pub use ahs_ctmc as ctmc;
 pub use ahs_des as des;
+pub use ahs_inject as inject;
 pub use ahs_obs as obs;
 pub use ahs_platoon as platoon;
 pub use ahs_san as san;
