@@ -54,21 +54,24 @@ fn add_failure_mode(
     let rate = params.failure_rate(fm);
 
     // Enabling: present, system not yet frozen in KO_total, and the new
-    // maneuver would outrank whatever is active.
+    // maneuver would outrank whatever is active. Reads and writes are
+    // declared separately: the predicate never consults the shared
+    // severity-class counters, and folding them into the read-set (as a
+    // plain `touches` declaration would) couples every vehicle's
+    // triggers to every other's in the dependency graph.
     let guard_refs = refs.clone();
-    let gate_touches: Vec<_> = [
-        refs.ko_total,
-        vp.present,
-        refs.class_a,
-        refs.class_b,
-        refs.class_c,
-    ]
-    .into_iter()
-    .chain(vp.maneuvers)
-    .collect();
-    let gate = b.input_gate_touching(
+    let gate_reads: Vec<_> = [refs.ko_total, vp.present]
+        .into_iter()
+        .chain(vp.maneuvers)
+        .collect();
+    let gate_writes: Vec<_> = [refs.class_a, refs.class_b, refs.class_c]
+        .into_iter()
+        .chain(vp.maneuvers)
+        .collect();
+    let gate = b.input_gate_touching_split(
         &format!("f{}", fm.index() + 1),
-        gate_touches,
+        gate_reads,
+        gate_writes,
         move |m: &Marking| {
             !m.is_marked(guard_refs.ko_total)
                 && m.is_marked(vp.present)

@@ -1,9 +1,10 @@
 //! Event-queue execution of SANs with arbitrary delay distributions.
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use ahs_obs::Metrics;
-use ahs_san::{ActivityId, Marking, SanModel, Timing};
+use ahs_san::{ActivityId, EnablementCache, Marking, SanModel, Timing};
 use rand::Rng;
 
 use crate::error::SimError;
@@ -30,8 +31,24 @@ const DEFAULT_MAX_EVENTS: u64 = 10_000_000;
 pub struct EventDrivenSimulator<'m> {
     model: &'m SanModel,
     max_events: u64,
+    // Run-to-run scratch (enablement cache + event queue), parked here
+    // between runs so the hot loop allocates nothing. `Cell` keeps the
+    // run methods `&self`; a run that panics simply loses its scratch
+    // and the next run rebuilds it.
+    scratch: Cell<Option<Box<EdScratch>>>,
+    // Diagnostics/testing: disable incremental enablement tracking.
+    full_rescan: bool,
     metrics: Option<Arc<Metrics>>,
     watchdog: Option<Watchdog>,
+}
+
+/// Per-run mutable state of the event loop, reused across runs.
+struct EdScratch {
+    cache: EnablementCache,
+    queue: EventQueue,
+    /// Copy of the cache's changed-slot list, taken so the cache can be
+    /// read (enabledness) while the list is iterated.
+    changed: Vec<u32>,
 }
 
 /// Per-run tallies accumulated locally and flushed once per
@@ -50,6 +67,8 @@ impl<'m> EventDrivenSimulator<'m> {
         EventDrivenSimulator {
             model,
             max_events: DEFAULT_MAX_EVENTS,
+            scratch: Cell::new(None),
+            full_rescan: false,
             metrics: None,
             watchdog: None,
         }
@@ -60,6 +79,36 @@ impl<'m> EventDrivenSimulator<'m> {
     pub fn with_max_events(mut self, budget: u64) -> Self {
         self.max_events = budget;
         self
+    }
+
+    /// Disables (or re-enables) incremental enablement tracking: with
+    /// `true`, every firing reconciles every timed activity exactly
+    /// like the pre-cache executor. Results are bitwise identical
+    /// either way — this is a diagnostics/testing knob, exercised by
+    /// the equivalence test tier.
+    #[must_use]
+    pub fn with_full_rescan(mut self, on: bool) -> Self {
+        self.full_rescan = on;
+        // Any parked cache was built under the previous mode.
+        self.scratch = Cell::new(None);
+        self
+    }
+
+    /// Retrieves the parked scratch or builds a fresh one (first run,
+    /// or the previous run panicked mid-flight).
+    fn take_scratch(&self) -> Box<EdScratch> {
+        if let Some(s) = self.scratch.take() {
+            return s;
+        }
+        let mut cache = self.model.new_cache();
+        if self.full_rescan {
+            cache.force_full_rescan();
+        }
+        Box::new(EdScratch {
+            cache,
+            queue: EventQueue::new(self.model.timed_activities().len()),
+            changed: Vec::new(),
+        })
     }
 
     /// Attaches a telemetry sink; per-run tallies (completions by
@@ -102,22 +151,65 @@ impl<'m> EventDrivenSimulator<'m> {
         }
     }
 
-    /// Brings the event queue in line with the marking at time `now`.
-    /// Queue slots are positions in `model.timed_activities()`.
-    fn reconcile<R: Rng + ?Sized>(
+    /// Brings the event queue in line with the marking at time `now` by
+    /// scanning every timed slot. Queue slots are positions in
+    /// `model.timed_activities()`. Used for the initial schedule and in
+    /// full-rescan mode.
+    fn reconcile_full<R: Rng + ?Sized>(
         &self,
         now: f64,
         marking: &Marking,
+        cache: &EnablementCache,
         queue: &mut EventQueue,
         rng: &mut R,
     ) {
         for (slot, &a) in self.model.timed_activities().iter().enumerate() {
-            let enabled = self.model.is_enabled(a, marking);
+            let enabled = cache.is_enabled(a);
             let scheduled = queue.is_scheduled(slot);
             if enabled && !scheduled {
                 queue.schedule(now + self.sample_delay(a, marking, rng), slot);
             } else if !enabled && scheduled {
                 queue.cancel(slot);
+            }
+        }
+    }
+
+    /// Post-firing schedule reconciliation. In incremental mode only
+    /// the slots the enablement cache flagged as changed are visited —
+    /// in ascending slot order, so newly enabled activities sample
+    /// their delays in exactly the order the full scan would, keeping
+    /// RNG consumption (and therefore every estimate) bitwise
+    /// identical. The fired slot itself must have been flagged by the
+    /// caller (it was popped off the queue, which is a schedule change
+    /// the marking cannot reveal).
+    fn reconcile_step<R: Rng + ?Sized>(
+        &self,
+        now: f64,
+        marking: &Marking,
+        scratch: &mut EdScratch,
+        rng: &mut R,
+    ) {
+        if scratch.cache.is_full_rescan() {
+            self.reconcile_full(now, marking, &scratch.cache, &mut scratch.queue, rng);
+            scratch.cache.clear_changed_timed();
+            return;
+        }
+        scratch.changed.clear();
+        scratch
+            .changed
+            .extend_from_slice(scratch.cache.changed_timed_sorted());
+        scratch.cache.clear_changed_timed();
+        for &slot in &scratch.changed {
+            let slot = slot as usize;
+            let a = self.model.timed_activities()[slot];
+            let enabled = scratch.cache.is_enabled(a);
+            let scheduled = scratch.queue.is_scheduled(slot);
+            if enabled && !scheduled {
+                scratch
+                    .queue
+                    .schedule(now + self.sample_delay(a, marking, rng), slot);
+            } else if !enabled && scheduled {
+                scratch.queue.cancel(slot);
             }
         }
     }
@@ -152,19 +244,40 @@ impl<'m> EventDrivenSimulator<'m> {
         R: Rng + ?Sized,
         O: Observer + ?Sized,
     {
+        let mut scratch = self.take_scratch();
+        let result = self.run_tallied_inner(horizon, rng, observer, &mut scratch);
+        self.scratch.set(Some(scratch));
+        result
+    }
+
+    fn run_tallied_inner<R, O>(
+        &self,
+        horizon: f64,
+        rng: &mut R,
+        observer: &mut O,
+        scratch: &mut EdScratch,
+    ) -> Result<(f64, RunTally), SimError>
+    where
+        R: Rng + ?Sized,
+        O: Observer + ?Sized,
+    {
         let mut tally = RunTally::default();
         let mut marking = self.model.initial_marking().clone();
-        let fired = self.model.stabilize(&mut marking, rng)?;
-        tally.instantaneous += fired.len() as u64;
-        tally.cascaded |= fired.len() >= 2;
+        self.model.prime_cache(&mut scratch.cache, &marking);
+        let fired = self
+            .model
+            .stabilize_cached(&mut marking, rng, &mut scratch.cache)?;
+        tally.instantaneous += fired as u64;
+        tally.cascaded |= fired >= 2;
         observer.on_start(&marking);
-        for a in fired {
+        for &a in scratch.cache.fired() {
             observer.on_event(0.0, a, &marking);
         }
 
-        let mut queue = EventQueue::new(self.model.timed_activities().len());
-        self.reconcile(0.0, &marking, &mut queue, rng);
-        tally.queue_depth_max = queue.live();
+        scratch.queue.clear();
+        self.reconcile_full(0.0, &marking, &scratch.cache, &mut scratch.queue, rng);
+        scratch.cache.clear_changed_timed();
+        tally.queue_depth_max = scratch.queue.live();
         let mut events = 0_u64;
         let mut t = 0.0_f64;
         let watchdog = self.watchdog.map(|w| w.start());
@@ -174,7 +287,7 @@ impl<'m> EventDrivenSimulator<'m> {
                 observer.on_end(t, &marking);
                 return Ok((t, tally));
             }
-            let Some(ev) = queue.pop() else {
+            let Some(ev) = scratch.queue.pop() else {
                 observer.on_end(horizon, &marking);
                 return Ok((horizon, tally));
             };
@@ -184,17 +297,25 @@ impl<'m> EventDrivenSimulator<'m> {
             }
             t = ev.time;
             let a = self.model.timed_activities()[ev.activity];
-            let case = self.model.select_case(a, &marking, rng)?;
-            self.model.fire(a, case, &mut marking);
+            // The popped slot is no longer scheduled, which the marking
+            // alone cannot reveal — flag it for reconciliation.
+            scratch.cache.note_timed_changed(ev.activity);
+            let case = self
+                .model
+                .select_case_cached(a, &marking, rng, &mut scratch.cache)?;
+            self.model
+                .fire_cached(a, case, &mut marking, &mut scratch.cache);
             observer.on_event(t, a, &marking);
-            let fired = self.model.stabilize(&mut marking, rng)?;
-            tally.instantaneous += fired.len() as u64;
-            tally.cascaded |= fired.len() >= 2;
-            for ia in fired {
+            let fired = self
+                .model
+                .stabilize_cached(&mut marking, rng, &mut scratch.cache)?;
+            tally.instantaneous += fired as u64;
+            tally.cascaded |= fired >= 2;
+            for &ia in scratch.cache.fired() {
                 observer.on_event(t, ia, &marking);
             }
-            self.reconcile(t, &marking, &mut queue, rng);
-            tally.queue_depth_max = tally.queue_depth_max.max(queue.live());
+            self.reconcile_step(t, &marking, scratch, rng);
+            tally.queue_depth_max = tally.queue_depth_max.max(scratch.queue.live());
             events += 1;
             crate::watchdog::sim_step_failpoint();
             tally.timed = events;
@@ -273,6 +394,23 @@ impl<'m> EventDrivenSimulator<'m> {
         R: Rng + ?Sized,
         F: Fn(&Marking) -> bool,
     {
+        let mut scratch = self.take_scratch();
+        let result = self.transient_inner(pred, grid, rng, &mut scratch);
+        self.scratch.set(Some(scratch));
+        result
+    }
+
+    fn transient_inner<R, F>(
+        &self,
+        pred: F,
+        grid: &[f64],
+        rng: &mut R,
+        scratch: &mut EdScratch,
+    ) -> Result<Vec<(f64, f64)>, SimError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&Marking) -> bool,
+    {
         let Some(&horizon) = grid.last() else {
             return Err(SimError::Internal {
                 context: "run_transient called with an empty grid".to_owned(),
@@ -283,17 +421,21 @@ impl<'m> EventDrivenSimulator<'m> {
 
         let mut tally = RunTally::default();
         let mut marking = self.model.initial_marking().clone();
-        let fired = self.model.stabilize(&mut marking, rng)?;
-        tally.instantaneous += fired.len() as u64;
-        tally.cascaded |= fired.len() >= 2;
-        let mut queue = EventQueue::new(self.model.timed_activities().len());
-        self.reconcile(0.0, &marking, &mut queue, rng);
-        tally.queue_depth_max = queue.live();
+        self.model.prime_cache(&mut scratch.cache, &marking);
+        let fired = self
+            .model
+            .stabilize_cached(&mut marking, rng, &mut scratch.cache)?;
+        tally.instantaneous += fired as u64;
+        tally.cascaded |= fired >= 2;
+        scratch.queue.clear();
+        self.reconcile_full(0.0, &marking, &scratch.cache, &mut scratch.queue, rng);
+        scratch.cache.clear_changed_timed();
+        tally.queue_depth_max = scratch.queue.live();
         let mut events = 0_u64;
         let watchdog = self.watchdog.map(|w| w.start());
 
         while next < grid.len() {
-            let t_next = queue.peek_time().unwrap_or(f64::INFINITY);
+            let t_next = scratch.queue.peek_time().unwrap_or(f64::INFINITY);
             // Grid instants strictly before the next event see the
             // current marking; an instant tied with an event is also
             // observed pre-fire (right-continuous convention).
@@ -304,19 +446,25 @@ impl<'m> EventDrivenSimulator<'m> {
             if next >= grid.len() || t_next > horizon {
                 break;
             }
-            let Some(ev) = queue.pop() else {
+            let Some(ev) = scratch.queue.pop() else {
                 return Err(SimError::Internal {
                     context: "peeked event vanished from the queue".to_owned(),
                 });
             };
             let a = self.model.timed_activities()[ev.activity];
-            let case = self.model.select_case(a, &marking, rng)?;
-            self.model.fire(a, case, &mut marking);
-            let fired = self.model.stabilize(&mut marking, rng)?;
-            tally.instantaneous += fired.len() as u64;
-            tally.cascaded |= fired.len() >= 2;
-            self.reconcile(ev.time, &marking, &mut queue, rng);
-            tally.queue_depth_max = tally.queue_depth_max.max(queue.live());
+            scratch.cache.note_timed_changed(ev.activity);
+            let case = self
+                .model
+                .select_case_cached(a, &marking, rng, &mut scratch.cache)?;
+            self.model
+                .fire_cached(a, case, &mut marking, &mut scratch.cache);
+            let fired = self
+                .model
+                .stabilize_cached(&mut marking, rng, &mut scratch.cache)?;
+            tally.instantaneous += fired as u64;
+            tally.cascaded |= fired >= 2;
+            self.reconcile_step(ev.time, &marking, scratch, rng);
+            tally.queue_depth_max = tally.queue_depth_max.max(scratch.queue.live());
             events += 1;
             crate::watchdog::sim_step_failpoint();
             tally.timed = events;

@@ -632,11 +632,17 @@ impl Study {
                 let mut chunk_quarantined = 0_u64;
                 for rep in start..end {
                     let mut rng = replication_rng(self.seed, rep);
-                    // The engine holds only configuration (per-run state
-                    // is local to each `run_*` call), so unwinding out
-                    // of a replication cannot corrupt it; recording
-                    // happens out here, after validation, so a panic
-                    // can never leave `local` half-updated either.
+                    // The engine holds configuration plus a parked
+                    // scratch buffer (enablement cache, rate/queue
+                    // storage) that each `run_*` call takes at entry
+                    // and re-parks on exit. Unwinding out of a
+                    // replication at worst *loses* the scratch — the
+                    // next run transparently allocates a fresh one —
+                    // and never leaves stale state behind, because a
+                    // taken scratch is re-primed before use anyway.
+                    // Recording happens out here, after validation, so
+                    // a panic can never leave `local` half-updated
+                    // either.
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         // Chaos hook, deliberately *inside* the unwind
                         // boundary: an injected panic exercises the real

@@ -1,10 +1,11 @@
 //! Gillespie/SSA execution of Markovian SANs with exact
 //! likelihood-ratio importance sampling.
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use ahs_obs::Metrics;
-use ahs_san::{ActivityId, Marking, SanModel};
+use ahs_san::{ActivityId, Delay, EnablementCache, Marking, RateFn, SanModel, Timing};
 use rand::Rng;
 
 use crate::bias::BiasScheme;
@@ -50,11 +51,29 @@ pub struct MarkovSimulator<'m> {
     model: &'m SanModel,
     bias: Option<BiasScheme>,
     max_events: u64,
-    // Scratch identifying which activities are biased (index-aligned
-    // with the model's timed activity list).
+    // The model's timed activity list, cached to iterate without an
+    // indirection; all per-slot tables below are index-aligned with it.
     timed: Vec<ActivityId>,
+    // Constant exponential rate per timed slot, or `None` for
+    // marking-dependent rates (re-evaluated each sweep).
+    const_rates: Vec<Option<f64>>,
+    // Bias multiplier per timed slot, or `None` when unbiased.
+    bias_mult: Vec<Option<f64>>,
+    // Run-to-run scratch (enablement cache + rate table), parked here
+    // between runs so the hot loop allocates nothing. `Cell` keeps the
+    // run methods `&self`; a run that panics simply loses its scratch
+    // and the next run rebuilds it.
+    scratch: Cell<Option<Box<SsaScratch>>>,
+    // Diagnostics/testing: disable incremental enablement tracking.
+    full_rescan: bool,
     metrics: Option<Arc<Metrics>>,
     watchdog: Option<Watchdog>,
+}
+
+/// Per-run mutable state of the SSA hot loop, reused across runs.
+struct SsaScratch {
+    cache: EnablementCache,
+    rates: Vec<(ActivityId, f64, f64)>,
 }
 
 impl<'m> MarkovSimulator<'m> {
@@ -79,11 +98,23 @@ impl<'m> MarkovSimulator<'m> {
                 }
             }
         }
+        let const_rates = model
+            .timed_activities()
+            .iter()
+            .map(|&a| match model.activity(a).timing() {
+                Timing::Timed(Delay::Exponential(RateFn::Const(r))) => Some(*r),
+                _ => None,
+            })
+            .collect();
         Ok(MarkovSimulator {
             model,
             bias: None,
             max_events: DEFAULT_MAX_EVENTS,
             timed: model.timed_activities().to_vec(),
+            const_rates,
+            bias_mult: vec![None; model.timed_activities().len()],
+            scratch: Cell::new(None),
+            full_rescan: false,
             metrics: None,
             watchdog: None,
         })
@@ -93,6 +124,27 @@ impl<'m> MarkovSimulator<'m> {
     #[must_use]
     pub fn with_bias(mut self, bias: BiasScheme) -> Self {
         self.bias = if bias.is_identity() { None } else { Some(bias) };
+        self.bias_mult = match &self.bias {
+            Some(b) => self
+                .timed
+                .iter()
+                .map(|&a| b.is_registered(a).then(|| b.multiplier(a)))
+                .collect(),
+            None => vec![None; self.timed.len()],
+        };
+        self
+    }
+
+    /// Disables (or re-enables) incremental enablement tracking: with
+    /// `true`, every step re-evaluates every timed activity exactly
+    /// like the pre-cache executor. Results are bitwise identical
+    /// either way — this is a diagnostics/testing knob, exercised by
+    /// the equivalence test tier.
+    #[must_use]
+    pub fn with_full_rescan(mut self, on: bool) -> Self {
+        self.full_rescan = on;
+        // Any parked cache was built under the previous mode.
+        self.scratch = Cell::new(None);
         self
     }
 
@@ -132,6 +184,22 @@ impl<'m> MarkovSimulator<'m> {
             m.record_run(timed, instantaneous, cascaded);
             m.record_weight(weight);
         }
+    }
+
+    /// Retrieves the parked scratch or builds a fresh one (first run,
+    /// or the previous run panicked mid-flight).
+    fn take_scratch(&self) -> Box<SsaScratch> {
+        if let Some(s) = self.scratch.take() {
+            return s;
+        }
+        let mut cache = self.model.new_cache();
+        if self.full_rescan {
+            cache.force_full_rescan();
+        }
+        Box::new(SsaScratch {
+            cache,
+            rates: Vec::with_capacity(self.timed.len()),
+        })
     }
 
     fn rate_of(&self, a: ActivityId, m: &Marking) -> Result<f64, SimError> {
@@ -208,12 +276,34 @@ impl<'m> MarkovSimulator<'m> {
         R: Rng + ?Sized,
         F: Fn(&Marking) -> bool,
     {
+        let mut scratch = self.take_scratch();
+        let result = self.first_passage_inner(start, t0, target, horizon, rng, &mut scratch);
+        self.scratch.set(Some(scratch));
+        result
+    }
+
+    fn first_passage_inner<R, F>(
+        &self,
+        start: Marking,
+        t0: f64,
+        target: F,
+        horizon: f64,
+        rng: &mut R,
+        scratch: &mut SsaScratch,
+    ) -> Result<(RunOutcome, Marking), SimError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&Marking) -> bool,
+    {
         assert!(
             t0.is_finite() && t0 >= 0.0 && t0 <= horizon,
             "start time {t0} must lie in [0, {horizon}]"
         );
         let mut marking = start;
-        let mut instantaneous = self.model.stabilize(&mut marking, rng)?.len() as u64;
+        self.model.prime_cache(&mut scratch.cache, &marking);
+        let mut instantaneous =
+            self.model
+                .stabilize_cached(&mut marking, rng, &mut scratch.cache)? as u64;
         let mut cascaded = instantaneous >= 2;
         let mut t = t0;
         let mut log_lr = 0.0_f64;
@@ -235,7 +325,8 @@ impl<'m> MarkovSimulator<'m> {
         }
 
         loop {
-            let (total_true, total_biased, rates) = self.enabled_rates(&marking)?;
+            let (total_true, total_biased) =
+                self.enabled_rates(&marking, &scratch.cache, &mut scratch.rates)?;
             if total_biased <= 0.0 {
                 // Deadlock: nothing can ever happen again.
                 let w = log_lr.exp();
@@ -269,15 +360,20 @@ impl<'m> MarkovSimulator<'m> {
                 ));
             }
             let (a, r_true, r_biased) =
-                pick_weighted(&rates, total_biased, rng).ok_or_else(empty_rate_table)?;
+                pick_weighted(&scratch.rates, total_biased, rng).ok_or_else(empty_rate_table)?;
             log_lr += (r_true / r_biased).ln() - (total_true - total_biased) * tau;
             t += tau;
 
-            let case = self.model.select_case(a, &marking, rng)?;
-            self.model.fire(a, case, &mut marking);
-            let fired = self.model.stabilize(&mut marking, rng)?;
-            instantaneous += fired.len() as u64;
-            cascaded |= fired.len() >= 2;
+            let case = self
+                .model
+                .select_case_cached(a, &marking, rng, &mut scratch.cache)?;
+            self.model
+                .fire_cached(a, case, &mut marking, &mut scratch.cache);
+            let fired = self
+                .model
+                .stabilize_cached(&mut marking, rng, &mut scratch.cache)?;
+            instantaneous += fired as u64;
+            cascaded |= fired >= 2;
             events += 1;
             crate::watchdog::sim_step_failpoint();
             if events > self.max_events {
@@ -326,6 +422,23 @@ impl<'m> MarkovSimulator<'m> {
         R: Rng + ?Sized,
         F: Fn(&Marking) -> bool,
     {
+        let mut scratch = self.take_scratch();
+        let result = self.transient_inner(pred, grid, rng, &mut scratch);
+        self.scratch.set(Some(scratch));
+        result
+    }
+
+    fn transient_inner<R, F>(
+        &self,
+        pred: F,
+        grid: &[f64],
+        rng: &mut R,
+        scratch: &mut SsaScratch,
+    ) -> Result<Vec<(f64, f64)>, SimError>
+    where
+        R: Rng + ?Sized,
+        F: Fn(&Marking) -> bool,
+    {
         let Some(&horizon) = grid.last() else {
             return Err(SimError::Internal {
                 context: "run_transient called with an empty grid".to_owned(),
@@ -335,7 +448,10 @@ impl<'m> MarkovSimulator<'m> {
         let mut next = 0_usize;
 
         let mut marking = self.model.initial_marking().clone();
-        let mut instantaneous = self.model.stabilize(&mut marking, rng)?.len() as u64;
+        self.model.prime_cache(&mut scratch.cache, &marking);
+        let mut instantaneous =
+            self.model
+                .stabilize_cached(&mut marking, rng, &mut scratch.cache)? as u64;
         let mut cascaded = instantaneous >= 2;
         let mut t = 0.0_f64;
         let mut log_lr = 0.0_f64;
@@ -343,7 +459,8 @@ impl<'m> MarkovSimulator<'m> {
         let watchdog = self.watchdog.map(|w| w.start());
 
         while next < grid.len() {
-            let (total_true, total_biased, rates) = self.enabled_rates(&marking)?;
+            let (total_true, total_biased) =
+                self.enabled_rates(&marking, &scratch.cache, &mut scratch.rates)?;
             let t_next_event = if total_biased > 0.0 {
                 t + sample_exp(total_biased, rng)
             } else {
@@ -362,16 +479,21 @@ impl<'m> MarkovSimulator<'m> {
             }
 
             let (a, r_true, r_biased) =
-                pick_weighted(&rates, total_biased, rng).ok_or_else(empty_rate_table)?;
+                pick_weighted(&scratch.rates, total_biased, rng).ok_or_else(empty_rate_table)?;
             let tau = t_next_event - t;
             log_lr += (r_true / r_biased).ln() - (total_true - total_biased) * tau;
             t = t_next_event;
 
-            let case = self.model.select_case(a, &marking, rng)?;
-            self.model.fire(a, case, &mut marking);
-            let fired = self.model.stabilize(&mut marking, rng)?;
-            instantaneous += fired.len() as u64;
-            cascaded |= fired.len() >= 2;
+            let case = self
+                .model
+                .select_case_cached(a, &marking, rng, &mut scratch.cache)?;
+            self.model
+                .fire_cached(a, case, &mut marking, &mut scratch.cache);
+            let fired = self
+                .model
+                .stabilize_cached(&mut marking, rng, &mut scratch.cache)?;
+            instantaneous += fired as u64;
+            cascaded |= fired >= 2;
             events += 1;
             crate::watchdog::sim_step_failpoint();
             if events > self.max_events {
@@ -413,12 +535,32 @@ impl<'m> MarkovSimulator<'m> {
         R: Rng + ?Sized,
         O: Observer + ?Sized,
     {
+        let mut scratch = self.take_scratch();
+        let result = self.observer_inner(horizon, rng, observer, &mut scratch);
+        self.scratch.set(Some(scratch));
+        result
+    }
+
+    fn observer_inner<R, O>(
+        &self,
+        horizon: f64,
+        rng: &mut R,
+        observer: &mut O,
+        scratch: &mut SsaScratch,
+    ) -> Result<f64, SimError>
+    where
+        R: Rng + ?Sized,
+        O: Observer + ?Sized,
+    {
         let mut marking = self.model.initial_marking().clone();
-        let fired = self.model.stabilize(&mut marking, rng)?;
-        let mut instantaneous = fired.len() as u64;
-        let mut cascaded = fired.len() >= 2;
+        self.model.prime_cache(&mut scratch.cache, &marking);
+        let fired = self
+            .model
+            .stabilize_cached(&mut marking, rng, &mut scratch.cache)?;
+        let mut instantaneous = fired as u64;
+        let mut cascaded = fired >= 2;
         observer.on_start(&marking);
-        for a in fired {
+        for &a in scratch.cache.fired() {
             observer.on_event(0.0, a, &marking);
         }
         let mut t = 0.0_f64;
@@ -431,7 +573,7 @@ impl<'m> MarkovSimulator<'m> {
                 self.flush_run(events, instantaneous, cascaded, 1.0);
                 return Ok(t);
             }
-            let (_, total, rates) = self.enabled_rates(&marking)?;
+            let (_, total) = self.enabled_rates(&marking, &scratch.cache, &mut scratch.rates)?;
             if total <= 0.0 {
                 observer.on_end(horizon, &marking);
                 self.flush_run(events, instantaneous, cascaded, 1.0);
@@ -444,14 +586,20 @@ impl<'m> MarkovSimulator<'m> {
                 return Ok(horizon);
             }
             t += tau;
-            let (a, _, _) = pick_weighted(&rates, total, rng).ok_or_else(empty_rate_table)?;
-            let case = self.model.select_case(a, &marking, rng)?;
-            self.model.fire(a, case, &mut marking);
+            let (a, _, _) =
+                pick_weighted(&scratch.rates, total, rng).ok_or_else(empty_rate_table)?;
+            let case = self
+                .model
+                .select_case_cached(a, &marking, rng, &mut scratch.cache)?;
+            self.model
+                .fire_cached(a, case, &mut marking, &mut scratch.cache);
             observer.on_event(t, a, &marking);
-            let fired = self.model.stabilize(&mut marking, rng)?;
-            instantaneous += fired.len() as u64;
-            cascaded |= fired.len() >= 2;
-            for ia in fired {
+            let fired = self
+                .model
+                .stabilize_cached(&mut marking, rng, &mut scratch.cache)?;
+            instantaneous += fired as u64;
+            cascaded |= fired >= 2;
+            for &ia in scratch.cache.fired() {
                 observer.on_event(t, ia, &marking);
             }
             events += 1;
@@ -468,33 +616,45 @@ impl<'m> MarkovSimulator<'m> {
     }
 
     /// Collects `(activity, true rate, biased rate)` for all enabled
-    /// timed activities plus the two totals.
-    #[allow(clippy::type_complexity)]
+    /// timed activities into `rates` (cleared first) and returns the
+    /// two totals.
+    ///
+    /// Enabledness comes from the cache (kept current by the firing
+    /// path), so only enabled activities pay for rate evaluation; the
+    /// totals are still accumulated by sweeping the timed list in slot
+    /// order every step, never updated incrementally, so floating-point
+    /// summation order — and therefore every sampled variate — is
+    /// bitwise identical to the pre-cache executor.
     fn enabled_rates(
         &self,
         marking: &Marking,
-    ) -> Result<(f64, f64, Vec<(ActivityId, f64, f64)>), SimError> {
-        let mut rates = Vec::with_capacity(8);
+        cache: &EnablementCache,
+        rates: &mut Vec<(ActivityId, f64, f64)>,
+    ) -> Result<(f64, f64), SimError> {
+        rates.clear();
         let mut total_true = 0.0;
         let mut total_biased = 0.0;
         let state_factor = self.bias.as_ref().map_or(1.0, |b| b.state_factor(marking));
-        for &a in &self.timed {
-            if !self.model.is_enabled(a, marking) {
+        for (slot, &a) in self.timed.iter().enumerate() {
+            if !cache.is_enabled(a) {
                 continue;
             }
-            let r = self.rate_of(a, marking)?;
+            let r = match self.const_rates[slot] {
+                Some(r) => r,
+                None => self.rate_of(a, marking)?,
+            };
             if r == 0.0 {
                 continue;
             }
-            let rb = match &self.bias {
-                Some(b) if b.is_registered(a) => r * b.multiplier(a) * state_factor,
-                _ => r,
+            let rb = match self.bias_mult[slot] {
+                Some(mult) => r * mult * state_factor,
+                None => r,
             };
             total_true += r;
             total_biased += rb;
             rates.push((a, r, rb));
         }
-        Ok((total_true, total_biased, rates))
+        Ok((total_true, total_biased))
     }
 }
 

@@ -26,7 +26,10 @@
 //! 6. **gate-purity** — gate closures run against instrumented shadow
 //!    markings; purity claims and `touches` declarations are verified,
 //!    not trusted;
-//! 7. **delay-sanity** — degenerate zero-width delays and
+//! 7. **write-set** — the dependency graph's per-activity read/write
+//!    sets (which drive incremental enablement in the simulators) are
+//!    checked against traced `is_enabled` and `fire` executions;
+//! 8. **delay-sanity** — degenerate zero-width delays and
 //!    marking-dependent rates that go non-positive while enabled.
 //!
 //! Reachability is bounded ([`LintConfig::max_states`]); when the
@@ -135,6 +138,7 @@ impl Linter {
         diagnostics.extend(passes::absorbing::run(model, &reach, &self.config));
         diagnostics.extend(passes::confusion::run(model, &reach, &self.config));
         diagnostics.extend(passes::gate_purity::run(model, &reach, &self.config));
+        diagnostics.extend(passes::write_set::run(model, &reach, &self.config));
         diagnostics.extend(passes::delay_sanity::run(model, &reach, &self.config));
         Report::new(model.name(), reach.len(), reach.complete(), diagnostics)
     }

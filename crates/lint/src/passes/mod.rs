@@ -15,15 +15,17 @@ pub(crate) mod dead;
 pub(crate) mod delay_sanity;
 pub(crate) mod gate_purity;
 pub(crate) mod structure;
+pub(crate) mod write_set;
 
 /// Stable identifiers of every pass, in execution order. These are the
 /// `pass` values appearing in reports and are part of the JSON schema.
-pub const PASS_NAMES: [&str; 7] = [
+pub const PASS_NAMES: [&str; 8] = [
     structure::NAME,
     case_prob::NAME,
     dead::NAME,
     absorbing::NAME,
     confusion::NAME,
     gate_purity::NAME,
+    write_set::NAME,
     delay_sanity::NAME,
 ];

@@ -1,0 +1,368 @@
+//! Static activity dependency graph for incremental enablement.
+//!
+//! A firing only changes the marking of the places in the firer's
+//! *write-set*, so only activities whose *read-set* (the places their
+//! enabling condition inspects) intersects that write-set can change
+//! enabledness. This module derives both sets per activity at model
+//! build time and materialises the resulting `affects` relation, which
+//! the executors in `ahs-des` use to re-evaluate a handful of
+//! activities per firing instead of rescanning the whole model (see
+//! `docs/performance.md`).
+//!
+//! Read and write sets come from declared structure only:
+//!
+//! * **read-set** — input-arc places plus the declared reads of every
+//!   attached input gate: the split `reads` when the gate was built
+//!   with `input_gate_touching_split`, otherwise its whole `touches`
+//!   set (over-approximation is safe);
+//! * **write-set** — input-arc places (tokens are removed), input-gate
+//!   declared writes (the split `writes`; empty for pure predicates;
+//!   otherwise the whole `touches` set), every case's output-arc
+//!   places, and every case's output-gate `touches`.
+//!
+//! Gate `touches` declarations are verified against instrumented
+//! executions by the linter (`gate-purity` and `write-set` passes). If
+//! *any* gate attached to an activity lacks a declaration the graph is
+//! **unsound**: the sets cannot be trusted, and every consumer must
+//! fall back to full rescans ([`DependencyGraph::is_sound`] is the
+//! gate). The fallback is behavioural only — results are bitwise
+//! identical either way, slower.
+
+use crate::activity::{Activity, ActivityId};
+use crate::gate::{InputGate, OutputGate};
+use crate::place::PlaceId;
+
+/// Word-parallel place set used during construction.
+#[derive(Clone)]
+struct PlaceBits(Vec<u64>);
+
+impl PlaceBits {
+    fn new(num_places: usize) -> Self {
+        PlaceBits(vec![0; num_places.div_ceil(64)])
+    }
+
+    fn insert(&mut self, p: PlaceId) {
+        self.0[p.index() / 64] |= 1 << (p.index() % 64);
+    }
+
+    fn intersects(&self, other: &PlaceBits) -> bool {
+        self.0.iter().zip(&other.0).any(|(a, b)| a & b != 0)
+    }
+
+    fn to_places(&self) -> Vec<PlaceId> {
+        let mut out = Vec::new();
+        for (w, word) in self.0.iter().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(PlaceId(w * 64 + b));
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// The static dependency structure of a [`SanModel`](crate::SanModel).
+///
+/// Built once by the model constructor; immutable afterwards. The
+/// `affects` relation is stored in compressed sparse rows (one flat
+/// index vector plus offsets), so lookups are a slice borrow with no
+/// per-query allocation.
+pub struct DependencyGraph {
+    sound: bool,
+    /// CSR offsets into `affects`; length `num_activities + 1`.
+    affects_offsets: Vec<u32>,
+    /// Concatenated, ascending lists of affected activity indices.
+    affects: Vec<u32>,
+    /// Per-activity sorted read-set (declared enabling inputs).
+    reads: Vec<Vec<PlaceId>>,
+    /// Per-activity sorted write-set (declared firing outputs).
+    writes: Vec<Vec<PlaceId>>,
+}
+
+impl DependencyGraph {
+    pub(crate) fn build(
+        activities: &[Activity],
+        input_gates: &[InputGate],
+        output_gates: &[OutputGate],
+        num_places: usize,
+    ) -> Self {
+        let n = activities.len();
+        let mut sound = true;
+        let mut read_bits = vec![PlaceBits::new(num_places); n];
+        let mut write_bits = vec![PlaceBits::new(num_places); n];
+
+        for (i, act) in activities.iter().enumerate() {
+            for &(p, _) in &act.input_arcs {
+                read_bits[i].insert(p);
+                write_bits[i].insert(p);
+            }
+            for g in &act.input_gates {
+                let gate = &input_gates[g.0];
+                match (gate.declared_reads(), gate.declared_writes()) {
+                    (Some(reads), Some(writes)) => {
+                        for &p in reads {
+                            read_bits[i].insert(p);
+                        }
+                        for &p in writes {
+                            write_bits[i].insert(p);
+                        }
+                    }
+                    _ => sound = false,
+                }
+            }
+            for case in &act.cases {
+                for &(p, _) in &case.output_arcs {
+                    write_bits[i].insert(p);
+                }
+                for g in &case.output_gates {
+                    match output_gates[g.0].declared_touches() {
+                        Some(places) => {
+                            for &p in places {
+                                write_bits[i].insert(p);
+                            }
+                        }
+                        None => sound = false,
+                    }
+                }
+            }
+        }
+
+        let reads: Vec<Vec<PlaceId>> = read_bits.iter().map(PlaceBits::to_places).collect();
+        let writes: Vec<Vec<PlaceId>> = write_bits.iter().map(PlaceBits::to_places).collect();
+
+        let mut affects_offsets = Vec::with_capacity(n + 1);
+        let mut affects = Vec::new();
+        affects_offsets.push(0);
+        if sound {
+            for (firer, fired_writes) in write_bits.iter().enumerate() {
+                for (reader, reader_reads) in read_bits.iter().enumerate() {
+                    // The firer itself is always affected: its own input
+                    // tokens moved even when the declared sets are empty.
+                    if reader == firer || reader_reads.intersects(fired_writes) {
+                        affects.push(reader as u32);
+                    }
+                }
+                affects_offsets.push(affects.len() as u32);
+            }
+        } else {
+            affects_offsets.resize(n + 1, 0);
+        }
+
+        DependencyGraph {
+            sound,
+            affects_offsets,
+            affects,
+            reads,
+            writes,
+        }
+    }
+
+    /// Whether every gate attached to an activity carries a `touches`
+    /// declaration, making the derived sets trustworthy. When `false`
+    /// the `affects` relation is empty and consumers must rescan.
+    pub fn is_sound(&self) -> bool {
+        self.sound
+    }
+
+    /// Activity indices whose enabledness may change when `a` fires,
+    /// in ascending order (always contains `a` itself). Empty when the
+    /// graph is unsound.
+    pub fn affected_by(&self, a: ActivityId) -> &[u32] {
+        let lo = self.affects_offsets[a.0] as usize;
+        let hi = self.affects_offsets[a.0 + 1] as usize;
+        &self.affects[lo..hi]
+    }
+
+    /// Declared read-set of `a` (sorted): the places its enabling
+    /// condition may inspect.
+    pub fn read_set(&self, a: ActivityId) -> &[PlaceId] {
+        &self.reads[a.0]
+    }
+
+    /// Declared write-set of `a` (sorted): the places a firing of `a`
+    /// may mutate.
+    pub fn write_set(&self, a: ActivityId) -> &[PlaceId] {
+        &self.writes[a.0]
+    }
+
+    /// Total number of `affects` edges (diagnostics: the average list
+    /// length is the expected re-evaluation work per firing).
+    pub fn num_edges(&self) -> usize {
+        self.affects.len()
+    }
+}
+
+impl std::fmt::Debug for DependencyGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DependencyGraph")
+            .field("sound", &self.sound)
+            .field("activities", &(self.affects_offsets.len().max(1) - 1))
+            .field("edges", &self.affects.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Delay, SanBuilder};
+
+    /// Disjoint chains: firings in one chain must not affect the other.
+    #[test]
+    fn disjoint_chains_do_not_affect_each_other() {
+        let mut b = SanBuilder::new("two_chains");
+        let a0 = b.place_with_tokens("a0", 1).unwrap();
+        let a1 = b.place("a1").unwrap();
+        let b0 = b.place_with_tokens("b0", 1).unwrap();
+        let b1 = b.place("b1").unwrap();
+        b.timed_activity("ta", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(a0)
+            .output_place(a1)
+            .build()
+            .unwrap();
+        b.timed_activity("tb", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(b0)
+            .output_place(b1)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let g = model.dependency_graph();
+        assert!(g.is_sound());
+        let ta = model.find_activity("ta").unwrap();
+        let tb = model.find_activity("tb").unwrap();
+        assert_eq!(g.affected_by(ta), &[ta.index() as u32]);
+        assert_eq!(g.affected_by(tb), &[tb.index() as u32]);
+    }
+
+    /// A shared place couples the two activities in both directions.
+    #[test]
+    fn shared_place_couples_activities() {
+        let mut b = SanBuilder::new("coupled");
+        let shared = b.place_with_tokens("shared", 1).unwrap();
+        let out1 = b.place("out1").unwrap();
+        let out2 = b.place("out2").unwrap();
+        b.timed_activity("t1", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(shared)
+            .output_place(out1)
+            .build()
+            .unwrap();
+        b.timed_activity("t2", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(shared)
+            .output_place(out2)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let g = model.dependency_graph();
+        let t1 = model.find_activity("t1").unwrap();
+        let t2 = model.find_activity("t2").unwrap();
+        assert_eq!(g.affected_by(t1), &[t1.index() as u32, t2.index() as u32]);
+        assert!(g.read_set(t1).contains(&shared));
+        assert!(g.write_set(t1).contains(&out1));
+    }
+
+    /// Gate `touches` declarations feed both sets.
+    #[test]
+    fn gate_touches_extend_the_sets() {
+        let mut b = SanBuilder::new("gated");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let flag = b.place_with_tokens("flag", 1).unwrap();
+        let counter = b.place("counter").unwrap();
+        let guard = b.predicate_gate_touching("guard", [flag], move |m| m.is_marked(flag));
+        let bump = b.output_gate_touching("bump", [counter], move |m| {
+            m.add_tokens(counter, 1);
+        });
+        b.timed_activity("t", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .input_gate(guard)
+            .output_place(p)
+            .output_gate(bump)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let g = model.dependency_graph();
+        assert!(g.is_sound());
+        let t = model.find_activity("t").unwrap();
+        assert!(g.read_set(t).contains(&flag));
+        assert!(g.write_set(t).contains(&counter));
+    }
+
+    /// Split declarations keep predicate reads and marking-function
+    /// writes apart: a gate that only *writes* shared bookkeeping does
+    /// not put it in the read-set, and a pure predicate contributes no
+    /// writes at all.
+    #[test]
+    fn split_and_pure_declarations_tighten_the_sets() {
+        let mut b = SanBuilder::new("split");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let q = b.place_with_tokens("q", 1).unwrap();
+        let watched = b.place_with_tokens("watched", 1).unwrap();
+        let ledger = b.place("ledger").unwrap();
+        let split = b.input_gate_touching_split(
+            "split",
+            [watched],
+            [ledger],
+            move |m| m.is_marked(watched),
+            move |m| m.add_tokens(ledger, 1),
+        );
+        b.timed_activity("t_split", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .input_gate(split)
+            .output_place(p)
+            .build()
+            .unwrap();
+        // A pure predicate reading the ledger: affected by `t_split`'s
+        // writes, but its own touches must not count as writes.
+        let audit = b.predicate_gate_touching("audit", [ledger], move |m| m.is_marked(ledger));
+        b.timed_activity("t_audit", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(q)
+            .input_gate(audit)
+            .output_place(q)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let g = model.dependency_graph();
+        assert!(g.is_sound());
+        let t_split = model.find_activity("t_split").unwrap();
+        let t_audit = model.find_activity("t_audit").unwrap();
+        // Split gate: `watched` is read-only, `ledger` write-only.
+        assert!(g.read_set(t_split).contains(&watched));
+        assert!(!g.read_set(t_split).contains(&ledger));
+        assert!(g.write_set(t_split).contains(&ledger));
+        assert!(!g.write_set(t_split).contains(&watched));
+        // Pure predicate: reads the ledger, writes nothing beyond arcs.
+        assert!(g.read_set(t_audit).contains(&ledger));
+        assert!(!g.write_set(t_audit).contains(&ledger));
+        // So the ledger couples t_split -> t_audit but not the reverse.
+        assert!(g.affected_by(t_split).contains(&(t_audit.index() as u32)));
+        assert!(!g.affected_by(t_audit).contains(&(t_split.index() as u32)));
+    }
+
+    /// An undeclared gate makes the graph unsound and empties `affects`.
+    #[test]
+    fn undeclared_gate_is_unsound() {
+        let mut b = SanBuilder::new("undeclared");
+        let p = b.place_with_tokens("p", 1).unwrap();
+        let g = b.predicate_gate("opaque", |_| true);
+        b.timed_activity("t", Delay::exponential(1.0))
+            .unwrap()
+            .input_place(p)
+            .input_gate(g)
+            .output_place(p)
+            .build()
+            .unwrap();
+        let model = b.build().unwrap();
+        let graph = model.dependency_graph();
+        assert!(!graph.is_sound());
+        let t = model.find_activity("t").unwrap();
+        assert!(graph.affected_by(t).is_empty());
+        assert_eq!(graph.num_edges(), 0);
+    }
+}

@@ -40,6 +40,12 @@ pub struct InputGate {
     /// Optional declaration of every place the gate may touch; checked
     /// by the linter's gate-purity pass against an instrumented marking.
     pub(crate) touches: Option<Vec<PlaceId>>,
+    /// Optional refinement of `touches` into (predicate reads, marking
+    /// function writes), declared via
+    /// [`SanBuilder::input_gate_touching_split`](crate::SanBuilder::input_gate_touching_split).
+    /// Tightens the dependency graph: only predicate reads couple this
+    /// gate's activities to other activities' write-sets.
+    pub(crate) split: Option<(Vec<PlaceId>, Vec<PlaceId>)>,
     /// Set for gates built via
     /// [`SanBuilder::predicate_gate`](crate::SanBuilder::predicate_gate):
     /// the marking function is supposed to be the identity, so any write
@@ -66,6 +72,27 @@ impl InputGate {
     /// The places this gate declared it may touch, if declared.
     pub fn declared_touches(&self) -> Option<&[PlaceId]> {
         self.touches.as_deref()
+    }
+
+    /// The places the enabling predicate may read: the split
+    /// declaration when present, otherwise the whole `touches` set.
+    /// `None` means undeclared (the dependency graph is unsound).
+    pub fn declared_reads(&self) -> Option<&[PlaceId]> {
+        match &self.split {
+            Some((reads, _)) => Some(reads),
+            None => self.touches.as_deref(),
+        }
+    }
+
+    /// The places the marking function may write: the split declaration
+    /// when present; empty for a pure predicate (identity function);
+    /// otherwise the whole `touches` set. `None` means undeclared.
+    pub fn declared_writes(&self) -> Option<&[PlaceId]> {
+        match &self.split {
+            Some((_, writes)) => Some(writes),
+            None if self.pure_predicate => Some(&[]),
+            None => self.touches.as_deref(),
+        }
     }
 
     /// Whether the gate was declared as a pure predicate (identity
@@ -139,6 +166,7 @@ mod tests {
             predicate: Box::new(|m| m.tokens(PlaceId(0)) >= 2),
             function: Box::new(|m| m.set_tokens(PlaceId(0), 0)),
             touches: None,
+            split: None,
             pure_predicate: false,
         };
         let mut m = one_place_marking(3);

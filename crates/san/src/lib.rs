@@ -57,6 +57,8 @@ mod activity;
 mod analysis;
 mod builder;
 mod delay;
+mod depgraph;
+mod enablement;
 mod error;
 mod gate;
 mod marking;
@@ -68,6 +70,8 @@ pub use activity::{Activity, ActivityId, Case, CaseProb, Timing};
 pub use analysis::{ConservationViolation, StructuralReport};
 pub use builder::{ActivityBuilder, SanBuilder};
 pub use delay::{Delay, RateFn};
+pub use depgraph::DependencyGraph;
+pub use enablement::{force_full_rescan_enabled, set_force_full_rescan, EnablementCache};
 pub use error::SanError;
 pub use gate::{InputGate, InputGateId, OutputGate, OutputGateId};
 pub use marking::{Marking, PlaceValue};

@@ -3,6 +3,11 @@
 use crate::place::{PlaceDecl, PlaceId, PlaceKind};
 use crate::trace;
 
+/// Tag bit marking a slot as an extended-place redirect. Token counts
+/// are capped just below it, so the bit unambiguously distinguishes a
+/// count from an array index.
+const EXT_TAG: u64 = 1 << 63;
+
 /// The contents of one place.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum PlaceValue {
@@ -12,10 +17,19 @@ pub enum PlaceValue {
     Array(Vec<i64>),
 }
 
-/// A complete marking: one [`PlaceValue`] per declared place.
+/// A complete marking: the token count or array contents of every
+/// declared place.
 ///
 /// Markings are plain data — hashable and comparable — so they can serve
 /// directly as CTMC states during state-space exploration.
+///
+/// Storage is a dense `Vec<u64>` with one slot per place. Simple places
+/// store their token count directly — the overwhelmingly common case in
+/// the paper's models, and the layout the simulators' hot loop reads —
+/// while extended places store a tagged index into a side table of
+/// arrays. Indices are assigned in declaration order, so equal markings
+/// of the same model compare equal slot-for-slot and the derived
+/// `Eq`/`Hash` are sound.
 ///
 /// Accessors take [`PlaceId`]s handed out by the builder. The `tokens` /
 /// `set_tokens` family addresses simple places; `array` / `array_mut`
@@ -24,30 +38,40 @@ pub enum PlaceValue {
 /// runtime condition.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Marking {
-    values: Vec<PlaceValue>,
+    /// Per-place token count, or `EXT_TAG | index` into `arrays`.
+    slots: Vec<u64>,
+    /// Extended-place contents, in declaration order.
+    arrays: Vec<Vec<i64>>,
 }
 
 impl Marking {
     /// Builds the initial marking from declarations.
     pub(crate) fn from_decls(decls: &[PlaceDecl]) -> Self {
-        let values = decls
-            .iter()
-            .map(|d| match d.kind {
-                PlaceKind::Simple => PlaceValue::Tokens(d.initial_tokens),
-                PlaceKind::Extended { .. } => PlaceValue::Array(d.initial_array.clone()),
-            })
-            .collect();
-        Marking { values }
+        let mut slots = Vec::with_capacity(decls.len());
+        let mut arrays = Vec::new();
+        for d in decls {
+            match d.kind {
+                PlaceKind::Simple => {
+                    assert!(d.initial_tokens < EXT_TAG, "token count overflow");
+                    slots.push(d.initial_tokens);
+                }
+                PlaceKind::Extended { .. } => {
+                    slots.push(EXT_TAG | arrays.len() as u64);
+                    arrays.push(d.initial_array.clone());
+                }
+            }
+        }
+        Marking { slots, arrays }
     }
 
     /// Number of places.
     pub fn len(&self) -> usize {
-        self.values.len()
+        self.slots.len()
     }
 
     /// Whether the marking covers zero places.
     pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
+        self.slots.is_empty()
     }
 
     /// Raw value of a place.
@@ -55,9 +79,14 @@ impl Marking {
     /// # Panics
     ///
     /// Panics if `p` is out of bounds.
-    pub fn value(&self, p: PlaceId) -> &PlaceValue {
+    pub fn value(&self, p: PlaceId) -> PlaceValue {
         trace::note_read(p);
-        &self.values[p.0]
+        let slot = self.slots[p.0];
+        if slot & EXT_TAG == 0 {
+            PlaceValue::Tokens(slot)
+        } else {
+            PlaceValue::Array(self.arrays[(slot & !EXT_TAG) as usize].clone())
+        }
     }
 
     /// Token count of a simple place.
@@ -65,31 +94,35 @@ impl Marking {
     /// # Panics
     ///
     /// Panics if `p` is out of bounds or refers to an extended place.
+    #[inline]
     pub fn tokens(&self, p: PlaceId) -> u64 {
         trace::note_read(p);
-        match &self.values[p.0] {
-            PlaceValue::Tokens(n) => *n,
-            PlaceValue::Array(_) => panic!(
-                "place {} is extended; use array()/array_mut() to access it",
-                p.0
-            ),
-        }
+        let slot = self.slots[p.0];
+        assert!(
+            slot & EXT_TAG == 0,
+            "place {} is extended; use array()/array_mut() to access it",
+            p.0
+        );
+        slot
     }
 
     /// Sets the token count of a simple place.
     ///
     /// # Panics
     ///
-    /// Panics if `p` is out of bounds or refers to an extended place.
+    /// Panics if `p` is out of bounds, refers to an extended place, or
+    /// `n` exceeds the representable token range.
+    #[inline]
     pub fn set_tokens(&mut self, p: PlaceId, n: u64) {
         trace::note_write(p);
-        match &mut self.values[p.0] {
-            PlaceValue::Tokens(t) => *t = n,
-            PlaceValue::Array(_) => panic!(
-                "place {} is extended; use array()/array_mut() to access it",
-                p.0
-            ),
-        }
+        let slot = &mut self.slots[p.0];
+        assert!(
+            *slot & EXT_TAG == 0,
+            "place {} is extended; use array()/array_mut() to access it",
+            p.0
+        );
+        assert!(n < EXT_TAG, "token count overflow");
+        *slot = n;
     }
 
     /// Adds tokens to a simple place.
@@ -126,13 +159,13 @@ impl Marking {
     /// Panics if `p` is out of bounds or refers to a simple place.
     pub fn array(&self, p: PlaceId) -> &[i64] {
         trace::note_read(p);
-        match &self.values[p.0] {
-            PlaceValue::Array(a) => a,
-            PlaceValue::Tokens(_) => panic!(
-                "place {} is simple; use tokens()/set_tokens() to access it",
-                p.0
-            ),
-        }
+        let slot = self.slots[p.0];
+        assert!(
+            slot & EXT_TAG != 0,
+            "place {} is simple; use tokens()/set_tokens() to access it",
+            p.0
+        );
+        &self.arrays[(slot & !EXT_TAG) as usize]
     }
 
     /// Mutable contents of an extended place.
@@ -145,13 +178,13 @@ impl Marking {
         // the caller can do either and the trace must over-approximate.
         trace::note_read(p);
         trace::note_write(p);
-        match &mut self.values[p.0] {
-            PlaceValue::Array(a) => a,
-            PlaceValue::Tokens(_) => panic!(
-                "place {} is simple; use tokens()/set_tokens() to access it",
-                p.0
-            ),
-        }
+        let slot = self.slots[p.0];
+        assert!(
+            slot & EXT_TAG != 0,
+            "place {} is simple; use tokens()/set_tokens() to access it",
+            p.0
+        );
+        &mut self.arrays[(slot & !EXT_TAG) as usize]
     }
 
     /// Whether a place is marked: a simple place holding at least one
@@ -162,23 +195,22 @@ impl Marking {
     /// # Panics
     ///
     /// Panics if `p` is out of bounds.
+    #[inline]
     pub fn is_marked(&self, p: PlaceId) -> bool {
         trace::note_read(p);
-        match &self.values[p.0] {
-            PlaceValue::Tokens(n) => *n > 0,
-            PlaceValue::Array(a) => a.iter().any(|&v| v != 0),
+        let slot = self.slots[p.0];
+        if slot & EXT_TAG == 0 {
+            slot > 0
+        } else {
+            self.arrays[(slot & !EXT_TAG) as usize]
+                .iter()
+                .any(|&v| v != 0)
         }
     }
 
     /// Total tokens across all simple places (diagnostic).
     pub fn total_tokens(&self) -> u64 {
-        self.values
-            .iter()
-            .map(|v| match v {
-                PlaceValue::Tokens(n) => *n,
-                PlaceValue::Array(_) => 0,
-            })
-            .sum()
+        self.slots.iter().filter(|&&slot| slot & EXT_TAG == 0).sum()
     }
 }
 
@@ -233,6 +265,20 @@ mod tests {
     fn kind_mismatch_panics() {
         let m = Marking::from_decls(&decls());
         let _ = m.tokens(PlaceId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "token count overflow")]
+    fn token_overflow_panics() {
+        let mut m = Marking::from_decls(&decls());
+        m.set_tokens(PlaceId(0), u64::MAX / 2 + 1);
+    }
+
+    #[test]
+    fn value_reports_both_kinds() {
+        let m = Marking::from_decls(&decls());
+        assert_eq!(m.value(PlaceId(0)), PlaceValue::Tokens(2));
+        assert_eq!(m.value(PlaceId(1)), PlaceValue::Array(vec![1, -2, 3]));
     }
 
     #[test]

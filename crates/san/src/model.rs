@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use crate::activity::{Activity, ActivityId, Timing};
+use crate::depgraph::DependencyGraph;
 use crate::error::SanError;
 use crate::gate::{InputGate, InputGateId, OutputGate, OutputGateId};
 use crate::marking::Marking;
@@ -12,7 +13,7 @@ use crate::place::{PlaceDecl, PlaceId};
 
 /// Maximum instantaneous firings in one stabilization cascade before the
 /// model is declared livelocked.
-const MAX_INSTANT_FIRINGS: usize = 100_000;
+pub(crate) const MAX_INSTANT_FIRINGS: usize = 100_000;
 
 /// A finalized stochastic activity network.
 ///
@@ -44,6 +45,9 @@ pub struct SanModel {
     initial: Marking,
     timed: Vec<ActivityId>,
     instantaneous: Vec<ActivityId>,
+    depgraph: DependencyGraph,
+    place_lookup: HashMap<String, usize>,
+    activity_lookup: HashMap<String, usize>,
 }
 
 impl SanModel {
@@ -64,6 +68,18 @@ impl SanModel {
                 timed.push(ActivityId(i));
             }
         }
+        let depgraph =
+            DependencyGraph::build(&activities, &input_gates, &output_gates, places.len());
+        let place_lookup = places
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), i))
+            .collect();
+        let activity_lookup = activities
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name.clone(), i))
+            .collect();
         SanModel {
             name,
             places,
@@ -73,7 +89,17 @@ impl SanModel {
             initial,
             timed,
             instantaneous,
+            depgraph,
+            place_lookup,
+            activity_lookup,
         }
+    }
+
+    /// The model's static dependency graph: declared read/write sets per
+    /// activity and the derived `affects` relation used for incremental
+    /// enablement (see the `enablement` module and `docs/performance.md`).
+    pub fn dependency_graph(&self) -> &DependencyGraph {
+        &self.depgraph
     }
 
     /// Model name.
@@ -167,17 +193,14 @@ impl SanModel {
         &self.initial
     }
 
-    /// Looks up a place handle by fully-qualified name.
+    /// Looks up a place handle by fully-qualified name (O(1)).
     pub fn find_place(&self, name: &str) -> Option<PlaceId> {
-        self.places.iter().position(|d| d.name == name).map(PlaceId)
+        self.place_lookup.get(name).map(|&i| PlaceId(i))
     }
 
-    /// Looks up an activity handle by fully-qualified name.
+    /// Looks up an activity handle by fully-qualified name (O(1)).
     pub fn find_activity(&self, name: &str) -> Option<ActivityId> {
-        self.activities
-            .iter()
-            .position(|a| a.name == name)
-            .map(ActivityId)
+        self.activity_lookup.get(name).map(|&i| ActivityId(i))
     }
 
     /// Whether activity `a` is enabled in `marking`.
@@ -263,8 +286,28 @@ impl SanModel {
         a: ActivityId,
         marking: &Marking,
     ) -> Result<Vec<f64>, SanError> {
+        let mut probs = Vec::new();
+        self.case_probabilities_into(a, marking, &mut probs)?;
+        Ok(probs)
+    }
+
+    /// Evaluates the case distribution of `a` in `marking` into a
+    /// caller-owned buffer (cleared first), avoiding the allocation of
+    /// [`case_probabilities`](SanModel::case_probabilities).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidCaseDistribution`] if the evaluated
+    /// probabilities are negative or do not sum to 1 within 1e-6.
+    pub fn case_probabilities_into(
+        &self,
+        a: ActivityId,
+        marking: &Marking,
+        probs: &mut Vec<f64>,
+    ) -> Result<(), SanError> {
         let act = &self.activities[a.0];
-        let probs: Vec<f64> = act.cases.iter().map(|c| c.probability(marking)).collect();
+        probs.clear();
+        probs.extend(act.cases.iter().map(|c| c.probability(marking)));
         let sum: f64 = probs.iter().sum();
         if probs.iter().any(|p| !p.is_finite() || *p < 0.0) || (sum - 1.0).abs() > 1e-6 {
             return Err(SanError::InvalidCaseDistribution {
@@ -272,7 +315,7 @@ impl SanModel {
                 sum,
             });
         }
-        Ok(probs)
+        Ok(())
     }
 
     /// Randomly selects a case index according to the case distribution.
@@ -287,7 +330,28 @@ impl SanModel {
         marking: &Marking,
         rng: &mut R,
     ) -> Result<usize, SanError> {
-        let probs = self.case_probabilities(a, marking)?;
+        let mut probs = Vec::new();
+        self.select_case_with(a, marking, rng, &mut probs)
+    }
+
+    /// Randomly selects a case index using a caller-owned probability
+    /// buffer, avoiding the per-call allocation of
+    /// [`select_case`](SanModel::select_case). Consumes randomness from
+    /// `rng` in exactly the same pattern (one variate iff the activity
+    /// has more than one case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::InvalidCaseDistribution`] if the distribution
+    /// is invalid in this marking.
+    pub fn select_case_with<R: Rng + ?Sized>(
+        &self,
+        a: ActivityId,
+        marking: &Marking,
+        rng: &mut R,
+        probs: &mut Vec<f64>,
+    ) -> Result<usize, SanError> {
+        self.case_probabilities_into(a, marking, probs)?;
         if probs.len() == 1 {
             return Ok(0);
         }

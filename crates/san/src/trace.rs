@@ -12,11 +12,14 @@
 //! gate's declared places (see
 //! [`SanBuilder::input_gate_touching`](crate::SanBuilder::input_gate_touching)).
 //!
-//! Recording is thread-local and costs one thread-local flag check per
-//! accessor call when inactive.
+//! Recording is thread-local. When no thread is recording — the
+//! simulators' hot loop — each accessor call costs a single relaxed
+//! atomic load of a process-wide counter, so tracing support adds no
+//! measurable overhead to simulation.
 
 use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::place::PlaceId;
 
@@ -64,6 +67,36 @@ thread_local! {
     static ACTIVE: RefCell<Option<AccessTrace>> = const { RefCell::new(None) };
 }
 
+/// Number of threads currently inside [`record`]. The accessors check
+/// this (one relaxed load) before touching thread-local storage, so the
+/// common not-recording case stays branch-predictable and cheap.
+static RECORDING: AtomicUsize = AtomicUsize::new(0);
+
+/// Restores the previous per-thread trace and the global counter even if
+/// the traced closure panics.
+struct RecordGuard {
+    previous: Option<AccessTrace>,
+    restored: bool,
+}
+
+impl RecordGuard {
+    fn finish(&mut self) -> AccessTrace {
+        let trace = ACTIVE.with(|slot| slot.replace(self.previous.take()));
+        RECORDING.fetch_sub(1, Ordering::SeqCst);
+        self.restored = true;
+        trace.expect("access trace vanished while recording")
+    }
+}
+
+impl Drop for RecordGuard {
+    fn drop(&mut self) {
+        if !self.restored {
+            ACTIVE.with(|slot| slot.replace(self.previous.take()));
+            RECORDING.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
 /// Runs `f` with access recording enabled on this thread and returns its
 /// result together with the observed [`AccessTrace`].
 ///
@@ -71,17 +104,22 @@ thread_local! {
 /// trace and the outer trace resumes (without the inner accesses) when
 /// the inner call returns.
 pub fn record<R>(f: impl FnOnce() -> R) -> (R, AccessTrace) {
+    RECORDING.fetch_add(1, Ordering::SeqCst);
     let previous = ACTIVE.with(|slot| slot.replace(Some(AccessTrace::default())));
+    let mut guard = RecordGuard {
+        previous,
+        restored: false,
+    };
     let result = f();
-    let trace = ACTIVE.with(|slot| slot.replace(previous));
-    (
-        result,
-        trace.expect("access trace vanished while recording"),
-    )
+    let trace = guard.finish();
+    (result, trace)
 }
 
 #[inline]
 pub(crate) fn note_read(p: PlaceId) {
+    if RECORDING.load(Ordering::Relaxed) == 0 {
+        return;
+    }
     ACTIVE.with(|slot| {
         if let Some(trace) = slot.borrow_mut().as_mut() {
             trace.reads.insert(p);
@@ -91,6 +129,9 @@ pub(crate) fn note_read(p: PlaceId) {
 
 #[inline]
 pub(crate) fn note_write(p: PlaceId) {
+    if RECORDING.load(Ordering::Relaxed) == 0 {
+        return;
+    }
     ACTIVE.with(|slot| {
         if let Some(trace) = slot.borrow_mut().as_mut() {
             trace.writes.insert(p);
