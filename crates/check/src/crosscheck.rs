@@ -1,0 +1,132 @@
+//! Cross-validation of the checker's exploration against the CTMC
+//! generator.
+//!
+//! `ahs-ctmc`'s [`StateSpace`] explorer and this crate's
+//! [`StateGraph`] walk the same model through two *independent* code
+//! paths: the CTMC adapter folds instantaneous cascades into
+//! probability-weighted stable→stable rates, while the checker records
+//! every micro step. On a Markovian model with strictly positive rates
+//! they must agree on (a) the set of stable markings and (b) the
+//! stable→stable transition support — the checker derives the latter
+//! by following each timed edge through the instantaneous closure to
+//! the stable markings it can end in. A mismatch means one of the two
+//! engines mis-implements the shared SAN semantics; agreement is a
+//! strong mutual audit.
+//!
+//! Caveat: the CTMC explorer drops transitions whose rate evaluates to
+//! zero in the source marking, while the checker (which abstracts
+//! probabilities and rates to their support) keeps them. The paper's
+//! models have strictly positive rates everywhere — the `delay-sanity`
+//! lint pass guards this — so the comparison is exact.
+
+use std::collections::HashSet;
+
+use ahs_ctmc::{SanMarkovModel, StateSpace};
+use ahs_san::{Marking, SanModel};
+
+use crate::graph::StateGraph;
+use crate::CheckError;
+
+/// The outcome of a cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CrossCheck {
+    /// Stable markings in the checker's graph.
+    pub checker_stable_states: usize,
+    /// States in the CTMC exploration (stable by construction).
+    pub ctmc_states: usize,
+    /// Whether the two stable-marking sets are identical.
+    pub state_sets_match: bool,
+    /// Distinct stable→stable transition pairs derived from the
+    /// checker's micro-step graph (self-loops excluded, as the CTMC
+    /// drops them).
+    pub checker_transition_pairs: usize,
+    /// Distinct transition pairs in the CTMC generator.
+    pub ctmc_transition_pairs: usize,
+    /// Whether the two transition-pair sets are identical.
+    pub transitions_match: bool,
+}
+
+impl CrossCheck {
+    /// Whether state sets and transition structure both agree.
+    pub fn matches(&self) -> bool {
+        self.state_sets_match && self.transitions_match
+    }
+}
+
+/// Cross-validates a *complete* checker graph against an independent
+/// CTMC exploration of the same model.
+///
+/// # Errors
+///
+/// Returns [`CheckError::IncompleteGraph`] when the graph was
+/// truncated (set comparison would be meaningless) and
+/// [`CheckError::Ctmc`] when the CTMC side cannot explore the model
+/// (non-Markovian delays, budget exceeded, invalid rates).
+pub fn cross_validate(
+    model: &SanModel,
+    graph: &StateGraph,
+    max_states: usize,
+) -> Result<CrossCheck, CheckError> {
+    if !graph.complete() {
+        return Err(CheckError::IncompleteGraph {
+            states: graph.len(),
+        });
+    }
+    let adapter = SanMarkovModel::new(model).map_err(CheckError::Ctmc)?;
+    let space = StateSpace::explore(&adapter, max_states).map_err(CheckError::Ctmc)?;
+
+    let checker_stable: HashSet<&Marking> = (0..graph.len())
+        .filter(|&i| graph.is_stable(i))
+        .map(|i| graph.marking(i))
+        .collect();
+    let ctmc_states: HashSet<&Marking> = space.states().iter().collect();
+    let state_sets_match = checker_stable == ctmc_states;
+
+    // Stable→stable support derived from the micro-step graph: follow
+    // each timed edge of a stable state through the instantaneous
+    // closure to every stable marking it can end in.
+    let mut checker_pairs: HashSet<(&Marking, &Marking)> = HashSet::new();
+    let mut closure: Vec<u32> = Vec::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    for i in 0..graph.len() {
+        if !graph.is_stable(i) {
+            continue;
+        }
+        for e in graph.successors(i) {
+            closure.clear();
+            seen.clear();
+            closure.push(e.target);
+            seen.insert(e.target);
+            let mut head = 0;
+            while head < closure.len() {
+                let j = closure[head] as usize;
+                head += 1;
+                if graph.is_stable(j) {
+                    if j != i {
+                        checker_pairs.insert((graph.marking(i), graph.marking(j)));
+                    }
+                    continue;
+                }
+                for e2 in graph.successors(j) {
+                    if seen.insert(e2.target) {
+                        closure.push(e2.target);
+                    }
+                }
+            }
+        }
+    }
+
+    let ctmc_pairs: HashSet<(&Marking, &Marking)> = space
+        .edges()
+        .map(|(r, c, _)| (&space.states()[r], &space.states()[c]))
+        .collect();
+
+    Ok(CrossCheck {
+        checker_stable_states: checker_stable.len(),
+        ctmc_states: ctmc_states.len(),
+        state_sets_match,
+        checker_transition_pairs: checker_pairs.len(),
+        ctmc_transition_pairs: ctmc_pairs.len(),
+        transitions_match: checker_pairs == ctmc_pairs,
+    })
+}

@@ -1,0 +1,105 @@
+//! Small, self-contained fixture models exercising each property.
+//!
+//! `escalation_chain` is a miniature of the paper's per-vehicle failure
+//! escalation: a failure mode either recovers or escalates to a crash
+//! state that ends in the `v_KO` sink. The `broken_*` variants each
+//! sabotage exactly one aspect of it, so every property has a fixture
+//! that trips it — and a counterexample trace to replay.
+
+use ahs_san::{Delay, SanBuilder, SanModel};
+
+/// Probability that a failure mode escalates rather than recovers.
+const P_ESCALATE: f64 = 0.7;
+
+fn chain(escalation_arc: bool, crash_arc: bool) -> SanModel {
+    let mut b = SanBuilder::new(if escalation_arc && crash_arc {
+        "escalation_chain"
+    } else if crash_arc {
+        "broken_escalation"
+    } else {
+        "broken_livelock"
+    });
+    let v_ok = b.place_with_tokens("v_OK", 1).unwrap();
+    let fm = b.place("FM_active").unwrap();
+    let cs = b.place("CS_active").unwrap();
+    let v_ko = b.place("v_KO").unwrap();
+
+    b.timed_activity("fail", Delay::exponential(1e-3))
+        .unwrap()
+        .input_place(v_ok)
+        .output_place(fm)
+        .build()
+        .unwrap();
+
+    // The escalation branch point: an instantaneous activity routing
+    // the failure mode to the crash state or back to OK. The broken
+    // variant drops the escalation output arc — the token vanishes,
+    // leaving a non-allowlisted absorbing (empty) marking.
+    let esc = b.instant_activity("escalate", 0, 1.0).unwrap();
+    let esc = esc.input_place(fm).case(P_ESCALATE);
+    let esc = if escalation_arc {
+        esc.output_place(cs)
+    } else {
+        esc
+    };
+    esc.case(1.0 - P_ESCALATE)
+        .output_place(v_ok)
+        .build()
+        .unwrap();
+
+    if crash_arc {
+        b.timed_activity("crash", Delay::exponential(0.1))
+            .unwrap()
+            .input_place(cs)
+            .output_place(v_ko)
+            .build()
+            .unwrap();
+    }
+    b.timed_activity("recover", Delay::exponential(1.0))
+        .unwrap()
+        .input_place(cs)
+        .output_place(v_ok)
+        .build()
+        .unwrap();
+    b.build().unwrap()
+}
+
+/// The clean escalation chain: `v_OK --fail--> FM` which instantly
+/// escalates to `CS` (p = 0.7) or recovers (p = 0.3); `CS` either
+/// crashes into the `v_KO` sink or recovers. Checks clean on all four
+/// properties with the `v_KO` allowlist.
+pub fn escalation_chain() -> SanModel {
+    chain(true, true)
+}
+
+/// The escalation output arc is removed: escalating drops the token,
+/// stranding the model in an empty absorbing marking that no allowlist
+/// covers — an **absorption** violation (and, downstream, dead
+/// `crash`/`recover` activities).
+pub fn broken_escalation() -> SanModel {
+    chain(false, true)
+}
+
+/// The crash arc is removed: `CS` can only recover, so no state ever
+/// reaches `v_KO` — every state is an **escalation-soundness**
+/// violation (the chain livelocks below its sink).
+pub fn broken_livelock() -> SanModel {
+    chain(true, false)
+}
+
+/// A one-activity pump that grows a counter place without bound:
+/// exploration truncates at any budget, and **boundedness** trips as
+/// soon as the counter passes the configured capacity.
+pub fn unbounded_counter() -> SanModel {
+    let mut b = SanBuilder::new("unbounded_counter");
+    let src = b.place_with_tokens("src", 1).unwrap();
+    let counter = b.place("counter").unwrap();
+    b.timed_activity("pump", Delay::exponential(1.0))
+        .unwrap()
+        .input_place(src)
+        .output_place(src)
+        .output_place(counter)
+        .build()
+        .unwrap();
+    b.build().unwrap()
+}

@@ -1,0 +1,295 @@
+//! Exhaustive exploration of a SAN's micro-step marking graph.
+//!
+//! The explorer walks every reachable *raw* marking — stable and
+//! unstable alike — under the same micro-step semantics the linter's
+//! reachability uses and the simulators execute: from a stable marking
+//! the successors are the firings of the enabled timed activities; from
+//! an unstable marking, the firings of the *top-priority* enabled
+//! instantaneous activities; every case branch whose probability is not
+//! exactly zero in the source marking is enumerated (probabilities are
+//! abstracted to their support). Enabledness is read off a
+//! [`EnablementCache`](ahs_san::EnablementCache) primed per expanded
+//! state, so exploration shares the exact enabling semantics (gate
+//! predicates, arc thresholds, priority shadowing) the simulators use —
+//! in debug builds the cache additionally cross-checks itself against a
+//! fresh rescan.
+//!
+//! The result is a [`StateGraph`]: dense markings interned in BFS
+//! order through a hashed visited set (the canonical `Marking`
+//! `Eq`/`Hash`), a CSR edge list labelled with `(activity, case)`, a
+//! per-state stability flag, and BFS parent pointers from which a
+//! *shortest* firing trace to any state can be reconstructed — the
+//! minimal counterexamples the property layer emits.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use ahs_san::{ActivityId, Marking, SanModel, Timing};
+
+use crate::CheckError;
+
+/// How often the interrupt flag is polled, in expanded states.
+const INTERRUPT_POLL: usize = 1024;
+
+/// One labelled transition of the marking graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Index of the successor state.
+    pub target: u32,
+    /// The activity whose firing produced it.
+    pub activity: ActivityId,
+    /// The case branch taken.
+    pub case: u16,
+}
+
+/// BFS tree pointer: how a state was first discovered.
+#[derive(Debug, Clone, Copy)]
+struct Parent {
+    state: u32,
+    activity: ActivityId,
+    case: u16,
+}
+
+/// One step of a firing trace (see [`StateGraph::trace_to`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The activity fired.
+    pub activity: ActivityId,
+    /// Its name, for rendering.
+    pub activity_name: String,
+    /// The case branch taken.
+    pub case: usize,
+}
+
+/// The explored marking graph of a SAN.
+#[derive(Debug, Clone)]
+pub struct StateGraph {
+    states: Vec<Marking>,
+    stable: Vec<bool>,
+    /// CSR row starts: edges of state `i` are
+    /// `edges[edge_start[i]..edge_start[i + 1]]`.
+    edge_start: Vec<u32>,
+    edges: Vec<Edge>,
+    parent: Vec<Option<Parent>>,
+    complete: bool,
+}
+
+impl StateGraph {
+    /// Explores the reachable marking graph of `model` breadth-first,
+    /// visiting at most `max_states` markings. Hitting the budget
+    /// truncates the search ([`StateGraph::complete`] turns `false`)
+    /// rather than failing: every state in a truncated graph is
+    /// genuinely reachable, but edges to states beyond the budget are
+    /// absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::Interrupted`] when `interrupt` is set
+    /// mid-exploration (polled every [`INTERRUPT_POLL`] states).
+    pub fn explore(
+        model: &SanModel,
+        max_states: usize,
+        interrupt: Option<&AtomicBool>,
+    ) -> Result<StateGraph, CheckError> {
+        let max_states = max_states.clamp(1, u32::MAX as usize - 1);
+        let mut index: HashMap<Marking, u32> = HashMap::new();
+        let mut states: Vec<Marking> = Vec::new();
+        let mut stable: Vec<bool> = Vec::new();
+        let mut edge_start: Vec<u32> = Vec::new();
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut parent: Vec<Option<Parent>> = Vec::new();
+        let mut complete = true;
+
+        let init = model.initial_marking().clone();
+        index.insert(init.clone(), 0);
+        states.push(init);
+        parent.push(None);
+
+        let mut cache = model.new_cache();
+        let mut enabled: Vec<ActivityId> = Vec::new();
+        let mut frontier = 0usize;
+        while frontier < states.len() {
+            if frontier.is_multiple_of(INTERRUPT_POLL) {
+                if let Some(flag) = interrupt {
+                    if flag.load(Ordering::Relaxed) {
+                        return Err(CheckError::Interrupted {
+                            states: states.len(),
+                        });
+                    }
+                }
+            }
+            let m = states[frontier].clone();
+            model.prime_cache(&mut cache, &m);
+
+            // Top-priority enabled instantaneous activities; empty iff
+            // the marking is stable.
+            enabled.clear();
+            let mut top: Option<u32> = None;
+            for &a in model.instantaneous_activities() {
+                if !cache.is_enabled(a) {
+                    continue;
+                }
+                let p = match model.activity(a).timing() {
+                    Timing::Instantaneous { priority, .. } => *priority,
+                    Timing::Timed(_) => unreachable!("instantaneous list holds timed activity"),
+                };
+                match top {
+                    Some(t) if p < t => {}
+                    Some(t) if p == t => enabled.push(a),
+                    _ => {
+                        top = Some(p);
+                        enabled.clear();
+                        enabled.push(a);
+                    }
+                }
+            }
+            let is_stable = top.is_none();
+            if is_stable {
+                enabled.extend(
+                    model
+                        .timed_activities()
+                        .iter()
+                        .copied()
+                        .filter(|&a| cache.is_enabled(a)),
+                );
+                debug_assert_eq!(enabled, model.enabled_timed(&m));
+            } else {
+                debug_assert_eq!(enabled, model.enabled_instantaneous(&m));
+            }
+            stable.push(is_stable);
+            edge_start.push(edges.len() as u32);
+
+            for &a in &enabled {
+                let cases = model.activity(a).cases();
+                for (case, branch) in cases.iter().enumerate() {
+                    // A case with probability exactly 0 in this marking
+                    // cannot be taken; exploring it would fabricate
+                    // unreachable states. Degenerate probabilities
+                    // (negative, NaN) are still explored — the linter
+                    // reports them, and hiding their successors would
+                    // mask further defects behind them.
+                    if branch.probability(&m) == 0.0 {
+                        continue;
+                    }
+                    let mut next = m.clone();
+                    model.fire(a, case, &mut next);
+                    let j = match index.get(&next) {
+                        Some(&j) => j,
+                        None if states.len() < max_states => {
+                            let j = states.len() as u32;
+                            index.insert(next.clone(), j);
+                            states.push(next);
+                            parent.push(Some(Parent {
+                                state: frontier as u32,
+                                activity: a,
+                                case: case as u16,
+                            }));
+                            j
+                        }
+                        None => {
+                            complete = false;
+                            continue;
+                        }
+                    };
+                    edges.push(Edge {
+                        target: j,
+                        activity: a,
+                        case: case as u16,
+                    });
+                }
+            }
+            frontier += 1;
+        }
+        edge_start.push(edges.len() as u32);
+
+        Ok(StateGraph {
+            states,
+            stable,
+            edge_start,
+            edges,
+            parent,
+            complete,
+        })
+    }
+
+    /// Number of explored states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the graph holds no states (never after exploration).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Whether the whole reachable set was visited.
+    pub fn complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Total number of recorded transitions.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The marking of state `i`.
+    pub fn marking(&self, i: usize) -> &Marking {
+        &self.states[i]
+    }
+
+    /// All explored markings, in BFS order (initial marking first).
+    pub fn markings(&self) -> &[Marking] {
+        &self.states
+    }
+
+    /// Whether state `i` is stable (no instantaneous activity enabled).
+    pub fn is_stable(&self, i: usize) -> bool {
+        self.stable[i]
+    }
+
+    /// Number of stable states.
+    pub fn stable_count(&self) -> usize {
+        self.stable.iter().filter(|&&s| s).count()
+    }
+
+    /// Outgoing edges of state `i`, in enumeration order.
+    pub fn successors(&self, i: usize) -> &[Edge] {
+        &self.edges[self.edge_start[i] as usize..self.edge_start[i + 1] as usize]
+    }
+
+    /// Whether state `i` is terminal (no outgoing edges). Only
+    /// meaningful as "absorbing" when the graph is complete.
+    pub fn is_terminal(&self, i: usize) -> bool {
+        self.successors(i).is_empty()
+    }
+
+    /// Indices of all terminal states.
+    pub fn terminals(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).filter(|&i| self.is_terminal(i))
+    }
+
+    /// The shortest firing trace from the initial marking to state `i`,
+    /// read off the BFS tree. Empty for the initial state itself.
+    pub fn trace_to(&self, model: &SanModel, i: usize) -> Vec<TraceStep> {
+        let mut rev = Vec::new();
+        let mut cur = i as u32;
+        while let Some(p) = self.parent[cur as usize] {
+            rev.push(TraceStep {
+                activity: p.activity,
+                activity_name: model.activity(p.activity).name().to_owned(),
+                case: p.case as usize,
+            });
+            cur = p.state;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Order-independent digest of the explored state set: XOR of the
+    /// canonical fingerprints of all markings. Stable across runs and
+    /// exploration orders, so two explorations of the same model agree
+    /// bit for bit.
+    pub fn state_set_digest(&self) -> u64 {
+        self.states.iter().fold(0, |acc, m| acc ^ m.fingerprint())
+    }
+}

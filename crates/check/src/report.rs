@@ -1,0 +1,245 @@
+//! Rendering a check outcome as text and as `ahs-check-report/v1` JSON.
+
+use ahs_obs::Json;
+
+use crate::crosscheck::CrossCheck;
+use crate::properties::PropertyKind;
+use crate::{CheckConfig, CheckOutcome};
+
+/// Schema identifier of the JSON report.
+pub const REPORT_SCHEMA: &str = "ahs-check-report/v1";
+
+/// Per-property verdict, derived from completeness and the violation
+/// list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropertyStatus {
+    /// The property holds over the whole reachable graph.
+    Proved,
+    /// At least one violation was found (sound even when truncated).
+    Violated,
+    /// The graph was truncated; absence of a violation proves nothing.
+    Inconclusive,
+    /// The property was not applicable (empty sink allowlist).
+    Skipped,
+}
+
+impl PropertyStatus {
+    /// Stable name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            PropertyStatus::Proved => "proved",
+            PropertyStatus::Violated => "violated",
+            PropertyStatus::Inconclusive => "inconclusive",
+            PropertyStatus::Skipped => "skipped",
+        }
+    }
+}
+
+/// The verdict for one property of an outcome.
+pub fn property_status(
+    outcome: &CheckOutcome,
+    config: &CheckConfig,
+    property: PropertyKind,
+) -> PropertyStatus {
+    let violated = outcome.violations.iter().any(|v| v.property == property);
+    if violated {
+        return PropertyStatus::Violated;
+    }
+    if property == PropertyKind::Escalation && config.absorbing_allowlist.is_empty() {
+        return PropertyStatus::Skipped;
+    }
+    if outcome.graph.complete() {
+        PropertyStatus::Proved
+    } else {
+        PropertyStatus::Inconclusive
+    }
+}
+
+/// Builds the `ahs-check-report/v1` JSON document.
+pub fn report_json(
+    outcome: &CheckOutcome,
+    config: &CheckConfig,
+    cross: Option<&CrossCheck>,
+) -> Json {
+    let graph = &outcome.graph;
+    let properties = PropertyKind::all()
+        .into_iter()
+        .map(|p| {
+            let count = outcome
+                .violations
+                .iter()
+                .filter(|v| v.property == p)
+                .count();
+            Json::obj(vec![
+                ("name", Json::str(p.name())),
+                (
+                    "status",
+                    Json::str(property_status(outcome, config, p).name()),
+                ),
+                ("violations", Json::UInt(count as u64)),
+            ])
+        })
+        .collect();
+    let violations = outcome
+        .violations
+        .iter()
+        .map(|v| {
+            let trace = v
+                .trace
+                .iter()
+                .map(|s| {
+                    Json::obj(vec![
+                        ("activity", Json::str(s.activity_name.clone())),
+                        ("case", Json::UInt(s.case as u64)),
+                    ])
+                })
+                .collect();
+            Json::obj(vec![
+                ("property", Json::str(v.property.name())),
+                ("subject", Json::str(v.subject.clone())),
+                ("message", Json::str(v.message.clone())),
+                (
+                    "state",
+                    match v.state {
+                        Some(i) => Json::UInt(i as u64),
+                        None => Json::Null,
+                    },
+                ),
+                ("trace", Json::Arr(trace)),
+                (
+                    "replay_confirmed",
+                    match v.replay_confirmed {
+                        Some(b) => Json::Bool(b),
+                        None => Json::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("schema", Json::str(REPORT_SCHEMA)),
+        ("model", Json::str(outcome.model.clone())),
+        (
+            "config",
+            Json::obj(vec![
+                ("max_states", Json::UInt(config.max_states as u64)),
+                ("capacity", Json::UInt(config.capacity)),
+                (
+                    "allowlist",
+                    Json::Arr(
+                        config
+                            .absorbing_allowlist
+                            .iter()
+                            .map(|p| Json::str(p.clone()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        ("complete", Json::Bool(graph.complete())),
+        ("proved", Json::Bool(outcome.proved())),
+        ("states", Json::UInt(graph.len() as u64)),
+        ("stable_states", Json::UInt(graph.stable_count() as u64)),
+        ("edges", Json::UInt(graph.num_edges() as u64)),
+        (
+            "terminal_states",
+            Json::UInt(graph.terminals().count() as u64),
+        ),
+        (
+            "state_digest",
+            Json::str(format!("{:016x}", graph.state_set_digest())),
+        ),
+        ("max_tokens_observed", Json::UInt(outcome.max_tokens)),
+        ("properties", Json::Arr(properties)),
+        ("violations", Json::Arr(violations)),
+    ];
+    fields.push((
+        "cross_check",
+        match cross {
+            None => Json::Null,
+            Some(c) => Json::obj(vec![
+                (
+                    "checker_stable_states",
+                    Json::UInt(c.checker_stable_states as u64),
+                ),
+                ("ctmc_states", Json::UInt(c.ctmc_states as u64)),
+                ("state_sets_match", Json::Bool(c.state_sets_match)),
+                (
+                    "checker_transition_pairs",
+                    Json::UInt(c.checker_transition_pairs as u64),
+                ),
+                (
+                    "ctmc_transition_pairs",
+                    Json::UInt(c.ctmc_transition_pairs as u64),
+                ),
+                ("transitions_match", Json::Bool(c.transitions_match)),
+            ]),
+        },
+    ));
+    Json::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Human-readable multi-line summary of an outcome.
+pub fn render_text(
+    outcome: &CheckOutcome,
+    config: &CheckConfig,
+    cross: Option<&CrossCheck>,
+) -> String {
+    let graph = &outcome.graph;
+    let mut s = String::new();
+    s.push_str(&format!(
+        "model {}: {} states ({} stable, {} terminal), {} transitions{}\n",
+        outcome.model,
+        graph.len(),
+        graph.stable_count(),
+        graph.terminals().count(),
+        graph.num_edges(),
+        if graph.complete() {
+            ""
+        } else {
+            " [TRUNCATED at budget]"
+        },
+    ));
+    for p in PropertyKind::all() {
+        let status = property_status(outcome, config, p);
+        s.push_str(&format!("  {:<14} {}\n", p.name(), status.name()));
+    }
+    if let Some(c) = cross {
+        s.push_str(&format!(
+            "  cross-check    {} (ctmc: {} states / {} transitions, checker: {} / {})\n",
+            if c.matches() { "match" } else { "MISMATCH" },
+            c.ctmc_states,
+            c.ctmc_transition_pairs,
+            c.checker_stable_states,
+            c.checker_transition_pairs,
+        ));
+    }
+    for v in &outcome.violations {
+        s.push_str(&format!(
+            "  violation[{}] {}: {}\n",
+            v.property.name(),
+            v.subject,
+            v.message
+        ));
+        if !v.trace.is_empty() {
+            let path: Vec<String> = v
+                .trace
+                .iter()
+                .map(|t| {
+                    if t.case == 0 {
+                        t.activity_name.clone()
+                    } else {
+                        format!("{}#{}", t.activity_name, t.case)
+                    }
+                })
+                .collect();
+            s.push_str(&format!("    trace: {}\n", path.join(" -> ")));
+        }
+        match v.replay_confirmed {
+            Some(true) => s.push_str("    replay: confirmed by the DES executor\n"),
+            Some(false) => s.push_str("    replay: DIVERGED in the DES executor\n"),
+            None => {}
+        }
+    }
+    s
+}

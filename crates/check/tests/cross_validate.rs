@@ -1,0 +1,117 @@
+//! Cross-validation of the checker against the CTMC generator, and
+//! regression pins on the paper models' reachable-state counts.
+//!
+//! The checker and `ahs-ctmc` explore the same SAN through independent
+//! code paths; agreement on the stable-state set and the transition
+//! support is a mutual audit of both engines. The pinned counts turn
+//! any accidental semantic change (a case branch skipped, a marking
+//! canonicalisation bug) into a loud test failure.
+
+use ahs_check::{cross_validate, CheckConfig, Checker, StateGraph};
+use ahs_core::{AhsModel, Params, Strategy};
+use ahs_san::SanModel;
+
+/// Micro-step reachable states of every n = 1 strategy model
+/// (cross-checked against `ahs-lint --max-states` exploration).
+const MICRO_STATES_N1: usize = 209;
+
+/// Micro-step reachable states at n = 2 (every strategy agrees; the
+/// strategies differ in rates and case probabilities, not in support).
+const MICRO_STATES_N2: usize = 153_753;
+
+fn paper_model(n: usize, strategy: Strategy) -> SanModel {
+    let params = Params::builder().n(n).strategy(strategy).build().unwrap();
+    let (san, _) = AhsModel::build(&params).unwrap().into_san();
+    san
+}
+
+const STRATEGIES: [Strategy; 4] = [Strategy::Dd, Strategy::Dc, Strategy::Cd, Strategy::Cc];
+
+#[test]
+fn fixture_chain_cross_validates_against_ctmc() {
+    let model = ahs_check::fixtures::escalation_chain();
+    let graph = StateGraph::explore(&model, 1 << 10, None).unwrap();
+    let cross = cross_validate(&model, &graph, 1 << 10).unwrap();
+    assert!(cross.matches(), "{cross:?}");
+    // {v_OK}, {CS_active}, {v_KO} are the stable markings; the
+    // transition support is OK→CS, CS→OK, CS→KO.
+    assert_eq!(cross.checker_stable_states, 3);
+    assert_eq!(cross.ctmc_states, 3);
+    assert_eq!(cross.checker_transition_pairs, 3);
+    assert_eq!(cross.ctmc_transition_pairs, 3);
+}
+
+#[test]
+fn cross_validation_rejects_truncated_graphs() {
+    let model = ahs_check::fixtures::unbounded_counter();
+    let graph = StateGraph::explore(&model, 20, None).unwrap();
+    assert!(!graph.complete());
+    assert!(cross_validate(&model, &graph, 1 << 10).is_err());
+}
+
+#[test]
+fn paper_models_n1_cross_validate_against_ctmc() {
+    // Decentralised/decentralised and centralised/centralised span the
+    // strategy space's corners; dd/cc differ in both coordination
+    // layers.
+    for strategy in [Strategy::Dd, Strategy::Cc] {
+        let model = paper_model(1, strategy);
+        let graph = StateGraph::explore(&model, 1 << 14, None).unwrap();
+        assert!(graph.complete());
+        let cross = cross_validate(&model, &graph, 1 << 14).unwrap();
+        assert!(
+            cross.matches(),
+            "strategy {strategy:?} disagrees with ahs-ctmc: {cross:?}"
+        );
+        assert_eq!(cross.checker_stable_states, cross.ctmc_states);
+    }
+}
+
+#[test]
+fn paper_models_n1_state_counts_are_pinned() {
+    let mut digests = Vec::new();
+    for strategy in STRATEGIES {
+        let model = paper_model(1, strategy);
+        let graph = StateGraph::explore(&model, 1 << 14, None).unwrap();
+        assert!(graph.complete());
+        assert_eq!(
+            graph.len(),
+            MICRO_STATES_N1,
+            "strategy {strategy:?} reachable-state count changed"
+        );
+        digests.push(graph.state_set_digest());
+    }
+    // The four strategies share place structure and differ only in
+    // rates/probabilities, so their reachable *sets* coincide too.
+    assert!(digests.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn paper_models_proved_clean_at_n1() {
+    for strategy in STRATEGIES {
+        let model = paper_model(1, strategy);
+        let outcome = Checker::with_config(CheckConfig {
+            max_states: 1 << 14,
+            ..CheckConfig::ahs()
+        })
+        .check(&model)
+        .unwrap();
+        assert!(
+            outcome.proved(),
+            "strategy {strategy:?} violations: {:?}",
+            outcome.violations
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "large graph; run under --release (CI model-check job)"
+)]
+fn paper_model_n2_state_count_is_pinned() {
+    let model = paper_model(2, Strategy::Dd);
+    let graph = StateGraph::explore(&model, 300_000, None).unwrap();
+    assert!(graph.complete());
+    assert_eq!(graph.len(), MICRO_STATES_N2);
+}

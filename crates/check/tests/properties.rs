@@ -1,0 +1,163 @@
+//! Property-layer integration tests on the fixture models: each broken
+//! fixture trips exactly the property it was built to trip, and every
+//! state-anchored counterexample replays through the DES executor.
+
+use ahs_check::{
+    fixtures, property_status, report_json, CheckConfig, Checker, PropertyKind, PropertyStatus,
+    REPORT_SCHEMA,
+};
+use ahs_obs::Json;
+
+fn ahs_checker() -> Checker {
+    Checker::with_config(CheckConfig::ahs())
+}
+
+#[test]
+fn clean_chain_proves_all_properties() {
+    let model = fixtures::escalation_chain();
+    let outcome = ahs_checker().check(&model).unwrap();
+    assert!(outcome.proved(), "violations: {:?}", outcome.violations);
+    assert!(outcome.graph.complete());
+    // {v_OK}, {FM_active} (unstable), {CS_active}, {v_KO}.
+    assert_eq!(outcome.graph.len(), 4);
+    assert_eq!(outcome.graph.stable_count(), 3);
+    assert_eq!(outcome.graph.terminals().count(), 1);
+    assert!(outcome.dead_activities.is_empty());
+    for p in PropertyKind::all() {
+        assert_eq!(
+            property_status(&outcome, ahs_checker().config(), p),
+            PropertyStatus::Proved,
+            "property {}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn broken_escalation_trips_absorption_with_replayable_trace() {
+    let model = fixtures::broken_escalation();
+    let outcome = ahs_checker().check(&model).unwrap();
+    assert!(!outcome.proved());
+    let v = outcome
+        .violations
+        .iter()
+        .find(|v| v.property == PropertyKind::Absorption)
+        .expect("dropping the escalation arc must produce an absorption violation");
+    // The token vanishes: the bad terminal is the empty marking, two
+    // firings from the start.
+    assert_eq!(v.subject, "<empty marking>");
+    let names: Vec<&str> = v.trace.iter().map(|s| s.activity_name.as_str()).collect();
+    assert_eq!(names, ["fail", "escalate"]);
+    assert_eq!(v.trace[1].case, 0, "the escalate branch is case 0");
+    assert_eq!(
+        v.replay_confirmed,
+        Some(true),
+        "the DES executor must reach the same violating marking"
+    );
+    // Downstream of the vanished token, `crash` and `recover` are dead.
+    let mut dead = outcome.dead_activities.clone();
+    dead.sort();
+    assert_eq!(dead, ["crash", "recover"]);
+}
+
+#[test]
+fn broken_livelock_trips_escalation_everywhere() {
+    let model = fixtures::broken_livelock();
+    let outcome = ahs_checker().check(&model).unwrap();
+    assert!(!outcome.proved());
+    let escalation: Vec<_> = outcome
+        .violations
+        .iter()
+        .filter(|v| v.property == PropertyKind::Escalation)
+        .collect();
+    // No state reaches `v_KO`: all three reachable states violate.
+    assert_eq!(escalation.len(), 3);
+    assert!(escalation.iter().all(|v| v.replay_confirmed == Some(true)));
+    // There is no bad *terminal* — the model loops forever — so
+    // absorption itself holds.
+    assert!(!outcome
+        .violations
+        .iter()
+        .any(|v| v.property == PropertyKind::Absorption));
+}
+
+#[test]
+fn unbounded_counter_trips_boundedness_despite_truncation() {
+    let model = fixtures::unbounded_counter();
+    let config = CheckConfig {
+        max_states: 50,
+        capacity: 10,
+        ..CheckConfig::default()
+    };
+    let outcome = Checker::with_config(config.clone()).check(&model).unwrap();
+    assert!(!outcome.graph.complete(), "the counter grows forever");
+    let v = outcome
+        .violations
+        .iter()
+        .find(|v| v.property == PropertyKind::Boundedness)
+        .expect("counter must exceed capacity 10 within 50 states");
+    assert_eq!(v.subject, "counter");
+    assert_eq!(v.replay_confirmed, Some(true));
+    assert!(outcome.max_tokens > 10);
+    // On a truncated graph the absence properties are inconclusive, not
+    // proved.
+    assert_eq!(
+        property_status(&outcome, &config, PropertyKind::Absorption),
+        PropertyStatus::Inconclusive
+    );
+    assert!(outcome.dead_activities.is_empty());
+}
+
+#[test]
+fn escalation_is_skipped_without_an_allowlist() {
+    let model = fixtures::broken_livelock();
+    let config = CheckConfig::default();
+    let outcome = Checker::with_config(config.clone()).check(&model).unwrap();
+    assert_eq!(
+        property_status(&outcome, &config, PropertyKind::Escalation),
+        PropertyStatus::Skipped
+    );
+    assert!(!outcome
+        .violations
+        .iter()
+        .any(|v| v.property == PropertyKind::Escalation));
+}
+
+#[test]
+fn report_json_roundtrips_with_schema_fields() {
+    let model = fixtures::broken_escalation();
+    let checker = ahs_checker();
+    let outcome = checker.check(&model).unwrap();
+    let json = report_json(&outcome, checker.config(), None);
+    let parsed = Json::parse(&json.render()).unwrap();
+    assert_eq!(
+        parsed.get("schema").and_then(Json::as_str),
+        Some(REPORT_SCHEMA)
+    );
+    assert_eq!(parsed.get("proved").and_then(Json::as_bool), Some(false));
+    assert_eq!(parsed.get("complete").and_then(Json::as_bool), Some(true));
+    let props = match parsed.get("properties") {
+        Some(Json::Arr(a)) => a,
+        other => panic!("properties must be an array, got {other:?}"),
+    };
+    assert_eq!(props.len(), 4);
+    let absorption = props
+        .iter()
+        .find(|p| p.get("name").and_then(Json::as_str) == Some("absorption"))
+        .unwrap();
+    assert_eq!(
+        absorption.get("status").and_then(Json::as_str),
+        Some("violated")
+    );
+    let violations = match parsed.get("violations") {
+        Some(Json::Arr(a)) => a,
+        other => panic!("violations must be an array, got {other:?}"),
+    };
+    assert!(!violations.is_empty());
+    assert_eq!(
+        violations[0]
+            .get("replay_confirmed")
+            .and_then(Json::as_bool),
+        Some(true)
+    );
+}

@@ -229,6 +229,15 @@ impl<S: Clone + Eq + Hash> StateSpace<S> {
         &self.exit_rates
     }
 
+    /// Iterates over every off-diagonal transition as
+    /// `(source, target, rate)` index triples, row by row. This is the
+    /// transition *structure* of the generator — the form external
+    /// tools (the `ahs-check` cross-validation) compare against an
+    /// independently explored graph.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.len()).flat_map(move |r| self.rates.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
     /// Largest exit rate (the uniformization constant is slightly above
     /// this).
     pub fn max_exit_rate(&self) -> f64 {

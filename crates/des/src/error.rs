@@ -55,6 +55,18 @@ pub enum SimError {
         /// IO failure, …).
         reason: String,
     },
+    /// A forced-schedule replay step could not be taken: the scheduled
+    /// activity is not fireable (or its case not takeable) in the
+    /// marking the preceding steps produced. The trace being replayed
+    /// does not describe a path of this model.
+    Replay {
+        /// Zero-based index of the offending step in the schedule.
+        step: usize,
+        /// Name of the activity the step tried to fire.
+        activity: String,
+        /// Why the step could not be taken.
+        reason: String,
+    },
     /// An internal engine invariant was violated. This indicates a bug
     /// in the simulator, not in the model; it is surfaced as a typed
     /// error instead of a panic so a multi-thousand-replication study
@@ -96,6 +108,14 @@ impl std::fmt::Display for SimError {
                  of {budget} (last panic: {message})"
             ),
             SimError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
+            SimError::Replay {
+                step,
+                activity,
+                reason,
+            } => write!(
+                f,
+                "forced schedule diverges at step {step} (activity `{activity}`): {reason}"
+            ),
             SimError::Internal { context } => {
                 write!(f, "internal simulator invariant violated: {context}")
             }
@@ -153,5 +173,12 @@ mod tests {
             context: "peeked event vanished".into(),
         };
         assert!(e.to_string().contains("invariant"), "{e}");
+        let e = SimError::Replay {
+            step: 2,
+            activity: "to_cs".into(),
+            reason: "not enabled".into(),
+        };
+        assert!(e.to_string().contains("step 2"), "{e}");
+        assert!(e.to_string().contains("to_cs"), "{e}");
     }
 }

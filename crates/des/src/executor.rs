@@ -42,9 +42,11 @@ pub struct EventDrivenSimulator<'m> {
     watchdog: Option<Watchdog>,
 }
 
-/// Per-run mutable state of the event loop, reused across runs.
-struct EdScratch {
-    cache: EnablementCache,
+/// Per-run mutable state of the event loop, reused across runs. Also
+/// borrowed by the forced-schedule replay path (`replay.rs`), which
+/// drives the cache without the event queue.
+pub(crate) struct EdScratch {
+    pub(crate) cache: EnablementCache,
     queue: EventQueue,
     /// Copy of the cache's changed-slot list, taken so the cache can be
     /// read (enabledness) while the list is iterated.
@@ -96,7 +98,7 @@ impl<'m> EventDrivenSimulator<'m> {
 
     /// Retrieves the parked scratch or builds a fresh one (first run,
     /// or the previous run panicked mid-flight).
-    fn take_scratch(&self) -> Box<EdScratch> {
+    pub(crate) fn take_scratch(&self) -> Box<EdScratch> {
         if let Some(s) = self.scratch.take() {
             return s;
         }
@@ -109,6 +111,11 @@ impl<'m> EventDrivenSimulator<'m> {
             queue: EventQueue::new(self.model.timed_activities().len()),
             changed: Vec::new(),
         })
+    }
+
+    /// Parks the scratch for the next run.
+    pub(crate) fn park_scratch(&self, s: Box<EdScratch>) {
+        self.scratch.set(Some(s));
     }
 
     /// Attaches a telemetry sink; per-run tallies (completions by
@@ -142,7 +149,12 @@ impl<'m> EventDrivenSimulator<'m> {
         }
     }
 
-    fn sample_delay<R: Rng + ?Sized>(&self, a: ActivityId, marking: &Marking, rng: &mut R) -> f64 {
+    pub(crate) fn sample_delay<R: Rng + ?Sized>(
+        &self,
+        a: ActivityId,
+        marking: &Marking,
+        rng: &mut R,
+    ) -> f64 {
         match self.model.activity(a).timing() {
             Timing::Timed(d) => d.sample(marking, rng),
             Timing::Instantaneous { .. } => {

@@ -52,6 +52,7 @@ mod error;
 mod event;
 mod executor;
 mod observer;
+mod replay;
 mod replication;
 mod reward;
 mod rng;
@@ -67,6 +68,7 @@ pub use error::SimError;
 pub use event::{EventQueue, ScheduledEvent};
 pub use executor::EventDrivenSimulator;
 pub use observer::{NullObserver, Observer, TraceObserver};
+pub use replay::{ReplayOutcome, ReplayStep};
 pub use replication::{Backend, CurveEstimate, Study};
 pub use reward::{RewardSpec, RewardStudy};
 pub use rng::{replication_rng, split_seed};

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ahs-lint [MODEL...] [--format text|json] [--n N] [--platoons P]
-//!          [--max-states S] [--max-samples K] [--allow PATTERN]... [--list]
+//!          [--max-states S] [--max-samples K] [--allow PATTERN]...
+//!          [--deep [--deep-max-states S]] [--list]
 //! ```
 //!
 //! `MODEL` is one of the four paper strategies (`dd`, `dc`, `cd`, `cc`),
@@ -53,6 +54,11 @@ flags:
   --allow PATTERN     extra allowlisted absorbing place-name substring
                       (strategy models always allow v_KO and KO_total)
   --no-default-allow  drop the built-in v_KO/KO_total allowlist
+  --deep              follow the bounded passes with the exhaustive
+                      ahs-check model checker (model-check pass; proves
+                      absorption/escalation/boundedness, reconciles
+                      dead-activity findings against the exact dead set)
+  --deep-max-states S exhaustive-exploration state budget (default 524288)
   --list              list model names and exit
 
 exit code: 0 = no errors, 1 = at least one error diagnostic, 2 = usage";
@@ -85,6 +91,8 @@ fn run(args: &[String]) -> Result<bool, String> {
     let mut max_samples = LintConfig::default().max_samples;
     let mut extra_allow: Vec<String> = Vec::new();
     let mut default_allow = true;
+    let mut deep = false;
+    let mut deep_max_states = 1usize << 19;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -116,6 +124,13 @@ fn run(args: &[String]) -> Result<bool, String> {
             }
             "--allow" => extra_allow.push(next_value(&mut it, "--allow")?.to_owned()),
             "--no-default-allow" => default_allow = false,
+            "--deep" => deep = true,
+            "--deep-max-states" => {
+                deep_max_states = parse(
+                    next_value(&mut it, "--deep-max-states")?,
+                    "--deep-max-states",
+                )?;
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             name => models.push(name.to_ascii_lowercase()),
         }
@@ -137,7 +152,11 @@ fn run(args: &[String]) -> Result<bool, String> {
             absorbing_allowlist: allowlist,
             ..LintConfig::default()
         });
-        let mut report = linter.lint(&model);
+        let mut report = if deep {
+            linter.lint_deep(&model, deep_max_states)
+        } else {
+            linter.lint(&model)
+        };
         // All four strategy variants build a SAN called "ahs"; label the
         // report with the CLI key so `all --format json` stays tellable
         // apart.

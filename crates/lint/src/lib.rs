@@ -131,16 +131,53 @@ impl Linter {
     /// every pass, and returns the ranked report.
     pub fn lint(&self, model: &SanModel) -> Report {
         let reach = reach::ReachSet::explore(model, self.config.max_states);
+        let diagnostics = self.run_passes(model, &reach);
+        Report::new(model.name(), reach.len(), reach.complete(), diagnostics)
+    }
+
+    /// Like [`Linter::lint`], but follows the bounded passes with the
+    /// exhaustive `ahs-check` model checker as a deep stage, exploring
+    /// up to `deep_max_states` markings.
+    ///
+    /// The deep stage does three things the bounded passes cannot:
+    ///
+    /// - proves (rather than samples) absorption, escalation soundness,
+    ///   and boundedness, reporting violations with minimal
+    ///   counterexample traces under the `model-check` pass;
+    /// - reconciles the bounded `dead-activity` findings against the
+    ///   exact dead set — confirmed findings are upgraded to proof
+    ///   language, refuted ones retracted to an info note;
+    /// - warns when even the deep budget truncates, so a clean report
+    ///   is never mistaken for a proof.
+    pub fn lint_deep(&self, model: &SanModel, deep_max_states: usize) -> Report {
+        let reach = reach::ReachSet::explore(model, self.config.max_states);
+        let mut diagnostics = self.run_passes(model, &reach);
+        let checker = ahs_check::Checker::with_config(ahs_check::CheckConfig {
+            max_states: deep_max_states,
+            absorbing_allowlist: self.config.absorbing_allowlist.clone(),
+            ..ahs_check::CheckConfig::default()
+        });
+        let outcome = checker
+            .check(model)
+            .expect("exploration without an interrupt flag cannot fail");
+        if outcome.graph.complete() {
+            diagnostics = passes::dead::reconcile(diagnostics, &outcome.dead_activities);
+        }
+        diagnostics.extend(passes::model_check::run(&outcome));
+        Report::new(model.name(), reach.len(), reach.complete(), diagnostics)
+    }
+
+    fn run_passes(&self, model: &SanModel, reach: &ReachSet) -> Vec<Diagnostic> {
         let mut diagnostics = Vec::new();
         diagnostics.extend(passes::structure::run(model, &self.config));
-        diagnostics.extend(passes::case_prob::run(model, &reach, &self.config));
-        diagnostics.extend(passes::dead::run(model, &reach, &self.config));
-        diagnostics.extend(passes::absorbing::run(model, &reach, &self.config));
-        diagnostics.extend(passes::confusion::run(model, &reach, &self.config));
-        diagnostics.extend(passes::gate_purity::run(model, &reach, &self.config));
-        diagnostics.extend(passes::write_set::run(model, &reach, &self.config));
-        diagnostics.extend(passes::delay_sanity::run(model, &reach, &self.config));
-        Report::new(model.name(), reach.len(), reach.complete(), diagnostics)
+        diagnostics.extend(passes::case_prob::run(model, reach, &self.config));
+        diagnostics.extend(passes::dead::run(model, reach, &self.config));
+        diagnostics.extend(passes::absorbing::run(model, reach, &self.config));
+        diagnostics.extend(passes::confusion::run(model, reach, &self.config));
+        diagnostics.extend(passes::gate_purity::run(model, reach, &self.config));
+        diagnostics.extend(passes::write_set::run(model, reach, &self.config));
+        diagnostics.extend(passes::delay_sanity::run(model, reach, &self.config));
+        diagnostics
     }
 }
 
@@ -174,6 +211,80 @@ mod tests {
                 report.model,
             );
         }
+    }
+
+    #[test]
+    fn deep_lint_confirms_clean_model() {
+        let model = ahs_check::fixtures::escalation_chain();
+        let linter = Linter::with_config(LintConfig {
+            absorbing_allowlist: LintConfig::ahs_allowlist(),
+            ..LintConfig::default()
+        });
+        let report = linter.lint_deep(&model, 1 << 12);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn deep_lint_reports_model_check_violation_with_trace() {
+        let model = ahs_check::fixtures::broken_escalation();
+        let linter = Linter::with_config(LintConfig {
+            absorbing_allowlist: LintConfig::ahs_allowlist(),
+            ..LintConfig::default()
+        });
+        let report = linter.lint_deep(&model, 1 << 12);
+        let deep = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.pass == "model-check" && d.severity == Severity::Error)
+            .expect("deep stage must report the absorption violation");
+        assert!(deep.message.contains("trace: fail -> escalate"), "{deep}");
+        assert!(deep.message.contains("replay confirmed"), "{deep}");
+    }
+
+    #[test]
+    fn deep_lint_retracts_bounded_dead_artifacts() {
+        use ahs_san::{Delay, SanBuilder};
+        // A 20-step token chain: a bounded budget of 5 markings flags
+        // the tail activities as dead; the exhaustive checker proves
+        // them live and the findings are retracted to info notes.
+        let mut b = SanBuilder::new("chain20");
+        let places: Vec<_> = (0..21)
+            .map(|i| {
+                if i == 0 {
+                    b.place_with_tokens("p0", 1).unwrap()
+                } else {
+                    b.place(&format!("p{i}")).unwrap()
+                }
+            })
+            .collect();
+        for i in 0..20 {
+            b.timed_activity(&format!("step{i}"), Delay::exponential(1.0))
+                .unwrap()
+                .input_place(places[i])
+                .output_place(places[i + 1])
+                .build()
+                .unwrap();
+        }
+        let model = b.build().unwrap();
+        let linter = Linter::with_config(LintConfig {
+            max_states: 5,
+            absorbing_allowlist: vec!["p20".to_owned()],
+            ..LintConfig::default()
+        });
+        let shallow = linter.lint(&model);
+        assert!(shallow
+            .diagnostics()
+            .iter()
+            .any(|d| d.pass == "dead-activity" && d.severity > Severity::Info));
+        let deep = linter.lint_deep(&model, 1 << 10);
+        assert!(
+            deep.diagnostics()
+                .iter()
+                .filter(|d| d.pass == "dead-activity")
+                .all(|d| d.severity == Severity::Info),
+            "{deep}"
+        );
+        assert!(!deep.has_errors(), "{deep}");
     }
 
     #[test]

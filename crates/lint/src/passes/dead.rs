@@ -60,6 +60,45 @@ pub(crate) fn run(model: &SanModel, reach: &ReachSet, _cfg: &LintConfig) -> Vec<
         .collect()
 }
 
+/// Reconciles this pass's bounded findings with the exhaustive
+/// checker's *exact* dead set (deep lint only, complete graphs only).
+///
+/// Bounded reachability explores a subset of the true graph, so its
+/// dead set is a superset of the exact one: every exactly-dead activity
+/// was already flagged here, and some flagged activities may in fact be
+/// live beyond the budget. Findings confirmed by the checker are
+/// upgraded to errors with proof language; refuted ones are retracted
+/// to an info note explaining the budget artifact. Diagnostics from
+/// other passes are passed through untouched.
+pub(crate) fn reconcile(diags: Vec<Diagnostic>, exact_dead: &[String]) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .map(|d| {
+            if d.pass != NAME {
+                return d;
+            }
+            if exact_dead.contains(&d.subject) {
+                Diagnostic::new(
+                    NAME,
+                    Severity::Error,
+                    d.subject,
+                    "activity can never fire in any reachable marking (proven \
+                     by exhaustive model check)",
+                )
+            } else {
+                Diagnostic::new(
+                    NAME,
+                    Severity::Info,
+                    d.subject,
+                    "bounded exploration flagged this activity as dead, but the \
+                     exhaustive model check proves it live — the lint state \
+                     budget truncated too early (raise --max-states)",
+                )
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

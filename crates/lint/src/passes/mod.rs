@@ -14,12 +14,15 @@ pub(crate) mod confusion;
 pub(crate) mod dead;
 pub(crate) mod delay_sanity;
 pub(crate) mod gate_purity;
+pub(crate) mod model_check;
 pub(crate) mod structure;
 pub(crate) mod write_set;
 
 /// Stable identifiers of every pass, in execution order. These are the
 /// `pass` values appearing in reports and are part of the JSON schema.
-pub const PASS_NAMES: [&str; 8] = [
+/// The `model-check` pass only runs in deep mode
+/// ([`Linter::lint_deep`](crate::Linter::lint_deep)).
+pub const PASS_NAMES: [&str; 9] = [
     structure::NAME,
     case_prob::NAME,
     dead::NAME,
@@ -28,4 +31,5 @@ pub const PASS_NAMES: [&str; 8] = [
     gate_purity::NAME,
     write_set::NAME,
     delay_sanity::NAME,
+    model_check::NAME,
 ];

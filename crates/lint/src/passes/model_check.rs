@@ -1,0 +1,68 @@
+//! Deep model-check pass: lifts `ahs-check` results into diagnostics.
+//!
+//! This pass only runs from [`Linter::lint_deep`](crate::Linter::lint_deep):
+//! the exhaustive checker explores *every* reachable marking, so its
+//! findings are proofs rather than bounded samples. Property violations
+//! become errors carrying their minimal counterexample trace (and
+//! whether the DES executor replayed it); a truncated exhaustive
+//! exploration becomes a warning, since nothing was proved.
+//!
+//! Dead-activity violations are deliberately *not* re-reported here —
+//! the bounded `dead-activity` pass already flagged a superset, and
+//! [`dead::reconcile`](super::dead::reconcile) upgrades or retracts
+//! those findings against the exact set.
+
+use ahs_check::{CheckOutcome, PropertyKind};
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Pass identifier.
+pub const NAME: &str = "model-check";
+
+pub(crate) fn run(outcome: &CheckOutcome) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !outcome.graph.complete() {
+        out.push(Diagnostic::new(
+            NAME,
+            Severity::Warning,
+            outcome.model.clone(),
+            format!(
+                "exhaustive exploration truncated at {} states; deep properties \
+                 were checked but not proved (raise the deep state budget)",
+                outcome.graph.len()
+            ),
+        ));
+    }
+    for v in &outcome.violations {
+        if v.property == PropertyKind::DeadActivity {
+            continue;
+        }
+        let mut message = format!("[{}] {}", v.property.name(), v.message);
+        if !v.trace.is_empty() {
+            let path: Vec<String> = v
+                .trace
+                .iter()
+                .map(|s| {
+                    if s.case == 0 {
+                        s.activity_name.clone()
+                    } else {
+                        format!("{}#{}", s.activity_name, s.case)
+                    }
+                })
+                .collect();
+            message.push_str(&format!("; trace: {}", path.join(" -> ")));
+        }
+        match v.replay_confirmed {
+            Some(true) => message.push_str(" (replay confirmed by the DES executor)"),
+            Some(false) => message.push_str(" (replay DIVERGED in the DES executor)"),
+            None => {}
+        }
+        out.push(Diagnostic::new(
+            NAME,
+            Severity::Error,
+            v.subject.clone(),
+            message,
+        ));
+    }
+    out
+}

@@ -1,5 +1,7 @@
 //! Markings: the state of a SAN.
 
+use std::hash::{Hash, Hasher};
+
 use crate::place::{PlaceDecl, PlaceId, PlaceKind};
 use crate::trace;
 
@@ -27,16 +29,22 @@ pub enum PlaceValue {
 /// store their token count directly — the overwhelmingly common case in
 /// the paper's models, and the layout the simulators' hot loop reads —
 /// while extended places store a tagged index into a side table of
-/// arrays. Indices are assigned in declaration order, so equal markings
-/// of the same model compare equal slot-for-slot and the derived
-/// `Eq`/`Hash` are sound.
+/// arrays.
+///
+/// `Eq` and `Hash` are implemented over the *canonical form*: the
+/// per-place semantic value (token count, or array contents), in place
+/// order. Two markings with the same values compare and hash equal even
+/// if their internal side tables were laid out differently — the
+/// equality a model checker's visited set and any cross-construction
+/// state cache need. See [`Marking::fingerprint`] for a stable digest of
+/// the same form.
 ///
 /// Accessors take [`PlaceId`]s handed out by the builder. The `tokens` /
 /// `set_tokens` family addresses simple places; `array` / `array_mut`
 /// address extended places. Using the wrong accessor for a place's kind
 /// panics: this is a programming error in model construction, not a
 /// runtime condition.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct Marking {
     /// Per-place token count, or `EXT_TAG | index` into `arrays`.
     slots: Vec<u64>,
@@ -212,6 +220,89 @@ impl Marking {
     pub fn total_tokens(&self) -> u64 {
         self.slots.iter().filter(|&&slot| slot & EXT_TAG == 0).sum()
     }
+
+    /// Canonical 64-bit digest of the marking (FNV-1a over the same
+    /// per-place byte stream `Hash` feeds its hasher).
+    ///
+    /// Unlike `Hash`, whose output depends on the hasher and its seed,
+    /// the fingerprint is stable across processes and runs — suitable
+    /// for state-set digests in reports and cross-run comparisons.
+    /// Equal markings (per the canonical `Eq`) always have equal
+    /// fingerprints; unequal markings collide only with ordinary
+    /// 64-bit-hash probability.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(h: u64, byte: u8) -> u64 {
+            (h ^ u64::from(byte)).wrapping_mul(PRIME)
+        }
+        fn eat_u64(mut h: u64, v: u64) -> u64 {
+            for byte in v.to_le_bytes() {
+                h = eat(h, byte);
+            }
+            h
+        }
+        let mut h = eat_u64(OFFSET, self.slots.len() as u64);
+        for &slot in &self.slots {
+            if slot & EXT_TAG == 0 {
+                h = eat(h, 0);
+                h = eat_u64(h, slot);
+            } else {
+                let arr = &self.arrays[(slot & !EXT_TAG) as usize];
+                h = eat(h, 1);
+                h = eat_u64(h, arr.len() as u64);
+                for &v in arr {
+                    h = eat_u64(h, v as u64);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Canonical equality: per-place semantic values in place order,
+/// independent of how the extended-place side table happens to be laid
+/// out. Markings of models with different place counts are simply
+/// unequal.
+impl PartialEq for Marking {
+    fn eq(&self, other: &Self) -> bool {
+        if self.slots.len() != other.slots.len() {
+            return false;
+        }
+        self.slots.iter().zip(&other.slots).all(|(&a, &b)| {
+            match (a & EXT_TAG == 0, b & EXT_TAG == 0) {
+                (true, true) => a == b,
+                (false, false) => {
+                    self.arrays[(a & !EXT_TAG) as usize] == other.arrays[(b & !EXT_TAG) as usize]
+                }
+                // A simple place can never equal an extended one, even
+                // when the raw slot bits happen to match.
+                _ => false,
+            }
+        })
+    }
+}
+
+impl Eq for Marking {}
+
+/// Canonical hash, consistent with the canonical `PartialEq`: feeds the
+/// hasher each place's semantic value (kind tag + count, or kind tag +
+/// array contents) in place order. Internal side-table indices never
+/// reach the hasher, so equal markings hash equal regardless of
+/// construction order.
+impl Hash for Marking {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.slots.len());
+        for &slot in &self.slots {
+            if slot & EXT_TAG == 0 {
+                state.write_u8(0);
+                state.write_u64(slot);
+            } else {
+                state.write_u8(1);
+                self.arrays[(slot & !EXT_TAG) as usize].hash(state);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +390,59 @@ mod tests {
         let mut m = Marking::from_decls(&decls());
         m.array_mut(PlaceId(1))[0] = 42;
         assert_eq!(m.array(PlaceId(1)), &[42, -2, 3]);
+    }
+
+    fn std_hash(m: &Marking) -> u64 {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        m.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equality_and_hash_ignore_side_table_layout() {
+        // Two extended places whose side-table rows are permuted between
+        // the two markings: semantically identical, internally distinct.
+        let a = Marking {
+            slots: vec![7, EXT_TAG, EXT_TAG | 1],
+            arrays: vec![vec![1, 2], vec![3, 4]],
+        };
+        let b = Marking {
+            slots: vec![7, EXT_TAG | 1, EXT_TAG],
+            arrays: vec![vec![3, 4], vec![1, 2]],
+        };
+        assert_eq!(a, b);
+        assert_eq!(std_hash(&a), std_hash(&b));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn simple_and_extended_places_never_compare_equal() {
+        // Raw slot bits collide (both are EXT_TAG as a bit pattern would
+        // be illegal for simple, so use index 0 vs tokens 0): a simple
+        // place holding 0 tokens vs an extended place whose row is [].
+        let simple = Marking {
+            slots: vec![0],
+            arrays: vec![],
+        };
+        let ext = Marking {
+            slots: vec![EXT_TAG],
+            arrays: vec![vec![]],
+        };
+        assert_ne!(simple, ext);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_separates_values() {
+        let m = Marking::from_decls(&decls());
+        let mut n = m.clone();
+        assert_eq!(m.fingerprint(), n.fingerprint());
+        n.set_tokens(PlaceId(0), 3);
+        assert_ne!(m.fingerprint(), n.fingerprint());
+        n.set_tokens(PlaceId(0), 2);
+        assert_eq!(m.fingerprint(), n.fingerprint());
+        n.array_mut(PlaceId(1))[2] = -3;
+        assert_ne!(m.fingerprint(), n.fingerprint());
     }
 
     #[test]

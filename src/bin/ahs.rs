@@ -7,6 +7,10 @@
 //!              [--manifest PATH | --no-manifest] [--telemetry PATH] [--progress]
 //!              [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]
 //!              [--quarantine-budget B] [--watchdog-events E] [--watchdog-seconds W]
+//! ahs check [--n N] [--platoons P] [--strategy S | --all] [--max-states S]
+//!           [--capacity C] [--allow PATTERN]... [--no-default-allow]
+//!           [--cross-check] [--format text|json] [--report PATH]
+//!           [--failpoints SPEC]
 //! ahs durations [--samples N] [--seed S]
 //! ahs involved [--n N]
 //! ahs dot [--n N] [--platoons P]
@@ -38,6 +42,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "evaluate" => cmd_evaluate(rest),
+        "check" => cmd_check(rest),
         "durations" => cmd_durations(rest).map(|()| ExitCode::SUCCESS),
         "involved" => cmd_involved(rest).map(|()| ExitCode::SUCCESS),
         "dot" => cmd_dot(rest).map(|()| ExitCode::SUCCESS),
@@ -61,6 +66,8 @@ ahs — safety evaluation of Automated Highway Systems (DSN 2009 reproduction)
 
 commands:
   evaluate    estimate the unsafety curve S(t) for a configuration
+  check       exhaustively model-check a composed SAN (absorption, escalation
+              soundness, dead activities, boundedness) with counterexample replay
   durations   estimate end-to-end maneuver durations from the kinematic substrate
   involved    show per-strategy maneuver involvement counts
   dot         export the composed SAN model as Graphviz DOT
@@ -99,6 +106,24 @@ robustness flags (evaluate):
                         `inject` feature only; also read from AHS_FAILPOINTS;
                         see docs/robustness.md for the failpoint catalog)
 
+check flags:
+  --n N             vehicles per platoon             (default 1: exhaustive)
+  --platoons P      number of platoons, 2..=8        (default 2)
+  --strategy S      DD | DC | CD | CC                (default DD)
+  --all             check all four strategies
+  --max-states S    exploration state budget         (default 524288)
+  --capacity C      boundedness token capacity       (default 64)
+  --allow PATTERN   extra allowlisted sink place-name substring
+  --no-default-allow  drop the built-in v_KO/KO_total sink allowlist
+  --cross-check     also cross-validate states/transitions against ahs-ctmc
+  --format F        text (default) or json (ahs-check-report/v1, one per line)
+  --report PATH     also write the JSON report(s) to PATH (one per line)
+  --failpoints SPEC arm deterministic fault injection (inject builds only)
+
+check exits 0 when every property is proved on every requested model, 1 on
+violations, truncation, or a cross-check mismatch; on SIGINT/SIGTERM it
+stops and exits with code 75
+
 on SIGINT/SIGTERM, evaluate stops gracefully, flushes the checkpoint and
 manifest, and exits with code 75 (resumable)";
 
@@ -136,6 +161,20 @@ impl<'a> Flags<'a> {
                 .parse()
                 .map_err(|e| format!("invalid value `{v}` for {flag}: {e}")),
         }
+    }
+
+    /// Every occurrence of a repeatable `--key value` flag, in order.
+    fn values(&self, flag: &str) -> Result<Vec<String>, String> {
+        let mut out = Vec::new();
+        for (i, a) in self.args.iter().enumerate() {
+            if a == flag {
+                match self.args.get(i + 1) {
+                    Some(v) => out.push(v.clone()),
+                    None => return Err(format!("flag {flag} expects a value")),
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -321,6 +360,101 @@ fn cmd_evaluate(args: &[String]) -> Result<ExitCode, String> {
         return Ok(ExitCode::from(EXIT_INTERRUPTED));
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
+    use ahs_safety::check::{
+        cross_validate, render_text, report_json, CheckConfig, CheckError, Checker,
+    };
+
+    let f = Flags::new(args);
+    configure_failpoints(&f)?;
+    let n: usize = f.parse("--n", 1usize)?;
+    let platoons: usize = f.parse("--platoons", 2usize)?;
+    let strategies: Vec<Strategy> = if f.has("--all") {
+        Strategy::ALL.to_vec()
+    } else {
+        match f.value("--strategy")?.unwrap_or("DD") {
+            "DD" | "dd" => vec![Strategy::Dd],
+            "DC" | "dc" => vec![Strategy::Dc],
+            "CD" | "cd" => vec![Strategy::Cd],
+            "CC" | "cc" => vec![Strategy::Cc],
+            other => return Err(format!("unknown strategy `{other}` (use DD/DC/CD/CC)")),
+        }
+    };
+    let json_format = match f.value("--format")?.unwrap_or("text") {
+        "text" => false,
+        "json" => true,
+        other => return Err(format!("unknown format `{other}` (use text or json)")),
+    };
+    let mut allowlist = f.values("--allow")?;
+    if !f.has("--no-default-allow") {
+        allowlist.push("v_KO".to_owned());
+        allowlist.push("KO_total".to_owned());
+    }
+    let config = CheckConfig {
+        max_states: f.parse("--max-states", 1usize << 19)?,
+        capacity: f.parse("--capacity", 64u64)?,
+        absorbing_allowlist: allowlist,
+    };
+    let checker = Checker::with_config(config.clone());
+    let interrupt = interrupt_flag();
+
+    let mut all_proved = true;
+    let mut report_lines = Vec::new();
+    for strategy in strategies {
+        let params = Params::builder()
+            .n(n)
+            .platoons(platoons)
+            .strategy(strategy)
+            .build()
+            .map_err(|e| e.to_string())?;
+        let (san, _) = AhsModel::build(&params)
+            .map_err(|e| e.to_string())?
+            .into_san();
+        let mut outcome = match checker.check_interruptible(&san, Some(interrupt.as_ref())) {
+            Ok(outcome) => outcome,
+            Err(CheckError::Interrupted { states }) => {
+                eprintln!(
+                    "interrupted while exploring `{}` after {states} states; nothing proved",
+                    strategy.name()
+                );
+                return Ok(ExitCode::from(EXIT_INTERRUPTED));
+            }
+            Err(e) => return Err(e.to_string()),
+        };
+        // All four strategies build a SAN named "ahs"; label each
+        // report with its CLI key so `--all` output stays tellable
+        // apart.
+        outcome.model = strategy.name().to_ascii_lowercase();
+        let cross = if f.has("--cross-check") {
+            Some(
+                cross_validate(&san, &outcome.graph, config.max_states)
+                    .map_err(|e| format!("cross-check `{}`: {e}", outcome.model))?,
+            )
+        } else {
+            None
+        };
+        all_proved &= outcome.proved() && cross.as_ref().is_none_or(|c| c.matches());
+        let json = report_json(&outcome, &config, cross.as_ref()).render();
+        if json_format {
+            println!("{json}");
+        } else {
+            print!("{}", render_text(&outcome, &config, cross.as_ref()));
+        }
+        report_lines.push(json);
+    }
+    if let Some(path) = f.value("--report")? {
+        let mut text = report_lines.join("\n");
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("writing report {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(if all_proved {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
 
 fn cmd_durations(args: &[String]) -> Result<(), String> {

@@ -19,6 +19,7 @@
 //! | [`core`] | `ahs-core` | the paper's models: failure modes, maneuvers, strategies, `S(t)` |
 //! | [`obs`] | `ahs-obs` | telemetry: metrics sinks, run manifests, JSON-lines progress |
 //! | [`inject`] | `ahs-inject` | deterministic failpoints for chaos/robustness testing |
+//! | [`check`] | `ahs-check` | exhaustive model checking: absorption, escalation soundness, boundedness, counterexample replay |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ahs_check as check;
 pub use ahs_core as core;
 pub use ahs_ctmc as ctmc;
 pub use ahs_des as des;

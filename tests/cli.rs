@@ -11,7 +11,7 @@ fn help_lists_commands() {
     let out = ahs().arg("help").output().expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    for cmd in ["evaluate", "durations", "involved", "dot"] {
+    for cmd in ["evaluate", "check", "durations", "involved", "dot"] {
         assert!(text.contains(cmd), "help should mention `{cmd}`");
     }
 }
@@ -94,10 +94,12 @@ fn evaluate_runs_a_small_study() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// The top-level keys `tests/run-manifest.schema.json` marks required.
-fn schema_required_keys() -> Vec<String> {
+/// The top-level keys the named schema in `tests/` marks required.
+fn schema_required_keys(file: &str) -> Vec<String> {
     let schema = std::fs::read_to_string(
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/run-manifest.schema.json"),
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests")
+            .join(file),
     )
     .expect("schema file exists");
     let start = schema
@@ -123,7 +125,7 @@ fn evaluate_manifest_matches_schema() {
     evaluate_small(&manifest_path, "5", "1");
     let manifest = std::fs::read_to_string(&manifest_path).expect("manifest written");
 
-    let required = schema_required_keys();
+    let required = schema_required_keys("run-manifest.schema.json");
     assert!(
         required.len() >= 14,
         "schema should list the manifest's required keys, got {required:?}"
@@ -171,6 +173,81 @@ fn evaluate_reproduces_from_manifest_seed_and_threads() {
         "fixed budgets are thread-count invariant"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_proves_all_paper_models_and_cross_validates() {
+    let out = ahs()
+        .args(["check", "--all", "--cross-check", "--format", "json"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "check must prove every strategy clean; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    assert_eq!(lines.len(), 4, "one report per strategy:\n{text}");
+    for (line, name) in lines.iter().zip(["dd", "dc", "cd", "cc"]) {
+        assert!(line.contains(&format!("\"model\":\"{name}\"")), "{line}");
+        assert!(line.contains("\"proved\":true"), "{line}");
+        assert!(line.contains("\"complete\":true"), "{line}");
+        assert!(line.contains("\"states\":209"), "{line}");
+        assert!(line.contains("\"state_sets_match\":true"), "{line}");
+        assert!(line.contains("\"transitions_match\":true"), "{line}");
+    }
+}
+
+#[test]
+fn check_report_matches_schema() {
+    let dir = std::env::temp_dir().join("ahs_cli_check_schema_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report_path = dir.join("check.report.json");
+    let out = ahs()
+        .args([
+            "check",
+            "--strategy",
+            "DD",
+            "--report",
+            report_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report = std::fs::read_to_string(&report_path).expect("report written");
+
+    let required = schema_required_keys("check-report.schema.json");
+    assert!(
+        required.len() >= 14,
+        "schema should list the report's required keys, got {required:?}"
+    );
+    for key in &required {
+        assert!(
+            report.contains(&format!("\"{key}\":")),
+            "report is missing required key `{key}`:\n{report}"
+        );
+    }
+    assert!(report.contains("\"schema\":\"ahs-check-report/v1\""));
+    assert!(report.contains("\"cross_check\":null"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_exits_nonzero_when_nothing_is_proved() {
+    // A state budget too small to finish exploration: the run reports
+    // inconclusive properties and must not exit 0.
+    let out = ahs()
+        .args(["check", "--strategy", "DD", "--max-states", "50"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("TRUNCATED"), "{text}");
 }
 
 #[test]
