@@ -9,7 +9,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use ahs_obs::{write_with_retry, RunManifest, EXIT_INTERRUPTED};
+use ahs_obs::{write_with_retry, RunManifest, RunOutcome};
 use ahs_stats::{format_csv, format_markdown, Table};
 
 use crate::runner::{FigureResult, FigureRun};
@@ -88,18 +88,17 @@ pub fn write_manifest(manifest: &RunManifest, dir: &Path) -> std::io::Result<std
 }
 
 /// Standard fig-binary epilogue: maps an interrupted (partial but
-/// checkpointed) run to exit code [`EXIT_INTERRUPTED`] with a resume
-/// hint on stderr, and a complete run to success.
+/// checkpointed) run to exit code [`ahs_obs::EXIT_INTERRUPTED`] with a
+/// resume hint on stderr, and a complete run to success (the shared
+/// [`RunOutcome`] policy).
 pub fn run_exit_code(run: &FigureRun) -> ExitCode {
     if run.interrupted {
         eprintln!(
             "interrupted: results are partial; rerun with the same flags \
              and --checkpoint-dir to resume"
         );
-        ExitCode::from(EXIT_INTERRUPTED)
-    } else {
-        ExitCode::SUCCESS
     }
+    RunOutcome::of_interrupted(run.interrupted).exit_code()
 }
 
 #[cfg(test)]

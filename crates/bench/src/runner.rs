@@ -206,7 +206,7 @@ impl RunConfig {
             // study. The key is stable across runs, so a resumed sweep
             // picks each point's file back up regardless of iteration
             // order.
-            let digest = fnv1a(e.params().to_json().render().as_bytes());
+            let digest = ahs_obs::fnv1a_64(e.params().to_json().render().as_bytes());
             let path = std::path::Path::new(dir)
                 .join(format!("point-{seed:016x}-{digest:016x}.checkpoint.json"));
             if path.exists() {
@@ -217,17 +217,6 @@ impl RunConfig {
         }
         e
     }
-}
-
-/// FNV-1a 64, used to give every experiment point a stable checkpoint
-/// file name derived from its parameters.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 impl Default for RunConfig {

@@ -1,17 +1,96 @@
 //! High-level evaluation of the unsafety measure `S(t)`.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use ahs_des::{Backend, BiasScheme, Study, StudyCheckpoint, Watchdog};
-use ahs_obs::{EstimatePoint, Json, Metrics, ProgressSink, RunManifest, StoppingSpec};
+use ahs_des::{model_fingerprint, Backend, BiasScheme, Study, StudyCheckpoint, Watchdog};
+use ahs_obs::{fnv1a_64, EstimatePoint, Json, Metrics, ProgressSink, RunManifest, StoppingSpec};
+use ahs_san::SanModel;
 use ahs_stats::{StoppingRule, TimeGrid};
 use serde::{Deserialize, Serialize};
 
 use crate::error::AhsError;
-use crate::model::AhsModel;
+use crate::model::{AhsModel, ModelHandles};
 use crate::params::Params;
+
+/// An AHS model compiled once and shareable across evaluations.
+///
+/// Building the composed SAN for a realistic configuration costs far
+/// more than a handful of replications, and a long-running service
+/// evaluates many jobs over the same few configurations. This is the
+/// cacheable unit: the built [`SanModel`] behind an [`Arc`] (exactly
+/// what [`Study`] stores internally, so sharing it adds no copy), the
+/// [`ModelHandles`] the measure and bias scheme need, and the FNV-1a
+/// structural fingerprint that checkpoints already use to validate
+/// resume — the natural cache key.
+///
+/// [`UnsafetyEvaluator::evaluate`] compiles a private instance;
+/// [`UnsafetyEvaluator::evaluate_compiled`] accepts a shared one and
+/// produces bitwise-identical estimates, because the compiled model is
+/// a pure function of [`Params`] and the replication streams never
+/// depend on how the model was obtained.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    san: Arc<SanModel>,
+    handles: ModelHandles,
+    fingerprint: u64,
+    params: Params,
+}
+
+impl CompiledModel {
+    /// Builds and composes the SAN for `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AhsError::InvalidParameter`] for out-of-range
+    /// parameters (same validation as
+    /// [`UnsafetyEvaluator::evaluate`]).
+    pub fn build(params: &Params) -> Result<Self, AhsError> {
+        let (san, handles) = AhsModel::build(params)?.into_san();
+        let fingerprint = model_fingerprint(&san);
+        Ok(CompiledModel {
+            san: Arc::new(san),
+            handles,
+            fingerprint,
+            params: params.clone(),
+        })
+    }
+
+    /// The FNV-1a structural fingerprint of the composed SAN — the
+    /// same value `ahs-checkpoint/v1` records to validate resume.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Handles into the composed model (measure place, severity
+    /// counters, activity groups).
+    pub fn handles(&self) -> &ModelHandles {
+        &self.handles
+    }
+
+    /// The parameters this model was compiled from.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// The composed SAN, shareable across concurrent studies.
+    pub fn san(&self) -> &Arc<SanModel> {
+        &self.san
+    }
+}
+
+/// The per-study checkpoint file name used when a checkpoint target is
+/// a *directory*: `study-<seed>-<params digest>.checkpoint.json`.
+///
+/// Keyed like the bench runner's per-point files, so two studies over
+/// different seeds or parameters can never clobber each other's
+/// checkpoint generations even when pointed at the same directory.
+#[must_use]
+pub fn study_checkpoint_path(dir: &Path, seed: u64, params: &Params) -> PathBuf {
+    let digest = fnv1a_64(params.to_json().render().as_bytes());
+    dir.join(format!("study-{seed:016x}-{digest:016x}.checkpoint.json"))
+}
 
 /// One evaluated point of an unsafety curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,6 +118,29 @@ pub struct UnsafetyCurve {
 }
 
 impl UnsafetyCurve {
+    /// Reassembles a finished curve from persisted parts — the path a
+    /// restarted service takes when reloading a completed job's status
+    /// document. The result is never marked interrupted: only finished
+    /// evaluations are persisted this way.
+    pub fn from_parts(
+        points: Vec<UnsafetyPoint>,
+        replications: u64,
+        converged: bool,
+        quarantined: u64,
+        resume_lineage: Vec<u64>,
+        resume_fallback: Option<u32>,
+    ) -> Self {
+        UnsafetyCurve {
+            points,
+            replications,
+            converged,
+            interrupted: false,
+            quarantined,
+            resume_lineage,
+            resume_fallback,
+        }
+    }
+
     /// The evaluated points, ascending in `x`.
     pub fn points(&self) -> &[UnsafetyPoint] {
         &self.points
@@ -421,8 +523,38 @@ impl UnsafetyEvaluator {
     /// Returns [`AhsError`] for invalid parameters or simulation
     /// failures.
     pub fn evaluate(&self, grid: &TimeGrid) -> Result<UnsafetyCurve, AhsError> {
-        let model = AhsModel::build(&self.params)?;
-        let (san, handles) = model.into_san();
+        let compiled = CompiledModel::build(&self.params)?;
+        self.evaluate_compiled(grid, &compiled)
+    }
+
+    /// Evaluates `S(t)` over `grid` using an already-compiled model —
+    /// the path a service takes when several jobs share one
+    /// [`CompiledModel`] from a cache. Bitwise-identical to
+    /// [`evaluate`](UnsafetyEvaluator::evaluate) for the same
+    /// parameters, seed, and stopping rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AhsError::InvalidParameter`] if `compiled` was built
+    /// from different parameters than this evaluator holds (a cache-key
+    /// bug upstream must fail loudly, not silently evaluate the wrong
+    /// model), or any simulation failure.
+    pub fn evaluate_compiled(
+        &self,
+        grid: &TimeGrid,
+        compiled: &CompiledModel,
+    ) -> Result<UnsafetyCurve, AhsError> {
+        if compiled.params != self.params {
+            return Err(AhsError::InvalidParameter {
+                name: "compiled_model",
+                reason: format!(
+                    "compiled model (fingerprint {:016x}) was built from \
+                     different parameters than the evaluator holds",
+                    compiled.fingerprint
+                ),
+            });
+        }
+        let handles = &compiled.handles;
 
         let failures = handles.failure_activities.iter().copied();
         let backend = match self.bias {
@@ -453,7 +585,7 @@ impl UnsafetyEvaluator {
             }
         };
 
-        let mut study = Study::new(san)
+        let mut study = Study::new(compiled.san.clone())
             .with_seed(self.seed)
             .with_rule(self.rule)
             .with_confidence(self.confidence);

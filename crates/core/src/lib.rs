@@ -57,7 +57,9 @@ mod strategy;
 
 pub use agent::AgentSimulator;
 pub use error::AhsError;
-pub use evaluator::{BiasMode, UnsafetyCurve, UnsafetyEvaluator, UnsafetyPoint};
+pub use evaluator::{
+    study_checkpoint_path, BiasMode, CompiledModel, UnsafetyCurve, UnsafetyEvaluator, UnsafetyPoint,
+};
 pub use failure::{
     class_of_maneuver, escalation_of, maneuver_for, maneuver_priority, FailureMode, Severity,
     SeverityClass, MANEUVERS,

@@ -117,11 +117,13 @@ pub struct Study {
 }
 
 impl Study {
-    /// Creates a study of `model` with the paper's default stopping
-    /// rule.
-    pub fn new(model: SanModel) -> Self {
+    /// Creates a study of `model` — owned, or an `Arc` already shared
+    /// with other concurrent studies (a service's model cache hands the
+    /// same compiled SAN to every job over the same configuration) —
+    /// with the paper's default stopping rule.
+    pub fn new(model: impl Into<Arc<SanModel>>) -> Self {
         Study {
-            model: Arc::new(model),
+            model: model.into(),
             seed: 0xA115_5EED, // arbitrary fixed default
             confidence: 0.95,
             rule: StoppingRule::relative_precision(0.95, 0.1)

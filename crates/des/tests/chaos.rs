@@ -333,8 +333,16 @@ fn chaos_sweep_covers_every_registered_failpoint() {
     assert!(matches!(err, SimError::Runaway { .. }), "{err}");
     cover(&mut covered, &["des::sim::step"]);
 
-    // --- The sweep's reason to exist: nothing in the catalog escaped.
-    let all: HashSet<&'static str> = ahs_inject::catalog().iter().map(|d| d.name).collect();
+    // --- The sweep's reason to exist: nothing in the obs/des layers
+    // escaped. The `ahs-serve` points have their own serial sweep
+    // (`crates/serve/tests/chaos.rs`); the partition check below keeps
+    // the two sweeps jointly exhaustive — a failpoint registered under
+    // a new (or typo'd) layer fails here until a sweep claims it.
+    let all: HashSet<&'static str> = ahs_inject::catalog()
+        .iter()
+        .filter(|d| d.layer != "ahs-serve")
+        .map(|d| d.name)
+        .collect();
     let missed: Vec<&&str> = all.difference(&covered).collect();
     assert!(
         missed.is_empty(),
@@ -342,6 +350,14 @@ fn chaos_sweep_covers_every_registered_failpoint() {
     );
     // And the converse: no scenario claimed a name the catalog lacks.
     assert!(covered.is_subset(&all));
+    for d in ahs_inject::catalog() {
+        assert!(
+            matches!(d.layer, "ahs-obs" | "ahs-des" | "ahs-serve"),
+            "failpoint {} registered under layer {:?}, which no chaos sweep covers",
+            d.name,
+            d.layer
+        );
+    }
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -88,6 +88,36 @@ pub const CATALOG: &[FailpointDesc] = &[
         actions: &["delay(ms)", "panic(msg)"],
         site: "one event of the simulation inner loop",
     },
+    FailpointDesc {
+        name: "serve::accept",
+        layer: "ahs-serve",
+        actions: &["return(kind)", "delay(ms)", "panic(msg)"],
+        site: "handing one accepted connection to its handler thread",
+    },
+    FailpointDesc {
+        name: "serve::job::enqueue",
+        layer: "ahs-serve",
+        actions: &["return(kind)", "delay(ms)"],
+        site: "admitting a validated job into the bounded queue",
+    },
+    FailpointDesc {
+        name: "serve::worker::spawn",
+        layer: "ahs-serve",
+        actions: &["panic(msg)", "return(kind)", "delay(ms)"],
+        site: "a supervised worker starting one job attempt",
+    },
+    FailpointDesc {
+        name: "serve::response::write",
+        layer: "ahs-serve",
+        actions: &["return(kind)", "delay(ms)"],
+        site: "writing the HTTP response for a handled request",
+    },
+    FailpointDesc {
+        name: "serve::cache::insert",
+        layer: "ahs-serve",
+        actions: &["return(kind)", "delay(ms)"],
+        site: "publishing a freshly compiled model into the shared cache",
+    },
 ];
 
 /// The full catalog, in sweep order.

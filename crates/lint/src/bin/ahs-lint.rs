@@ -65,13 +65,14 @@ exit code: 0 = no errors, 1 = at least one error diagnostic, 2 = usage";
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
-        Ok(clean) => {
-            if clean {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
+        // Run outcomes use the workspace-shared mapping; usage errors
+        // are not a run outcome and keep the conventional 2.
+        Ok(clean) => if clean {
+            ahs_obs::RunOutcome::Success
+        } else {
+            ahs_obs::RunOutcome::Failure
         }
+        .exit_code(),
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("{USAGE}");

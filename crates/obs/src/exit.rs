@@ -1,0 +1,90 @@
+//! The workspace's shared process exit-code policy.
+//!
+//! Three binaries used to carry private copies of the same mapping
+//! (`ahs`, `ahs-lint`, and the bench figure binaries); they now share
+//! this one. The codes are part of the CLI contract documented in
+//! `docs/robustness.md` and asserted by the CI crash-recovery and
+//! serve smoke jobs:
+//!
+//! * [`RunOutcome::Success`] → `0`: the run completed; results are
+//!   final.
+//! * [`RunOutcome::Interrupted`] → [`EXIT_INTERRUPTED`] (75, BSD
+//!   `EX_TEMPFAIL`): stopped on SIGINT/SIGTERM with all resumable
+//!   state flushed; rerunning with `--resume` (or restarting the
+//!   server over the same state directory) continues bitwise.
+//! * [`RunOutcome::Failure`] → `1`: the run failed or produced error
+//!   findings.
+//!
+//! Usage errors (bad flags) are *not* an outcome of a run and keep
+//! their conventional per-binary code (`ahs-lint` uses `2`).
+
+use std::process::ExitCode;
+
+use crate::interrupt::EXIT_INTERRUPTED;
+
+/// How a process run ended, for exit-code purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Completed successfully: exit `0`.
+    Success,
+    /// Stopped gracefully on an interrupt with resumable state
+    /// flushed: exit [`EXIT_INTERRUPTED`].
+    Interrupted,
+    /// Failed, or completed with error findings: exit `1`.
+    Failure,
+}
+
+impl RunOutcome {
+    /// [`Interrupted`](RunOutcome::Interrupted) when `interrupted`,
+    /// else [`Success`](RunOutcome::Success) — the shape every
+    /// study-running binary needs after a successful evaluation.
+    #[must_use]
+    pub fn of_interrupted(interrupted: bool) -> Self {
+        if interrupted {
+            RunOutcome::Interrupted
+        } else {
+            RunOutcome::Success
+        }
+    }
+
+    /// The raw exit code: 0, 75, or 1.
+    #[must_use]
+    pub fn code(self) -> u8 {
+        match self {
+            RunOutcome::Success => 0,
+            RunOutcome::Interrupted => EXIT_INTERRUPTED,
+            RunOutcome::Failure => 1,
+        }
+    }
+
+    /// The [`ExitCode`] to return from `main`.
+    #[must_use]
+    pub fn exit_code(self) -> ExitCode {
+        ExitCode::from(self.code())
+    }
+}
+
+impl From<RunOutcome> for ExitCode {
+    fn from(outcome: RunOutcome) -> ExitCode {
+        outcome.exit_code()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_contract() {
+        assert_eq!(RunOutcome::Success.code(), 0);
+        assert_eq!(RunOutcome::Interrupted.code(), 75);
+        assert_eq!(RunOutcome::Interrupted.code(), EXIT_INTERRUPTED);
+        assert_eq!(RunOutcome::Failure.code(), 1);
+    }
+
+    #[test]
+    fn of_interrupted_maps_both_ways() {
+        assert_eq!(RunOutcome::of_interrupted(true), RunOutcome::Interrupted);
+        assert_eq!(RunOutcome::of_interrupted(false), RunOutcome::Success);
+    }
+}

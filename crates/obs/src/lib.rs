@@ -58,14 +58,18 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exit;
 mod fsio;
+mod hash;
 mod interrupt;
 mod json;
 mod manifest;
 mod metrics;
 mod progress;
 
+pub use exit::RunOutcome;
 pub use fsio::{atomic_write, dir_sync_failures, retry_io, write_with_retry, RetryPolicy};
+pub use hash::fnv1a_64;
 pub use interrupt::{interrupt_flag, interrupted, EXIT_INTERRUPTED};
 pub use json::{push_json_string, Json, JsonParseError};
 pub use manifest::{git_revision, EstimatePoint, RunManifest, StoppingSpec, MANIFEST_SCHEMA};

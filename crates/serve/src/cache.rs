@@ -1,0 +1,140 @@
+//! The shared compiled-model cache.
+//!
+//! Jobs over the same configuration share one [`CompiledModel`]: the
+//! composed SAN sits behind an `Arc`, which is exactly what `Study`
+//! stores internally, so sharing costs nothing and changes no bits —
+//! replication streams depend only on (seed, chunk, model structure),
+//! never on which job compiled the model.
+//!
+//! The cache is keyed in two hops: an FNV-1a digest of the parameter
+//! JSON finds the model *fingerprint* (the same FNV-1a structural
+//! fingerprint `ahs-checkpoint/v1` validates on resume), and the
+//! fingerprint indexes the store. The `serve::cache::insert` failpoint
+//! can fail the publication step; that degrades to a counted cache
+//! *bypass* — the job keeps its privately built model, which is
+//! bitwise-equivalent — never to a failed job.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use ahs_core::{AhsError, CompiledModel, Params};
+use ahs_obs::fnv1a_64;
+
+/// Hit/miss/bypass counts, surfaced in `/v1/healthz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled a fresh model.
+    pub misses: u64,
+    /// Fresh models that could not be published (injected or real
+    /// insert failure) — the job ran on its private copy.
+    pub bypasses: u64,
+}
+
+/// A concurrent map from parameter digest to compiled model.
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    /// Parameter digest → model fingerprint.
+    index: Mutex<HashMap<u64, u64>>,
+    /// Model fingerprint → compiled model.
+    models: Mutex<HashMap<u64, Arc<CompiledModel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Map operations cannot leave a HashMap torn from this module's
+    // usage; recover from poisoning instead of wedging the server.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> ModelCache {
+        ModelCache::default()
+    }
+
+    /// The compiled model for `params`: cached if present, freshly
+    /// compiled (and published, failpoint permitting) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AhsError`] from model compilation; cache-layer
+    /// failures are degradations, never errors.
+    pub fn get_or_build(&self, params: &Params) -> Result<Arc<CompiledModel>, AhsError> {
+        let digest = fnv1a_64(params.to_json().render().as_bytes());
+        if let Some(fp) = lock(&self.index).get(&digest).copied() {
+            if let Some(model) = lock(&self.models).get(&fp).cloned() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(model);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(CompiledModel::build(params)?);
+        match ahs_inject::eval("serve::cache::insert") {
+            Some(ahs_inject::Fault::Error(_)) => {
+                self.bypasses.fetch_add(1, Ordering::Relaxed);
+            }
+            fault => {
+                if let Some(ahs_inject::Fault::Delay(ms)) = fault {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+                lock(&self.index).insert(digest, compiled.fingerprint());
+                lock(&self.models).insert(compiled.fingerprint(), compiled.clone());
+            }
+        }
+        Ok(compiled)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Distinct models currently cached.
+    pub fn len(&self) -> usize {
+        lock(&self.models).len()
+    }
+
+    /// Whether the cache holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_and_shares() {
+        let cache = ModelCache::new();
+        let params = Params::builder().lambda(5e-3).n(2).build().unwrap();
+        let a = cache.get_or_build(&params).unwrap();
+        let b = cache.get_or_build(&params).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must share the model");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_params_get_distinct_models() {
+        let cache = ModelCache::new();
+        let a = cache
+            .get_or_build(&Params::builder().lambda(5e-3).n(2).build().unwrap())
+            .unwrap();
+        let b = cache
+            .get_or_build(&Params::builder().lambda(5e-3).n(3).build().unwrap())
+            .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(cache.len(), 2);
+    }
+}

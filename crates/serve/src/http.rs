@@ -1,0 +1,205 @@
+//! A minimal HTTP/1.1 subset over `std::net` — just enough for the
+//! evaluation API, with hard caps and timeouts so a slow or malicious
+//! client can never hang a handler thread.
+//!
+//! No keep-alive: every response carries `connection: close` and the
+//! stream is dropped after one exchange. That keeps the server's
+//! robustness story trivial to state (a connection is one request) at
+//! the cost of one TCP handshake per call, which is noise next to an
+//! evaluation job.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on the request line + headers.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Cap on the request body (job specs are tiny; this is generous).
+pub(crate) const MAX_BODY_BYTES: usize = 64 * 1024;
+/// Per-socket read/write timeout: a stalled peer forfeits the
+/// connection rather than parking the handler thread.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One parsed request.
+pub(crate) struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+pub(crate) enum RequestError {
+    /// Protocol violation the client should hear about.
+    Bad(u16, &'static str),
+    /// Socket-level failure or premature close; nothing to say back.
+    Io,
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads one request, enforcing the head/body caps and timeouts.
+pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    stream.set_read_timeout(Some(IO_TIMEOUT)).ok();
+    stream.set_write_timeout(Some(IO_TIMEOUT)).ok();
+
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(i) = find_head_end(&buf) {
+            break i;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(RequestError::Bad(431, "header section too large"));
+        }
+        let n = stream.read(&mut chunk).map_err(|_| RequestError::Io)?;
+        if n == 0 {
+            return Err(RequestError::Io);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| RequestError::Bad(400, "non-UTF-8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_owned();
+    let path = parts.next().unwrap_or_default().to_owned();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1") {
+        return Err(RequestError::Bad(400, "malformed request line"));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((key, value)) = line.split_once(':') {
+            if key.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| RequestError::Bad(400, "invalid content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::Bad(413, "request body too large"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|_| RequestError::Io)?;
+        if n == 0 {
+            return Err(RequestError::Bad(400, "truncated request body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Writes one JSON response (plus optional extra headers) and flushes.
+pub(crate) fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn exchange(raw: &[u8]) -> Result<Request, RequestError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = exchange(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\n{}ab")
+            .ok()
+            .expect("valid request parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.body, b"{}ab");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = exchange(b"GET /v1/healthz HTTP/1.1\r\n\r\n").ok().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.body, b"");
+    }
+
+    #[test]
+    fn rejects_malformed_request_line() {
+        assert!(matches!(
+            exchange(b"NONSENSE\r\n\r\n"),
+            Err(RequestError::Bad(400, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_up_front() {
+        let raw = format!(
+            "POST /v1/jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            exchange(raw.as_bytes()),
+            Err(RequestError::Bad(413, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        assert!(matches!(
+            exchange(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}"),
+            Err(RequestError::Bad(400, _))
+        ));
+    }
+}

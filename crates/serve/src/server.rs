@@ -1,0 +1,709 @@
+//! The evaluation server: accept loop, bounded queue, worker pool,
+//! admission control, and graceful drain.
+//!
+//! Lifecycle: [`Server::start`] binds the listener, rescans the state
+//! directory (re-enqueueing every unfinished job, so a restart resumes
+//! exactly where the previous process stopped), and spawns the worker
+//! pool plus a non-blocking accept loop. Raising the shutdown flag —
+//! the same `Arc<AtomicBool>` handed to every study as its interrupt
+//! flag — drains the system: the accept loop closes, running jobs stop
+//! at their next chunk boundary and flush a final checkpoint, queued
+//! jobs stay queued, and [`Server::join`] reports how many accepted
+//! jobs remain unfinished (the caller exits 75 when any do).
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ahs_obs::{write_with_retry, Json, RunOutcome};
+
+use crate::cache::ModelCache;
+use crate::http::{read_request, write_response, Request, RequestError};
+use crate::job::{AdmissionPolicy, Job, JobSpec, Phase, SubmitError};
+use crate::supervisor::{run_supervised, SupervisorConfig};
+
+/// How often parked threads poll the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Everything [`Server::start`] needs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Root of the persisted job state.
+    pub state_dir: PathBuf,
+    /// Concurrent supervised jobs.
+    pub workers: usize,
+    /// Jobs allowed to wait in the queue; submissions beyond this are
+    /// shed with a 429.
+    pub queue_capacity: usize,
+    /// Admission limits applied to every submission.
+    pub policy: AdmissionPolicy,
+    /// Restarts allowed per job before a crash becomes a failure.
+    pub restart_budget: u32,
+    /// Replications between checkpoint flushes.
+    pub checkpoint_every: u64,
+    /// Checkpoint generations retained per job.
+    pub checkpoint_generations: u32,
+}
+
+impl ServeConfig {
+    /// Defaults for serving from `state_dir` on a loopback port.
+    pub fn new(state_dir: impl Into<PathBuf>) -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:2009".to_owned(),
+            state_dir: state_dir.into(),
+            workers: 2,
+            queue_capacity: 16,
+            policy: AdmissionPolicy::default(),
+            restart_budget: 2,
+            checkpoint_every: 10_000,
+            checkpoint_generations: 2,
+        }
+    }
+}
+
+/// Load-shedding and degradation counters, surfaced in `/v1/healthz`.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub accepted: AtomicU64,
+    pub rejected_overloaded: AtomicU64,
+    pub rejected_policy: AtomicU64,
+    pub rejected_invalid: AtomicU64,
+    pub enqueue_faults: AtomicU64,
+    pub accept_faults: AtomicU64,
+    pub responses_dropped: AtomicU64,
+    pub worker_restarts: AtomicU64,
+}
+
+struct Inner {
+    config: ServeConfig,
+    jobs: Mutex<Vec<Arc<Job>>>,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_signal: Condvar,
+    next_seq: AtomicU64,
+    stop: Arc<AtomicBool>,
+    cache: ModelCache,
+    counters: Counters,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What was left when the server drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Jobs that reached their final estimates.
+    pub finished: usize,
+    /// Jobs that failed with a typed error.
+    pub failed: usize,
+    /// Accepted jobs still queued/interrupted — every one resumes
+    /// bitwise when a server restarts over the same state dir.
+    pub unfinished: usize,
+}
+
+impl DrainReport {
+    /// The process outcome this drain maps to: interrupted (exit 75)
+    /// while any accepted job is unfinished, success otherwise.
+    #[must_use]
+    pub fn outcome(&self) -> RunOutcome {
+        RunOutcome::of_interrupted(self.unfinished > 0)
+    }
+}
+
+/// A running evaluation server.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept_handle: JoinHandle<()>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, rescans `state_dir` (re-enqueueing unfinished jobs in
+    /// admission order), and spawns the accept loop and worker pool.
+    /// `stop` is the shutdown flag — typically
+    /// [`ahs_obs::interrupt_flag`] so SIGINT/SIGTERM drain the server.
+    ///
+    /// # Errors
+    ///
+    /// IO errors binding the listener or creating the state directory.
+    pub fn start(config: ServeConfig, stop: Arc<AtomicBool>) -> std::io::Result<Server> {
+        let jobs_dir = config.state_dir.join("jobs");
+        std::fs::create_dir_all(&jobs_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let inner = Arc::new(Inner {
+            config,
+            jobs: Mutex::new(Vec::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_signal: Condvar::new(),
+            next_seq: AtomicU64::new(1),
+            stop,
+            cache: ModelCache::new(),
+            counters: Counters::default(),
+        });
+        rescan(&inner, &jobs_dir)?;
+
+        let workers = inner.config.workers.max(1);
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        let accept_handle = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("serve-accept".to_owned())
+                .spawn(move || accept_loop(&inner, &listener))
+                .expect("spawning accept thread")
+        };
+
+        Ok(Server {
+            inner,
+            addr,
+            accept_handle,
+            worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown flag; raising it drains the server.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.inner.stop.clone()
+    }
+
+    /// Blocks until the shutdown flag drains every thread, then
+    /// reports what was left. In-flight jobs stop at chunk boundaries
+    /// with a flushed checkpoint; nothing is lost.
+    pub fn join(self) -> DrainReport {
+        self.accept_handle.join().ok();
+        for handle in self.worker_handles {
+            handle.join().ok();
+        }
+        let (mut finished, mut failed, mut unfinished) = (0, 0, 0);
+        for job in lock(&self.inner.jobs).iter() {
+            match job.phase() {
+                Phase::Finished(_) => finished += 1,
+                Phase::Failed(_) => failed += 1,
+                _ => unfinished += 1,
+            }
+        }
+        DrainReport {
+            finished,
+            failed,
+            unfinished,
+        }
+    }
+}
+
+/// Reloads persisted jobs after a restart: terminal jobs become
+/// records, everything else re-enters the queue in admission order.
+fn rescan(inner: &Arc<Inner>, jobs_dir: &std::path::Path) -> std::io::Result<()> {
+    let mut recovered: Vec<Arc<Job>> = Vec::new();
+    for entry in std::fs::read_dir(jobs_dir)? {
+        let dir = entry?.path();
+        let spec_path = dir.join("job.json");
+        if !spec_path.exists() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&spec_path)?;
+        let Ok(doc) = Json::parse(&text) else {
+            eprintln!("warning: skipping unreadable {}", spec_path.display());
+            continue;
+        };
+        let seq = doc.get("seq").and_then(Json::as_u64).unwrap_or(0);
+        let job = match JobSpec::from_json(&doc, &inner.config.policy) {
+            Ok(spec) => Arc::new(Job::new(seq, spec, dir.clone())),
+            Err(e) => {
+                // A spec this server's policy no longer admits must
+                // surface as a typed failure, not vanish.
+                let Ok(spec) = JobSpec::from_json(&doc, &AdmissionPolicy::default()) else {
+                    eprintln!("warning: skipping unparseable {}", spec_path.display());
+                    continue;
+                };
+                let job = Arc::new(Job::new(seq, spec, dir.clone()));
+                job.set_phase(Phase::Failed(format!("rejected on recovery: {e}")));
+                recovered.push(job);
+                continue;
+            }
+        };
+        // The persisted status decides whether the job is terminal.
+        let status = std::fs::read_to_string(dir.join("status.json"))
+            .ok()
+            .and_then(|t| Json::parse(&t).ok());
+        let state = status
+            .as_ref()
+            .and_then(|s| s.get("state"))
+            .and_then(Json::as_str)
+            .unwrap_or("queued")
+            .to_owned();
+        if let Some(status) = &status {
+            if let Some(dropped) = status.get("telemetry_dropped").and_then(Json::as_u64) {
+                job.telemetry_dropped.store(dropped, Ordering::Relaxed);
+            }
+            if let Some(restarts) = status.get("restarts").and_then(Json::as_u64) {
+                job.restarts.store(restarts as u32, Ordering::Relaxed);
+            }
+        }
+        match (state.as_str(), status) {
+            ("finished", Some(status)) => {
+                if let Some(curve) = curve_from_status(&status) {
+                    *job_phase_for_recovery(&job) = Phase::Finished(curve);
+                } else {
+                    eprintln!(
+                        "warning: {} is marked finished but its estimates are \
+                         unreadable; re-running from checkpoint",
+                        job.name
+                    );
+                }
+            }
+            ("failed", Some(status)) => {
+                let reason = status
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown failure")
+                    .to_owned();
+                *job_phase_for_recovery(&job) = Phase::Failed(reason);
+            }
+            _ => {}
+        }
+        recovered.push(job);
+    }
+    recovered.sort_by_key(|job| job.seq);
+    let max_seq = recovered.iter().map(|job| job.seq).max().unwrap_or(0);
+    inner.next_seq.store(max_seq + 1, Ordering::Relaxed);
+    let mut queue = lock(&inner.queue);
+    let mut jobs = lock(&inner.jobs);
+    for job in recovered {
+        if matches!(
+            job.phase(),
+            Phase::Queued | Phase::Running | Phase::Interrupted { .. }
+        ) {
+            queue.push_back(job.clone());
+        }
+        jobs.push(job);
+    }
+    Ok(())
+}
+
+/// Direct phase access during recovery, before any worker can race.
+fn job_phase_for_recovery(job: &Arc<Job>) -> std::sync::MutexGuard<'_, Phase> {
+    // set_phase would also rewrite status.json; recovery only restores
+    // in-memory state from what is already on disk.
+    job.phase_guard()
+}
+
+/// Rebuilds a finished curve from a persisted status document. The
+/// estimate floats round-trip bitwise through the shortest-roundtrip
+/// JSON rendering, so a restarted server reports the exact bits the
+/// original evaluation produced.
+fn curve_from_status(status: &Json) -> Option<ahs_core::UnsafetyCurve> {
+    let estimates = status.get("estimates")?.as_array()?;
+    let points = estimates
+        .iter()
+        .map(|e| {
+            Some(ahs_core::UnsafetyPoint {
+                x: e.get("x")?.as_f64()?,
+                y: e.get("y")?.as_f64()?,
+                half_width: e.get("half_width")?.as_f64()?,
+                samples: e.get("samples")?.as_u64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    if points.is_empty() {
+        return None;
+    }
+    Some(ahs_core::UnsafetyCurve::from_parts(
+        points,
+        status.get("replications")?.as_u64()?,
+        status.get("converged")?.as_bool().unwrap_or(false),
+        status.get("quarantined")?.as_u64().unwrap_or(0),
+        status
+            .get("resume_lineage")?
+            .as_array()?
+            .iter()
+            .filter_map(Json::as_u64)
+            .collect(),
+        status.get("resume_fallback")?.as_u64().map(|g| g as u32),
+    ))
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    let config = SupervisorConfig {
+        restart_budget: inner.config.restart_budget,
+        checkpoint_every: inner.config.checkpoint_every,
+        checkpoint_generations: inner.config.checkpoint_generations,
+        watchdog: inner.config.policy.watchdog,
+    };
+    loop {
+        let job = {
+            let mut queue = lock(&inner.queue);
+            loop {
+                if inner.stop.load(Ordering::Relaxed) {
+                    // Leave queued jobs queued: they are persisted and
+                    // resume on the next server start.
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                let (guard, _) = inner
+                    .queue_signal
+                    .wait_timeout(queue, POLL)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        let restarts = run_supervised(&job, &inner.cache, &config, &inner.stop);
+        inner
+            .counters
+            .worker_restarts
+            .fetch_add(u64::from(restarts), Ordering::Relaxed);
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    while !inner.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name("serve-conn".to_owned())
+                    .spawn(move || handle_connection(&inner, stream))
+                    .ok();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
+    // The accept failpoint models the handoff dying under fault: an
+    // injected error closes the connection immediately (the client
+    // sees EOF, never a hang) and is counted; a panic kills only this
+    // connection thread, with the same observable effect.
+    match ahs_inject::eval("serve::accept") {
+        Some(ahs_inject::Fault::Error(_)) => {
+            inner.counters.accept_faults.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        Some(ahs_inject::Fault::Panic(msg)) => {
+            inner.counters.accept_faults.fetch_add(1, Ordering::Relaxed);
+            panic!("injected accept crash: {msg}");
+        }
+        Some(ahs_inject::Fault::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        _ => {}
+    }
+
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(RequestError::Bad(status, reason)) => {
+            respond(inner, &mut stream, status, &[], &error_body(reason));
+            return;
+        }
+        Err(RequestError::Io) => return,
+    };
+    let (status, headers, body) = route(inner, &request);
+    respond(inner, &mut stream, status, &headers, &body);
+}
+
+fn error_body(reason: &str) -> String {
+    let mut doc = Json::Obj(vec![("error".to_owned(), Json::str(reason))]).render();
+    doc.push('\n');
+    doc
+}
+
+fn respond(
+    inner: &Arc<Inner>,
+    stream: &mut TcpStream,
+    status: u16,
+    headers: &[(&str, String)],
+    body: &str,
+) {
+    // An injected response-write fault drops the connection without a
+    // response — the client sees a clean EOF and the loss is counted;
+    // the server thread moves on either way.
+    match ahs_inject::eval("serve::response::write") {
+        Some(ahs_inject::Fault::Error(_)) => {
+            inner
+                .counters
+                .responses_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        Some(ahs_inject::Fault::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        _ => {}
+    }
+    if write_response(stream, status, headers, body).is_err() {
+        inner
+            .counters
+            .responses_dropped
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+type Routed = (u16, Vec<(&'static str, String)>, String);
+
+fn route(inner: &Arc<Inner>, request: &Request) -> Routed {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("POST", "/v1/jobs") => submit(inner, &request.body),
+        ("GET", "/v1/jobs") => list_jobs(inner),
+        ("GET", "/v1/healthz") => (200, Vec::new(), render_line(&health(inner))),
+        ("GET", _) if path.starts_with("/v1/jobs/") => job_route(inner, path),
+        ("POST" | "GET", _) => (404, Vec::new(), error_body("no such endpoint")),
+        _ => (405, Vec::new(), error_body("method not allowed")),
+    }
+}
+
+fn render_line(doc: &Json) -> String {
+    let mut text = doc.render();
+    text.push('\n');
+    text
+}
+
+fn find_job(inner: &Arc<Inner>, name: &str) -> Option<Arc<Job>> {
+    lock(&inner.jobs)
+        .iter()
+        .find(|job| job.name == name)
+        .cloned()
+}
+
+fn job_route(inner: &Arc<Inner>, path: &str) -> Routed {
+    let rest = &path["/v1/jobs/".len()..];
+    let (name, tail) = match rest.split_once('/') {
+        None => (rest, None),
+        Some((name, tail)) => (name, Some(tail)),
+    };
+    let Some(job) = find_job(inner, name) else {
+        return (404, Vec::new(), error_body("no such job"));
+    };
+    match tail {
+        None => (200, Vec::new(), render_line(&job.status_json())),
+        Some("manifest") => {
+            if !matches!(job.phase(), Phase::Finished(_)) {
+                return (409, Vec::new(), error_body("job not finished"));
+            }
+            match std::fs::read_to_string(job.dir.join("manifest.json")) {
+                Ok(text) => (200, Vec::new(), text),
+                Err(_) => (500, Vec::new(), error_body("manifest unreadable")),
+            }
+        }
+        Some(_) => (404, Vec::new(), error_body("no such endpoint")),
+    }
+}
+
+fn list_jobs(inner: &Arc<Inner>) -> Routed {
+    let jobs = lock(&inner.jobs)
+        .iter()
+        .map(|job| job.status_json())
+        .collect();
+    let doc = Json::Obj(vec![
+        ("schema".to_owned(), Json::str("ahs-serve-jobs/v1")),
+        ("jobs".to_owned(), Json::Arr(jobs)),
+    ]);
+    (200, Vec::new(), render_line(&doc))
+}
+
+fn health(inner: &Arc<Inner>) -> Json {
+    let (mut queued, mut running, mut interrupted, mut finished, mut failed) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for job in lock(&inner.jobs).iter() {
+        match job.phase() {
+            Phase::Queued => queued += 1,
+            Phase::Running => running += 1,
+            Phase::Interrupted { .. } => interrupted += 1,
+            Phase::Finished(_) => finished += 1,
+            Phase::Failed(_) => failed += 1,
+        }
+    }
+    let counters = &inner.counters;
+    let cache = inner.cache.stats();
+    let draining = inner.stop.load(Ordering::Relaxed);
+    Json::Obj(vec![
+        ("schema".to_owned(), Json::str("ahs-serve-health/v1")),
+        (
+            "status".to_owned(),
+            Json::str(if draining { "draining" } else { "ok" }),
+        ),
+        ("workers".to_owned(), inner.config.workers.into()),
+        (
+            "queue_capacity".to_owned(),
+            inner.config.queue_capacity.into(),
+        ),
+        ("queued".to_owned(), queued.into()),
+        ("running".to_owned(), running.into()),
+        ("interrupted".to_owned(), interrupted.into()),
+        ("finished".to_owned(), finished.into()),
+        ("failed".to_owned(), failed.into()),
+        (
+            "accepted".to_owned(),
+            counters.accepted.load(Ordering::Relaxed).into(),
+        ),
+        (
+            "rejected_overloaded".to_owned(),
+            counters.rejected_overloaded.load(Ordering::Relaxed).into(),
+        ),
+        (
+            "rejected_policy".to_owned(),
+            counters.rejected_policy.load(Ordering::Relaxed).into(),
+        ),
+        (
+            "rejected_invalid".to_owned(),
+            counters.rejected_invalid.load(Ordering::Relaxed).into(),
+        ),
+        (
+            "enqueue_faults".to_owned(),
+            counters.enqueue_faults.load(Ordering::Relaxed).into(),
+        ),
+        (
+            "accept_faults".to_owned(),
+            counters.accept_faults.load(Ordering::Relaxed).into(),
+        ),
+        (
+            "responses_dropped".to_owned(),
+            counters.responses_dropped.load(Ordering::Relaxed).into(),
+        ),
+        (
+            "worker_restarts".to_owned(),
+            counters.worker_restarts.load(Ordering::Relaxed).into(),
+        ),
+        ("cache_hits".to_owned(), cache.hits.into()),
+        ("cache_misses".to_owned(), cache.misses.into()),
+        ("cache_bypasses".to_owned(), cache.bypasses.into()),
+        ("cache_models".to_owned(), inner.cache.len().into()),
+    ])
+}
+
+fn submit(inner: &Arc<Inner>, body: &[u8]) -> Routed {
+    let Ok(text) = std::str::from_utf8(body) else {
+        inner
+            .counters
+            .rejected_invalid
+            .fetch_add(1, Ordering::Relaxed);
+        return (400, Vec::new(), error_body("body must be UTF-8 JSON"));
+    };
+    let doc = match Json::parse(if text.trim().is_empty() { "{}" } else { text }) {
+        Ok(doc) => doc,
+        Err(e) => {
+            inner
+                .counters
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            return (400, Vec::new(), error_body(&format!("invalid JSON: {e}")));
+        }
+    };
+    let spec = match JobSpec::from_json(&doc, &inner.config.policy) {
+        Ok(spec) => spec,
+        Err(e @ SubmitError::Invalid(_)) => {
+            inner
+                .counters
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            return (400, Vec::new(), error_body(&e.to_string()));
+        }
+        Err(e @ SubmitError::OverPolicy(_)) => {
+            inner
+                .counters
+                .rejected_policy
+                .fetch_add(1, Ordering::Relaxed);
+            return (422, Vec::new(), error_body(&e.to_string()));
+        }
+    };
+
+    if inner.stop.load(Ordering::Relaxed) {
+        return (503, Vec::new(), error_body("server is draining"));
+    }
+    // Load shedding: an explicit, typed rejection the client can back
+    // off on — never silent queue growth.
+    if lock(&inner.queue).len() >= inner.config.queue_capacity {
+        inner
+            .counters
+            .rejected_overloaded
+            .fetch_add(1, Ordering::Relaxed);
+        return (
+            429,
+            vec![("retry-after", "1".to_owned())],
+            error_body("job queue is full; retry later"),
+        );
+    }
+    // The enqueue failpoint models the admission step itself failing
+    // (queue datastructure, bookkeeping IO): a typed 503, never a
+    // half-admitted job.
+    match ahs_inject::eval("serve::job::enqueue") {
+        Some(ahs_inject::Fault::Error(_)) => {
+            inner
+                .counters
+                .enqueue_faults
+                .fetch_add(1, Ordering::Relaxed);
+            return (
+                503,
+                Vec::new(),
+                error_body("job admission failed; retry later"),
+            );
+        }
+        Some(ahs_inject::Fault::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        _ => {}
+    }
+
+    let seq = inner.next_seq.fetch_add(1, Ordering::Relaxed);
+    let dir = inner
+        .config
+        .state_dir
+        .join("jobs")
+        .join(format!("job-{seq:06}"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return (
+            500,
+            Vec::new(),
+            error_body(&format!("creating job dir: {e}")),
+        );
+    }
+    let job = Arc::new(Job::new(seq, spec, dir.clone()));
+    let mut spec_doc = match job.spec.to_json() {
+        Json::Obj(fields) => fields,
+        _ => unreachable!("spec renders as an object"),
+    };
+    spec_doc.insert(
+        0,
+        ("schema".to_owned(), Json::str(crate::job::JOB_SPEC_SCHEMA)),
+    );
+    spec_doc.insert(1, ("seq".to_owned(), seq.into()));
+    let text = render_line(&Json::Obj(spec_doc));
+    if let Err(e) = write_with_retry(&dir.join("job.json"), text.as_bytes()) {
+        return (
+            500,
+            Vec::new(),
+            error_body(&format!("persisting job spec: {e}")),
+        );
+    }
+    job.persist_status();
+    lock(&inner.jobs).push(job.clone());
+    lock(&inner.queue).push_back(job.clone());
+    inner.queue_signal.notify_one();
+    inner.counters.accepted.fetch_add(1, Ordering::Relaxed);
+    (202, Vec::new(), render_line(&job.status_json()))
+}

@@ -1,0 +1,219 @@
+//! Per-job supervision: checkpoint-namespaced attempts, restart from
+//! the latest good generation, typed failure classification.
+//!
+//! Each attempt is one `UnsafetyEvaluator` run under `catch_unwind`.
+//! When an attempt dies of a *recoverable* cause — a worker panic
+//! (including the injected `serve::worker::spawn` crash) or a watchdog
+//! kill — the supervisor restarts it, resuming from the job's latest
+//! valid checkpoint generation via the same `load_with_fallback` path
+//! the CLI uses. Because resumed studies are bitwise-identical to
+//! uninterrupted ones, a job that survives any number of crashes
+//! reports exactly the estimates of a crash-free run. Unrecoverable
+//! causes (bad parameters, checkpoint validation failure, IO that
+//! outlived its retries) fail the job with a typed message instead.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ahs_core::{AhsError, BiasMode, UnsafetyCurve, UnsafetyEvaluator};
+use ahs_des::{generation_path, SimError, Watchdog};
+use ahs_obs::ProgressSink;
+
+use crate::cache::ModelCache;
+use crate::job::{Job, Phase};
+
+/// Supervision knobs, fixed at server construction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SupervisorConfig {
+    /// Restarts allowed per job before a crash becomes a failure.
+    pub restart_budget: u32,
+    /// Replications between checkpoint flushes.
+    pub checkpoint_every: u64,
+    /// Checkpoint generations retained / consulted on resume.
+    pub checkpoint_generations: u32,
+    /// Server-policy watchdog applied to every job.
+    pub watchdog: Option<Watchdog>,
+}
+
+/// How one attempt ended, short of an error.
+enum Attempt {
+    /// The study ran to completion; the sink rode along so the
+    /// manifest can report this attempt's telemetry drops.
+    Finished(UnsafetyCurve, f64, Arc<ProgressSink>),
+    /// The server's shutdown flag drained the study at a chunk
+    /// boundary; the final checkpoint is flushed.
+    Drained(UnsafetyCurve),
+}
+
+/// Whether a typed error is worth a restart: only causes that a
+/// resume-from-checkpoint can actually outrun. Watchdog kills
+/// (`Runaway`) and quarantine overflows are scheduling/injection
+/// artifacts that a later attempt may not reproduce; everything else
+/// (invalid parameters, checkpoint validation, exhausted IO retries)
+/// would fail identically again.
+fn restartable(error: &AhsError) -> bool {
+    matches!(
+        error,
+        AhsError::Sim(SimError::Runaway { .. } | SimError::QuarantineOverflow { .. })
+    )
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs `job` to a terminal phase (`Finished`, `Failed`, or
+/// `Interrupted` when `stop` drains it), restarting crashed attempts
+/// within the budget. Returns the number of restarts consumed.
+pub(crate) fn run_supervised(
+    job: &Arc<Job>,
+    cache: &ModelCache,
+    config: &SupervisorConfig,
+    stop: &Arc<AtomicBool>,
+) -> u32 {
+    job.set_phase(Phase::Running);
+    let mut consumed = 0u32;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_attempt(job, cache, config, stop)));
+        let crash_reason = match outcome {
+            Ok(Ok(Attempt::Finished(curve, wall_seconds, progress))) => {
+                finish(job, config, &curve, wall_seconds, progress);
+                return consumed;
+            }
+            Ok(Ok(Attempt::Drained(curve))) => {
+                job.set_phase(Phase::Interrupted {
+                    replications: curve.replications(),
+                });
+                return consumed;
+            }
+            Ok(Err(error)) if !restartable(&error) => {
+                job.set_phase(Phase::Failed(error.to_string()));
+                return consumed;
+            }
+            Ok(Err(error)) => error.to_string(),
+            Err(payload) => format!("worker panicked: {}", panic_message(payload.as_ref())),
+        };
+        if consumed >= config.restart_budget {
+            job.set_phase(Phase::Failed(format!(
+                "{crash_reason} (restart budget of {} exhausted)",
+                config.restart_budget
+            )));
+            return consumed;
+        }
+        consumed += 1;
+        job.restarts.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "supervisor: {} attempt crashed ({crash_reason}); restarting ({consumed}/{})",
+            job.name, config.restart_budget
+        );
+    }
+}
+
+fn finish(
+    job: &Arc<Job>,
+    config: &SupervisorConfig,
+    curve: &UnsafetyCurve,
+    wall_seconds: f64,
+    progress: Arc<ProgressSink>,
+) {
+    let manifest = evaluator_for(job, config, false)
+        .with_progress(progress)
+        .manifest("ahs serve", curve, wall_seconds);
+    let path = job.dir.join("manifest.json");
+    if let Err(e) = manifest.write(&path) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    job.set_phase(Phase::Finished(curve.clone()));
+}
+
+/// The evaluator for one attempt of `job` — exactly the configuration
+/// `ahs evaluate` would build for the same spec, with the checkpoint
+/// namespaced into the job directory.
+fn evaluator_for(job: &Job, config: &SupervisorConfig, resume: bool) -> UnsafetyEvaluator {
+    let checkpoint = job.checkpoint_path();
+    let mut eval = UnsafetyEvaluator::new(job.spec.params.clone())
+        .with_seed(job.spec.seed)
+        .with_threads(job.spec.threads)
+        .with_replications(job.spec.replications)
+        .with_checkpoint(&checkpoint, config.checkpoint_every)
+        .with_checkpoint_generations(config.checkpoint_generations)
+        .with_quarantine_budget(job.spec.quarantine_budget);
+    if job.spec.plain {
+        eval = eval.with_bias(BiasMode::None);
+    }
+    if let Some(watchdog) = config.watchdog {
+        eval = eval.with_watchdog(watchdog);
+    }
+    if resume {
+        eval = eval.with_resume(&checkpoint);
+    }
+    eval
+}
+
+/// Whether any retained checkpoint generation exists for `job` — the
+/// signal that this attempt should resume rather than start fresh.
+fn has_checkpoint(job: &Job, generations: u32) -> bool {
+    let base = job.checkpoint_path();
+    (0..generations).any(|g| generation_path(&base, g).exists())
+}
+
+fn run_attempt(
+    job: &Arc<Job>,
+    cache: &ModelCache,
+    config: &SupervisorConfig,
+    stop: &Arc<AtomicBool>,
+) -> Result<Attempt, AhsError> {
+    // The worker-spawn failpoint models a worker dying before (panic)
+    // or while (error) picking the job up; a delay models slow starts.
+    match ahs_inject::eval("serve::worker::spawn") {
+        Some(ahs_inject::Fault::Panic(msg)) => panic!("injected worker-spawn crash: {msg}"),
+        Some(fault @ ahs_inject::Fault::Error(_)) => {
+            return Err(AhsError::Sim(SimError::Internal {
+                context: fault.to_io_error("serve::worker::spawn").map_or_else(
+                    || "injected worker-spawn fault".to_owned(),
+                    |e| e.to_string(),
+                ),
+            }));
+        }
+        Some(ahs_inject::Fault::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        _ => {}
+    }
+
+    let compiled = cache.get_or_build(&job.spec.params)?;
+    let progress = Arc::new(
+        ProgressSink::file(&job.dir.join("telemetry.jsonl")).map_err(|e| {
+            AhsError::Sim(SimError::Internal {
+                context: format!("opening telemetry sink: {e}"),
+            })
+        })?,
+    );
+
+    let resume = has_checkpoint(job, config.checkpoint_generations);
+    let eval = evaluator_for(job, config, resume)
+        .with_interrupt(stop.clone())
+        .with_progress(progress.clone());
+
+    let start = Instant::now();
+    let result = eval.evaluate_compiled(&job.spec.grid(), &compiled);
+    job.telemetry_dropped
+        .fetch_add(progress.dropped(), Ordering::Relaxed);
+    let curve = result?;
+    if curve.interrupted() {
+        return Ok(Attempt::Drained(curve));
+    }
+    Ok(Attempt::Finished(
+        curve,
+        start.elapsed().as_secs_f64(),
+        progress,
+    ))
+}

@@ -1,0 +1,225 @@
+//! HTTP API conformance: typed rejections at the door, explicit load
+//! shedding, gated manifests, and status documents that carry every
+//! key of the `ahs-serve-job/v1` schema in every phase
+//! (`tests/serve-api.schema.json` is the source of truth).
+
+mod common;
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ahs_obs::Json;
+use ahs_serve::{ServeConfig, Server};
+use common::*;
+
+fn start_with(mut tweak: impl FnMut(&mut ServeConfig), tag: &str) -> (Server, std::path::PathBuf) {
+    let dir = state_dir(tag);
+    let mut config = ServeConfig::new(&dir);
+    config.addr = "127.0.0.1:0".to_owned();
+    tweak(&mut config);
+    let server = Server::start(config, Arc::new(AtomicBool::new(false))).expect("server starts");
+    (server, dir)
+}
+
+/// Like `common::request` but keeps the raw head, for header checks.
+fn request_raw(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nhost: ahs-serve\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response.split(' ').nth(1).unwrap().parse().unwrap();
+    (status, response)
+}
+
+fn shutdown(server: Server) -> ahs_serve::DrainReport {
+    server.stop_flag().store(true, Ordering::Relaxed);
+    server.join()
+}
+
+#[test]
+fn rejections_are_typed_and_counted() {
+    let (server, dir) = start_with(|_| {}, "api-reject");
+    let addr = server.local_addr();
+
+    let (status, body) = request(addr, "POST", "/v1/jobs", "{not json").unwrap();
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = request(addr, "POST", "/v1/jobs", r#"{"reps":0}"#).unwrap();
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = request(addr, "POST", "/v1/jobs", r#"{"strategy":"zz"}"#).unwrap();
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = request(addr, "POST", "/v1/jobs", r#"{"reps":3000000}"#).unwrap();
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("admission policy"), "{body}");
+
+    let (status, _) = request(addr, "GET", "/v1/jobs/job-999999", "").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/v1/nope", "").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "DELETE", "/v1/jobs", "").unwrap();
+    assert_eq!(status, 405);
+
+    let health = get_json(addr, "/v1/healthz");
+    assert_eq!(
+        health.get("schema").and_then(Json::as_str),
+        Some("ahs-serve-health/v1")
+    );
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        health.get("rejected_invalid").and_then(Json::as_u64),
+        Some(3)
+    );
+    assert_eq!(
+        health.get("rejected_policy").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(health.get("accepted").and_then(Json::as_u64), Some(0));
+
+    let report = shutdown(server);
+    assert_eq!(report.outcome().code(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn full_queue_sheds_load_with_429_and_retry_after() {
+    let (server, dir) = start_with(|c| c.queue_capacity = 0, "api-shed");
+    let addr = server.local_addr();
+
+    let (status, response) = request_raw(addr, "POST", "/v1/jobs", &job_body(1, 100, 1));
+    assert_eq!(status, 429, "{response}");
+    let head = response.to_ascii_lowercase();
+    assert!(
+        head.contains("retry-after: 1"),
+        "429 must carry retry-after: {response}"
+    );
+
+    let health = get_json(addr, "/v1/healthz");
+    assert_eq!(
+        health.get("rejected_overloaded").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(health.get("accepted").and_then(Json::as_u64), Some(0));
+
+    let report = shutdown(server);
+    assert_eq!(report.outcome().code(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manifest_is_gated_until_finished_and_drain_exits_75() {
+    let (server, dir) = start_with(|_| {}, "api-manifest");
+    let addr = server.local_addr();
+
+    // A job big enough to still be in flight when we probe.
+    let (status, body) = request(addr, "POST", "/v1/jobs", &job_body(5, 500_000, 1)).unwrap();
+    assert_eq!(status, 202, "{body}");
+    let name = Json::parse(&body)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_owned();
+
+    let (status, body) = request(addr, "GET", &format!("/v1/jobs/{name}/manifest"), "").unwrap();
+    assert_eq!(status, 409, "manifest must be gated: {body}");
+
+    // Draining with the job unfinished maps to exit 75. A drain also
+    // stops admitting: a racing submission sees either the closed
+    // listener or an explicit 503 — never a silent acceptance.
+    server.stop_flag().store(true, Ordering::Relaxed);
+    match request(addr, "POST", "/v1/jobs", &job_body(6, 100, 1)) {
+        None => {}
+        Some((status, body)) => assert_eq!(status, 503, "{body}"),
+    }
+    let report = server.join();
+    assert_eq!(report.unfinished, 1);
+    assert_eq!(report.outcome().code(), 75);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn status_documents_carry_every_schema_key_in_every_phase() {
+    let schema_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/serve-api.schema.json");
+    let schema = Json::parse(&std::fs::read_to_string(&schema_path).unwrap()).unwrap();
+    let required: Vec<&str> = schema
+        .get("required")
+        .and_then(Json::as_array)
+        .expect("schema lists required keys")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert!(required.len() >= 14, "schema lost keys: {required:?}");
+    let spec_required: Vec<&str> = schema
+        .get("properties")
+        .and_then(|p| p.get("spec"))
+        .and_then(|s| s.get("required"))
+        .and_then(Json::as_array)
+        .expect("schema lists required spec keys")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+
+    let check = |doc: &Json, phase: &str| {
+        for key in &required {
+            assert!(doc.get(key).is_some(), "{phase} document missing `{key}`");
+        }
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("ahs-serve-job/v1")
+        );
+        let spec = doc.get("spec").expect("spec present");
+        for key in &spec_required {
+            assert!(spec.get(key).is_some(), "{phase} spec missing `{key}`");
+        }
+    };
+
+    let (server, dir) = start_with(|_| {}, "api-schema");
+    let addr = server.local_addr();
+
+    let (status, body) = request(addr, "POST", "/v1/jobs", &job_body(7, 200, 1)).unwrap();
+    assert_eq!(status, 202, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    check(&doc, "admission");
+    let name = doc.get("id").and_then(Json::as_str).unwrap().to_owned();
+
+    let doc = wait_for_state(addr, &name, "finished", Duration::from_secs(60));
+    check(&doc, "finished");
+    assert!(
+        !doc.get("estimates")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty(),
+        "finished document must carry estimates"
+    );
+
+    // The list endpoint embeds the same documents.
+    let list = get_json(addr, "/v1/jobs");
+    assert_eq!(
+        list.get("schema").and_then(Json::as_str),
+        Some("ahs-serve-jobs/v1")
+    );
+    let jobs = list.get("jobs").and_then(Json::as_array).unwrap();
+    assert_eq!(jobs.len(), 1);
+    check(&jobs[0], "listed");
+
+    // And the manifest endpoint serves the standard run manifest.
+    let (status, manifest) =
+        request(addr, "GET", &format!("/v1/jobs/{name}/manifest"), "").unwrap();
+    assert_eq!(status, 200);
+    let manifest = Json::parse(&manifest).expect("manifest is JSON");
+    assert!(manifest.get("schema").is_some());
+
+    let report = shutdown(server);
+    assert_eq!(report.finished, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

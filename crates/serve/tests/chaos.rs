@@ -1,0 +1,240 @@
+//! Chaos tier for the serving layer: a deterministic, serial sweep of
+//! every `ahs-serve` failpoint (plus the lower-layer points the
+//! supervisor's recovery story rides on), proving each injected fault
+//! ends in a sanctioned outcome — a typed HTTP error, a *counted*
+//! degradation, or a bitwise-identical (possibly resumed) job. Never a
+//! hung connection, never a corrupted result.
+//!
+//! Runs only with the `inject` feature (`cargo test -p ahs-serve
+//! --test chaos --features inject`). One `#[test]` because the
+//! failpoint registry is process-global; together with the
+//! `ahs-obs`/`ahs-des` sweep in `crates/des/tests/chaos.rs` it keeps
+//! the catalog 100% covered (that sweep asserts every registered layer
+//! has a sweep claiming it).
+
+mod common;
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ahs_core::{BiasMode, Params, UnsafetyCurve, UnsafetyEvaluator};
+use ahs_obs::Json;
+use ahs_serve::{ServeConfig, Server};
+use ahs_stats::TimeGrid;
+use common::*;
+
+/// Arms the registry with `spec`; panics (failing the sweep) on a
+/// malformed spec or a name missing from the catalog.
+fn arm(spec: &str) {
+    ahs_inject::configure_from_spec(spec).expect("chaos spec must parse");
+}
+
+/// Closes a scenario: every failpoint it armed must actually have been
+/// evaluated, then the registry is cleared and the names marked
+/// covered.
+fn cover(covered: &mut HashSet<&'static str>, names: &[&'static str]) {
+    for name in names {
+        assert!(
+            ahs_inject::hits(name) > 0,
+            "scenario configured failpoint `{name}` but it never fired"
+        );
+        covered.insert(name);
+    }
+    ahs_inject::clear();
+}
+
+/// Baseline for the cache-bypass scenario, which needs params distinct
+/// from the shared workload so the cache actually misses.
+fn solo_lambda(lambda: f64, seed: u64, reps: u64, threads: usize) -> UnsafetyCurve {
+    let params = Params::builder().n(N).lambda(lambda).build().unwrap();
+    let grid = TimeGrid::linspace(HORIZON / POINTS as f64, HORIZON, POINTS);
+    UnsafetyEvaluator::new(params)
+        .with_seed(seed)
+        .with_threads(threads)
+        .with_replications(reps)
+        .with_bias(BiasMode::None)
+        .evaluate(&grid)
+        .unwrap()
+}
+
+fn lambda_body(lambda: f64, seed: u64, reps: u64, threads: usize) -> String {
+    format!(
+        r#"{{"n":{N},"lambda":{lambda},"horizon":{HORIZON},"points":{POINTS},"reps":{reps},"seed":{seed},"threads":{threads},"plain":true}}"#
+    )
+}
+
+fn submit_ok(addr: std::net::SocketAddr, body: &str) -> String {
+    let (status, text) = request(addr, "POST", "/v1/jobs", body).expect("submit answered");
+    assert_eq!(status, 202, "{text}");
+    Json::parse(&text)
+        .unwrap()
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_owned()
+}
+
+const WAIT: Duration = Duration::from_secs(120);
+
+#[test]
+fn serve_chaos_sweep_covers_every_serve_failpoint() {
+    let dir = state_dir("chaos");
+    let mut covered: HashSet<&'static str> = HashSet::new();
+    ahs_inject::clear();
+
+    let mut config = ServeConfig::new(&dir);
+    config.addr = "127.0.0.1:0".to_owned();
+    config.workers = 2;
+    // Small flush cadence so the mid-run crash scenario has a
+    // checkpoint to resume from (flushes land on chunk boundaries).
+    config.checkpoint_every = 200;
+    let server = Server::start(config, Arc::new(AtomicBool::new(false))).expect("server starts");
+    let addr = server.local_addr();
+
+    // --- serve::accept: the injected handoff failure drops the
+    // connection immediately — the client sees EOF, never a hang — and
+    // the loss is counted.
+    arm("serve::accept=1*return(other)");
+    assert!(
+        request(addr, "GET", "/v1/healthz", "").is_none(),
+        "faulted accept must close the connection without a response"
+    );
+    let health = get_json(addr, "/v1/healthz");
+    assert_eq!(health.get("accept_faults").and_then(Json::as_u64), Some(1));
+    cover(&mut covered, &["serve::accept"]);
+
+    // --- serve::job::enqueue: admission failure is a typed 503; the
+    // job is never half-admitted, and the next submission sails
+    // through and finishes bitwise-identical to its solo baseline.
+    arm("serve::job::enqueue=1*return(other)");
+    let (status, body) = request(addr, "POST", "/v1/jobs", &job_body(51, 600, 2)).unwrap();
+    assert_eq!(status, 503, "{body}");
+    let health = get_json(addr, "/v1/healthz");
+    assert_eq!(health.get("enqueue_faults").and_then(Json::as_u64), Some(1));
+    assert_eq!(health.get("accepted").and_then(Json::as_u64), Some(0));
+    let name = submit_ok(addr, &job_body(51, 600, 2));
+    let doc = wait_for_state(addr, &name, "finished", WAIT);
+    assert_eq!(status_bits(&doc), curve_bits(&solo(51, 600, 2)));
+    cover(&mut covered, &["serve::job::enqueue"]);
+
+    // --- serve::worker::spawn: the first attempt dies in a crash the
+    // supervisor classifies as restartable; the restart is counted in
+    // the status document and the finished job is bitwise-identical to
+    // a crash-free run.
+    arm("serve::worker::spawn=1*panic(spawn-chaos)");
+    let name = submit_ok(addr, &job_body(61, 600, 2));
+    let doc = wait_for_state(addr, &name, "finished", WAIT);
+    assert!(
+        doc.get("restarts").and_then(Json::as_u64) >= Some(1),
+        "the injected spawn crash must consume a restart"
+    );
+    assert_eq!(status_bits(&doc), curve_bits(&solo(61, 600, 2)));
+    let health = get_json(addr, "/v1/healthz");
+    assert!(health.get("worker_restarts").and_then(Json::as_u64) >= Some(1));
+    cover(&mut covered, &["serve::worker::spawn"]);
+
+    // --- Mid-run crash + resume: a replication panic with a zero
+    // quarantine budget kills the attempt *after* the chunk-1
+    // checkpoint flushed (chunk 1000, panic at replication ~1501). The
+    // supervisor restarts from the namespaced checkpoint and the
+    // resumed job reports exactly the bits of an uninterrupted run,
+    // with the resume recorded in its lineage.
+    arm("des::replication::body=1500*off->1*panic(mid-run-chaos)");
+    let name = submit_ok(addr, &job_body(71, 3000, 1));
+    let doc = wait_for_state(addr, &name, "finished", WAIT);
+    assert!(
+        doc.get("restarts").and_then(Json::as_u64) >= Some(1),
+        "the mid-run crash must consume a restart"
+    );
+    let lineage = doc.get("resume_lineage").and_then(Json::as_array).unwrap();
+    assert!(
+        !lineage.is_empty(),
+        "the resumed attempt must record the checkpoint watermark it started from"
+    );
+    assert_eq!(
+        status_bits(&doc),
+        curve_bits(&solo(71, 3000, 1)),
+        "resume after a mid-run crash must be bitwise-identical"
+    );
+    assert_eq!(doc.get("quarantined").and_then(Json::as_u64), Some(0));
+    cover(&mut covered, &["des::replication::body"]);
+
+    // --- serve::response::write: a faulted response write drops the
+    // connection cleanly (EOF, not a hang), is counted, and leaves the
+    // server fully responsive.
+    arm("serve::response::write=1*return(broken-pipe)");
+    assert!(
+        request(addr, "GET", "/v1/jobs", "").is_none(),
+        "faulted response write must close the connection without a response"
+    );
+    let health = get_json(addr, "/v1/healthz");
+    assert!(health.get("responses_dropped").and_then(Json::as_u64) >= Some(1));
+    cover(&mut covered, &["serve::response::write"]);
+
+    // --- serve::cache::insert: failing to publish a freshly compiled
+    // model is degradation, not failure — the job keeps its private
+    // copy (bitwise-equivalent by construction), the bypass is
+    // counted, and later jobs are unaffected.
+    arm("serve::cache::insert=1*return(enospc)");
+    let lambda = 6e-3;
+    let a = submit_ok(addr, &lambda_body(lambda, 81, 600, 2));
+    let b = submit_ok(addr, &lambda_body(lambda, 82, 600, 2));
+    let doc_a = wait_for_state(addr, &a, "finished", WAIT);
+    let doc_b = wait_for_state(addr, &b, "finished", WAIT);
+    assert_eq!(
+        status_bits(&doc_a),
+        curve_bits(&solo_lambda(lambda, 81, 600, 2))
+    );
+    assert_eq!(
+        status_bits(&doc_b),
+        curve_bits(&solo_lambda(lambda, 82, 600, 2))
+    );
+    let health = get_json(addr, "/v1/healthz");
+    assert!(health.get("cache_bypasses").and_then(Json::as_u64) >= Some(1));
+    cover(&mut covered, &["serve::cache::insert"]);
+
+    // --- obs::progress::emit through the service: a job whose
+    // telemetry sink fails on every event still finishes with exact
+    // estimates, and the loss surfaces as `telemetry_dropped` in the
+    // job-status response — degradation is visible to clients, not
+    // just counted internally.
+    arm("obs::progress::emit=return(broken-pipe)");
+    let name = submit_ok(addr, &job_body(91, 600, 2));
+    let doc = wait_for_state(addr, &name, "finished", WAIT);
+    assert!(
+        doc.get("telemetry_dropped").and_then(Json::as_u64) > Some(0),
+        "dropped telemetry must surface in the status document"
+    );
+    assert_eq!(status_bits(&doc), curve_bits(&solo(91, 600, 2)));
+    cover(&mut covered, &["obs::progress::emit"]);
+
+    // --- The sweep's reason to exist: every serve-layer failpoint was
+    // exercised, and nothing was claimed that the catalog lacks.
+    let serve_names: HashSet<&'static str> = ahs_inject::catalog()
+        .iter()
+        .filter(|d| d.layer == "ahs-serve")
+        .map(|d| d.name)
+        .collect();
+    assert!(
+        serve_names.len() >= 5,
+        "serve catalog shrank: {serve_names:?}"
+    );
+    let missed: Vec<&&str> = serve_names.difference(&covered).collect();
+    assert!(
+        missed.is_empty(),
+        "serve chaos sweep missed registered failpoint(s): {missed:?}"
+    );
+    let all: HashSet<&'static str> = ahs_inject::catalog().iter().map(|d| d.name).collect();
+    assert!(covered.is_subset(&all));
+
+    // Everything submitted under injection finished; the drain is
+    // clean.
+    server.stop_flag().store(true, Ordering::Relaxed);
+    let report = server.join();
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.unfinished, 0);
+    assert_eq!(report.outcome().code(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

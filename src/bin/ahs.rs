@@ -11,26 +11,34 @@
 //!           [--capacity C] [--allow PATTERN]... [--no-default-allow]
 //!           [--cross-check] [--format text|json] [--report PATH]
 //!           [--failpoints SPEC]
+//! ahs serve [--addr HOST:PORT] [--state-dir DIR] [--workers W]
+//!           [--queue-capacity Q] [--restart-budget R]
+//!           [--checkpoint-every N] [--checkpoint-generations G]
+//!           [--max-reps R] [--max-threads T] [--quarantine-cap B]
+//!           [--watchdog-events E] [--watchdog-seconds W]
+//!           [--failpoints SPEC]
 //! ahs durations [--samples N] [--seed S]
 //! ahs involved [--n N]
 //! ahs dot [--n N] [--platoons P]
 //! ahs help
 //! ```
 //!
-//! `evaluate` installs a SIGINT/SIGTERM handler: the first signal
-//! requests a graceful stop, the study drains in-flight chunks,
-//! flushes a final checkpoint (when `--checkpoint` is set) and the
+//! `evaluate` and `serve` install a SIGINT/SIGTERM handler: the first
+//! signal requests a graceful stop, studies drain in-flight chunks,
+//! flush a final checkpoint (when checkpointing is configured) and the
 //! manifest, and the process exits with code 75 (`EX_TEMPFAIL`,
-//! "interrupted but resumable").
+//! "interrupted but resumable") whenever resumable work remains.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use ahs_safety::core::{
-    involved_vehicles, AhsModel, BiasMode, Params, Strategy, UnsafetyEvaluator, MANEUVERS,
+    involved_vehicles, study_checkpoint_path, AhsModel, BiasMode, Params, Strategy,
+    UnsafetyEvaluator, MANEUVERS,
 };
 use ahs_safety::des::Watchdog;
-use ahs_safety::obs::{interrupt_flag, Metrics, ProgressSink, EXIT_INTERRUPTED};
+use ahs_safety::obs::{interrupt_flag, Metrics, ProgressSink, RunOutcome};
 use ahs_safety::platoon::DurationModel;
 use ahs_safety::stats::{StoppingRule, TimeGrid};
 
@@ -43,6 +51,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "evaluate" => cmd_evaluate(rest),
         "check" => cmd_check(rest),
+        "serve" => cmd_serve(rest),
         "durations" => cmd_durations(rest).map(|()| ExitCode::SUCCESS),
         "involved" => cmd_involved(rest).map(|()| ExitCode::SUCCESS),
         "dot" => cmd_dot(rest).map(|()| ExitCode::SUCCESS),
@@ -68,6 +77,7 @@ commands:
   evaluate    estimate the unsafety curve S(t) for a configuration
   check       exhaustively model-check a composed SAN (absorption, escalation
               soundness, dead activities, boundedness) with counterexample replay
+  serve       run the supervised evaluation service (HTTP job API)
   durations   estimate end-to-end maneuver durations from the kinematic substrate
   involved    show per-strategy maneuver involvement counts
   dot         export the composed SAN model as Graphviz DOT
@@ -91,14 +101,19 @@ evaluate flags:
   --progress      emit JSON-lines progress events to stderr
 
 robustness flags (evaluate):
-  --checkpoint P        write crash-safe study checkpoints to file P
+  --checkpoint P        write crash-safe study checkpoints to P; when P is a
+                        directory (or ends with /), the file is namespaced
+                        per study as study-<seed>-<params digest>.checkpoint
+                        .json, so simultaneous runs never clobber each other
+                        (the default manifest moves there too)
   --checkpoint-every N  replications between checkpoints (default 100000)
   --checkpoint-generations G
                         checkpoint generations to retain / consult on
                         resume (default 2: latest + one fallback)
   --resume P            resume from the checkpoint at P (bitwise-identical
                         result; falls back to the newest valid retained
-                        generation when the latest is corrupt)
+                        generation when the latest is corrupt); accepts the
+                        same per-study directory form as --checkpoint
   --quarantine-budget B tolerate up to B panicking replications (default 0)
   --watchdog-events E   fail any replication exceeding E events
   --watchdog-seconds W  fail any replication exceeding W seconds wall-clock
@@ -123,6 +138,27 @@ check flags:
 check exits 0 when every property is proved on every requested model, 1 on
 violations, truncation, or a cross-check mismatch; on SIGINT/SIGTERM it
 stops and exits with code 75
+
+serve flags:
+  --addr A            bind address                       (default 127.0.0.1:2009)
+  --state-dir D       persisted job state root           (default results/serve)
+  --workers W         concurrent supervised jobs         (default 2)
+  --queue-capacity Q  queued jobs before 429 shedding    (default 16)
+  --restart-budget R  restarts per job before failure    (default 2)
+  --checkpoint-every N   replications between job checkpoints (default 10000)
+  --checkpoint-generations G  checkpoint generations per job   (default 2)
+  --max-reps R        admission cap on reps per job      (default 2000000)
+  --max-threads T     admission clamp on threads per job (default: all cores)
+  --quarantine-cap B  admission cap on quarantine budget (default 1000)
+  --watchdog-events E, --watchdog-seconds W
+                      watchdog applied to every job (server policy)
+  --failpoints SPEC   arm deterministic fault injection (inject builds only)
+
+serve exposes POST/GET /v1/jobs, GET /v1/jobs/{id}[/manifest], and
+GET /v1/healthz (schemas in tests/serve-api.schema.json, API guide in
+docs/serving.md); on SIGINT/SIGTERM it drains in-flight jobs at chunk
+boundaries and exits 75 while any accepted job is unfinished — a restart
+over the same --state-dir resumes every one of them bitwise
 
 on SIGINT/SIGTERM, evaluate stops gracefully, flushes the checkpoint and
 manifest, and exits with code 75 (resumable)";
@@ -224,9 +260,10 @@ fn cmd_evaluate(args: &[String]) -> Result<ExitCode, String> {
         TimeGrid::linspace(horizon / points as f64, horizon, points)
     };
 
+    let seed: u64 = f.parse("--seed", 2009u64)?;
     let metrics = Arc::new(Metrics::new());
     let mut eval = UnsafetyEvaluator::new(params.clone())
-        .with_seed(f.parse("--seed", 2009u64)?)
+        .with_seed(seed)
         .with_metrics(metrics.clone());
     if f.has("--plain") {
         eval = eval.with_bias(BiasMode::None);
@@ -244,12 +281,29 @@ fn cmd_evaluate(args: &[String]) -> Result<ExitCode, String> {
         eval = eval.with_progress(Arc::new(ProgressSink::stderr()));
     }
     eval = eval.with_interrupt(interrupt_flag());
+    // `--checkpoint DIR/` (or any existing directory) namespaces the
+    // checkpoint per study — seed plus parameter digest — so
+    // simultaneous runs sharing one directory can never clobber each
+    // other's generations. The default manifest moves into the same
+    // directory under the same study name.
+    let mut study_dir: Option<PathBuf> = None;
+    let mut checkpoint_file: Option<PathBuf> = None;
     if let Some(path) = f.value("--checkpoint")? {
         let every: u64 = f.parse("--checkpoint-every", 100_000u64)?;
         if every == 0 {
             return Err("--checkpoint-every must be positive".into());
         }
-        eval = eval.with_checkpoint(path, every);
+        let target = if path.ends_with('/') || Path::new(path).is_dir() {
+            let dir = Path::new(path);
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("creating checkpoint dir {path}: {e}"))?;
+            study_dir = Some(dir.to_path_buf());
+            study_checkpoint_path(dir, seed, &params)
+        } else {
+            PathBuf::from(path)
+        };
+        eval = eval.with_checkpoint(&target, every);
+        checkpoint_file = Some(target);
     }
     let generations: u32 = f.parse("--checkpoint-generations", 2u32)?;
     if generations == 0 {
@@ -257,7 +311,12 @@ fn cmd_evaluate(args: &[String]) -> Result<ExitCode, String> {
     }
     eval = eval.with_checkpoint_generations(generations);
     if let Some(path) = f.value("--resume")? {
-        eval = eval.with_resume(path);
+        let target = if path.ends_with('/') || Path::new(path).is_dir() {
+            study_checkpoint_path(Path::new(path), seed, &params)
+        } else {
+            PathBuf::from(path)
+        };
+        eval = eval.with_resume(target);
     }
     eval = eval.with_quarantine_budget(f.parse("--quarantine-budget", 0u64)?);
     let mut watchdog = Watchdog::new();
@@ -338,28 +397,128 @@ fn cmd_evaluate(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     if !f.has("--no-manifest") {
-        let path = f
-            .value("--manifest")?
-            .unwrap_or("results/ahs-evaluate.manifest.json");
+        // In per-study checkpoint mode the default manifest is
+        // namespaced alongside the checkpoint, so simultaneous runs
+        // write distinct manifests too.
+        let study_manifest = match (&study_dir, &checkpoint_file) {
+            (Some(dir), Some(cp)) => {
+                let name = cp
+                    .file_name()
+                    .map_or_else(String::new, |n| n.to_string_lossy().into_owned())
+                    .replace(".checkpoint.json", ".manifest.json");
+                Some(dir.join(name))
+            }
+            _ => None,
+        };
+        let path = match f.value("--manifest")? {
+            Some(p) => PathBuf::from(p),
+            None => study_manifest
+                .unwrap_or_else(|| PathBuf::from("results/ahs-evaluate.manifest.json")),
+        };
         let manifest = eval.manifest("ahs evaluate", &curve, wall);
         manifest
-            .write(std::path::Path::new(path))
-            .map_err(|e| format!("writing manifest {path}: {e}"))?;
-        eprintln!("wrote {path}");
+            .write(&path)
+            .map_err(|e| format!("writing manifest {}: {e}", path.display()))?;
+        eprintln!("wrote {}", path.display());
     }
     if curve.interrupted() {
         eprintln!(
             "interrupted: study stopped after {} replications{}",
             curve.replications(),
-            if f.value("--checkpoint")?.is_some() {
+            if checkpoint_file.is_some() {
                 "; resume with --resume <checkpoint>"
             } else {
                 " (no --checkpoint configured, progress is lost)"
             }
         );
-        return Ok(ExitCode::from(EXIT_INTERRUPTED));
+        return Ok(RunOutcome::Interrupted.exit_code());
     }
-    Ok(ExitCode::SUCCESS)
+    Ok(RunOutcome::Success.exit_code())
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    use ahs_safety::serve::{AdmissionPolicy, ServeConfig, Server};
+
+    let f = Flags::new(args);
+    configure_failpoints(&f)?;
+    let mut config = ServeConfig::new(f.value("--state-dir")?.unwrap_or("results/serve"));
+    if let Some(addr) = f.value("--addr")? {
+        config.addr = addr.to_owned();
+    }
+    config.workers = f.parse("--workers", config.workers)?;
+    if config.workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    config.queue_capacity = f.parse("--queue-capacity", config.queue_capacity)?;
+    config.restart_budget = f.parse("--restart-budget", config.restart_budget)?;
+    config.checkpoint_every = f.parse("--checkpoint-every", config.checkpoint_every)?;
+    if config.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be positive".into());
+    }
+    config.checkpoint_generations =
+        f.parse("--checkpoint-generations", config.checkpoint_generations)?;
+    if config.checkpoint_generations == 0 {
+        return Err("--checkpoint-generations must be positive".into());
+    }
+
+    let mut policy = AdmissionPolicy::default();
+    policy.max_replications = f.parse("--max-reps", policy.max_replications)?;
+    if policy.max_replications == 0 {
+        return Err("--max-reps must be positive".into());
+    }
+    policy.max_threads = f.parse("--max-threads", policy.max_threads)?;
+    if policy.max_threads == 0 {
+        return Err("--max-threads must be positive".into());
+    }
+    policy.quarantine_cap = f.parse("--quarantine-cap", policy.quarantine_cap)?;
+    let mut watchdog = Watchdog::new();
+    if let Some(e) = f.value("--watchdog-events")? {
+        let e: u64 = e
+            .parse()
+            .map_err(|err| format!("invalid value `{e}` for --watchdog-events: {err}"))?;
+        if e == 0 {
+            return Err("--watchdog-events must be positive".into());
+        }
+        watchdog = watchdog.with_max_events(e);
+    }
+    if let Some(w) = f.value("--watchdog-seconds")? {
+        let w: f64 = w
+            .parse()
+            .map_err(|err| format!("invalid value `{w}` for --watchdog-seconds: {err}"))?;
+        if !(w.is_finite() && w > 0.0) {
+            return Err("--watchdog-seconds must be positive and finite".into());
+        }
+        watchdog = watchdog.with_max_wall_seconds(w);
+    }
+    if watchdog.is_armed() {
+        policy.watchdog = Some(watchdog);
+    }
+    config.policy = policy;
+
+    let state_dir = config.state_dir.clone();
+    let (workers, queue_capacity) = (config.workers, config.queue_capacity);
+    let server =
+        Server::start(config, interrupt_flag()).map_err(|e| format!("starting server: {e}"))?;
+    // The CI smoke job parses this line to discover the bound port.
+    println!("ahs-serve listening on http://{}", server.local_addr());
+    println!(
+        "state dir {}; {workers} worker(s); queue capacity {queue_capacity}; \
+         stop with SIGINT/SIGTERM (drains, exit 75 while jobs are resumable)",
+        state_dir.display()
+    );
+    let report = server.join();
+    eprintln!(
+        "drained: {} finished, {} failed, {} unfinished{}",
+        report.finished,
+        report.failed,
+        report.unfinished,
+        if report.unfinished > 0 {
+            " (restart over the same --state-dir to resume them)"
+        } else {
+            ""
+        }
+    );
+    Ok(report.outcome().exit_code())
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
@@ -419,7 +578,7 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
                     "interrupted while exploring `{}` after {states} states; nothing proved",
                     strategy.name()
                 );
-                return Ok(ExitCode::from(EXIT_INTERRUPTED));
+                return Ok(RunOutcome::Interrupted.exit_code());
             }
             Err(e) => return Err(e.to_string()),
         };
@@ -451,9 +610,9 @@ fn cmd_check(args: &[String]) -> Result<ExitCode, String> {
         eprintln!("wrote {path}");
     }
     Ok(if all_proved {
-        ExitCode::SUCCESS
+        RunOutcome::Success.exit_code()
     } else {
-        ExitCode::FAILURE
+        RunOutcome::Failure.exit_code()
     })
 }
 

@@ -20,6 +20,7 @@
 //! | [`obs`] | `ahs-obs` | telemetry: metrics sinks, run manifests, JSON-lines progress |
 //! | [`inject`] | `ahs-inject` | deterministic failpoints for chaos/robustness testing |
 //! | [`check`] | `ahs-check` | exhaustive model checking: absorption, escalation soundness, boundedness, counterexample replay |
+//! | [`serve`] | `ahs-serve` | supervised evaluation service: HTTP job API, admission control, graceful drain |
 //!
 //! # Quickstart
 //!
@@ -54,4 +55,5 @@ pub use ahs_inject as inject;
 pub use ahs_obs as obs;
 pub use ahs_platoon as platoon;
 pub use ahs_san as san;
+pub use ahs_serve as serve;
 pub use ahs_stats as stats;

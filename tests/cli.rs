@@ -11,7 +11,7 @@ fn help_lists_commands() {
     let out = ahs().arg("help").output().expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    for cmd in ["evaluate", "check", "durations", "involved", "dot"] {
+    for cmd in ["evaluate", "check", "serve", "durations", "involved", "dot"] {
         assert!(text.contains(cmd), "help should mention `{cmd}`");
     }
 }
@@ -248,6 +248,171 @@ fn check_exits_nonzero_when_nothing_is_proved() {
     assert!(!out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("TRUNCATED"), "{text}");
+}
+
+#[test]
+fn checkpoint_directory_namespaces_per_study() {
+    // `--checkpoint DIR/` derives a per-study file from the seed and a
+    // parameter digest, so two runs sharing the directory never
+    // clobber each other — and their default manifests are namespaced
+    // alongside.
+    let dir = std::env::temp_dir().join("ahs_cli_ckpt_dir_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let ckpt_dir = format!("{}/", dir.display());
+    for seed in ["11", "12"] {
+        let out = ahs()
+            .args([
+                "evaluate",
+                "--n",
+                "2",
+                "--lambda",
+                "5e-3",
+                "--reps",
+                "500",
+                "--points",
+                "2",
+                "--horizon",
+                "4",
+                "--seed",
+                seed,
+                "--checkpoint",
+                &ckpt_dir,
+                "--checkpoint-every",
+                "100",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("checkpoint dir created")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    let checkpoints: Vec<&String> = names
+        .iter()
+        .filter(|n| n.starts_with("study-") && n.ends_with(".checkpoint.json"))
+        .collect();
+    let manifests: Vec<&String> = names
+        .iter()
+        .filter(|n| n.starts_with("study-") && n.ends_with(".manifest.json"))
+        .collect();
+    assert_eq!(
+        checkpoints.len(),
+        2,
+        "two seeds, two distinct checkpoint files: {names:?}"
+    );
+    assert_eq!(
+        manifests.len(),
+        2,
+        "two seeds, two distinct namespaced manifests: {names:?}"
+    );
+    assert!(
+        checkpoints.iter().any(|n| n.contains("000000000000000b")),
+        "file name must embed the seed: {checkpoints:?}"
+    );
+
+    // `--resume DIR/` finds the same per-study file (a completed
+    // checkpoint resumes to an identical, already-final study).
+    let out = ahs()
+        .args([
+            "evaluate",
+            "--n",
+            "2",
+            "--lambda",
+            "5e-3",
+            "--reps",
+            "500",
+            "--points",
+            "2",
+            "--horizon",
+            "4",
+            "--seed",
+            "11",
+            "--resume",
+            &ckpt_dir,
+            "--no-manifest",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("resumed from checkpoint watermark"),
+        "resume-from-directory must pick up the study file:\n{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_starts_lists_health_and_drains_clean() {
+    // Smoke the service end to end over real HTTP: bind an ephemeral
+    // port, check /v1/healthz, submit nothing, SIGTERM-equivalent is
+    // covered by the serve crate's own tests — here the CLI contract
+    // is the parseable listening line and a clean exit-0 drain.
+    use std::io::{Read, Write};
+    let dir = std::env::temp_dir().join("ahs_cli_serve_test");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut child = ahs()
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--state-dir",
+            dir.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut stdout = child.stdout.take().unwrap();
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    while stdout.read_exact(&mut byte).is_ok() && byte[0] != b'\n' {
+        line.push(byte[0]);
+    }
+    let line = String::from_utf8(line).unwrap();
+    let addr = line
+        .strip_prefix("ahs-serve listening on http://")
+        .unwrap_or_else(|| panic!("unexpected listening line: {line}"))
+        .trim()
+        .to_owned();
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("server accepts");
+    stream
+        .write_all(b"GET /v1/healthz HTTP/1.1\r\nhost: x\r\ncontent-length: 0\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.contains("200 OK"), "{response}");
+    assert!(
+        response.contains("\"schema\":\"ahs-serve-health/v1\""),
+        "{response}"
+    );
+    assert!(response.contains("\"status\":\"ok\""), "{response}");
+
+    // An idle drain exits 0.
+    kill_term(child.id());
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(0), "idle drain must exit 0");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Sends SIGTERM via /bin/kill so the test has no signal-crate
+/// dependency.
+fn kill_term(pid: u32) {
+    let ok = std::process::Command::new("kill")
+        .args(["-TERM", &pid.to_string()])
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false);
+    assert!(ok, "kill -TERM {pid} failed");
 }
 
 #[test]
