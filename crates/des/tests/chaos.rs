@@ -340,7 +340,7 @@ fn chaos_sweep_covers_every_registered_failpoint() {
     // a new (or typo'd) layer fails here until a sweep claims it.
     let all: HashSet<&'static str> = ahs_inject::catalog()
         .iter()
-        .filter(|d| d.layer != "ahs-serve")
+        .filter(|d| d.layer != "ahs-serve" && d.layer != "ahs-serve-worker")
         .map(|d| d.name)
         .collect();
     let missed: Vec<&&str> = all.difference(&covered).collect();
@@ -352,7 +352,10 @@ fn chaos_sweep_covers_every_registered_failpoint() {
     assert!(covered.is_subset(&all));
     for d in ahs_inject::catalog() {
         assert!(
-            matches!(d.layer, "ahs-obs" | "ahs-des" | "ahs-serve"),
+            matches!(
+                d.layer,
+                "ahs-obs" | "ahs-des" | "ahs-serve" | "ahs-serve-worker"
+            ),
             "failpoint {} registered under layer {:?}, which no chaos sweep covers",
             d.name,
             d.layer

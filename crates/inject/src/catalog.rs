@@ -118,6 +118,24 @@ pub const CATALOG: &[FailpointDesc] = &[
         actions: &["return(kind)", "delay(ms)"],
         site: "publishing a freshly compiled model into the shared cache",
     },
+    FailpointDesc {
+        name: "serve::worker::exec",
+        layer: "ahs-serve-worker",
+        actions: &["return(kind)", "panic(msg)", "delay(ms)"],
+        site: "re-exec of an isolated worker process for one job attempt",
+    },
+    FailpointDesc {
+        name: "serve::worker::heartbeat",
+        layer: "ahs-serve-worker",
+        actions: &["return(kind)", "delay(ms)"],
+        site: "one heartbeat write inside an isolated worker process",
+    },
+    FailpointDesc {
+        name: "serve::worker::reap",
+        layer: "ahs-serve-worker",
+        actions: &["return(kind)", "delay(ms)"],
+        site: "reaping an exited worker and reading its outcome document",
+    },
 ];
 
 /// The full catalog, in sweep order.

@@ -1,0 +1,49 @@
+//! Heartbeat files: liveness a supervisor can read across a process
+//! boundary.
+//!
+//! An isolated worker writes a monotonically increasing beat counter
+//! to a file at a fixed cadence; its supervisor watches the *content*
+//! (not the mtime, which has filesystem-dependent granularity) and
+//! treats a beat that stops advancing as a wedged worker. The file is
+//! plain `fs::write` on purpose — a heartbeat must stay cheap, and a
+//! torn write simply reads as a non-advancing (or unparseable) beat,
+//! which is exactly the stale signal.
+
+use std::path::Path;
+
+/// Writes beat number `beat` to `path`, overwriting the previous one.
+///
+/// # Errors
+///
+/// The underlying `fs::write` error; callers treat a failed beat as a
+/// skipped beat (counted, never fatal — the worker's real work is not
+/// gated on its own liveness signal).
+pub fn heartbeat_write(path: &Path, beat: u64) -> std::io::Result<()> {
+    std::fs::write(path, format!("{beat}\n"))
+}
+
+/// Reads the current beat from `path`. `None` when the file is
+/// missing, unreadable, or torn — indistinguishable from "no beat
+/// yet", which is what a staleness watcher should assume.
+#[must_use]
+pub fn heartbeat_read(path: &Path) -> Option<u64> {
+    std::fs::read_to_string(path).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_roundtrip_and_tears_read_as_none() {
+        let path = std::env::temp_dir().join(format!("ahs-heartbeat-{}", std::process::id()));
+        assert_eq!(heartbeat_read(&path), None);
+        heartbeat_write(&path, 0).unwrap();
+        assert_eq!(heartbeat_read(&path), Some(0));
+        heartbeat_write(&path, 41).unwrap();
+        assert_eq!(heartbeat_read(&path), Some(41));
+        std::fs::write(&path, b"41\n7").unwrap();
+        assert_eq!(heartbeat_read(&path), None, "torn beat must read stale");
+        std::fs::remove_file(&path).ok();
+    }
+}

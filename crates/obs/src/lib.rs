@@ -52,26 +52,31 @@
 //! assert!((snap.weight_min - 0.5).abs() < 1e-12);
 //! ```
 
-// `deny` rather than `forbid`: the `interrupt` module carries the one
-// allowed `unsafe` in the workspace (an FFI declaration of POSIX
-// `signal(2)` — no libc crate is vendored) behind a module-level allow.
+// `deny` rather than `forbid`: the `interrupt` and `process` modules
+// carry the only allowed `unsafe` in the workspace (FFI declarations of
+// POSIX `signal(2)`, `setrlimit(2)` and `kill(2)` — no libc crate is
+// vendored) behind module-level allows.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod exit;
 mod fsio;
 mod hash;
+mod heartbeat;
 mod interrupt;
 mod json;
 mod manifest;
 mod metrics;
+mod process;
 mod progress;
 
 pub use exit::RunOutcome;
 pub use fsio::{atomic_write, dir_sync_failures, retry_io, write_with_retry, RetryPolicy};
 pub use hash::fnv1a_64;
+pub use heartbeat::{heartbeat_read, heartbeat_write};
 pub use interrupt::{interrupt_flag, interrupted, EXIT_INTERRUPTED};
 pub use json::{push_json_string, Json, JsonParseError};
 pub use manifest::{git_revision, EstimatePoint, RunManifest, StoppingSpec, MANIFEST_SCHEMA};
 pub use metrics::{Metrics, MetricsSnapshot, WorkerStats};
+pub use process::{limit_cpu_seconds, limit_memory_bytes, rlimit_supported, send_sigterm};
 pub use progress::ProgressSink;

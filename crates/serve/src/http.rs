@@ -73,9 +73,18 @@ pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Request, RequestErr
     }
 
     let mut content_length = 0usize;
+    let mut saw_content_length = false;
     for line in lines {
         if let Some((key, value)) = line.split_once(':') {
             if key.eq_ignore_ascii_case("content-length") {
+                // Duplicate content-length headers are the classic
+                // request-smuggling vector: two parsers disagreeing on
+                // which one wins disagree on where the body ends.
+                // Reject instead of picking.
+                if saw_content_length {
+                    return Err(RequestError::Bad(400, "duplicate content-length"));
+                }
+                saw_content_length = true;
                 content_length = value
                     .trim()
                     .parse()
@@ -201,5 +210,154 @@ mod tests {
             exchange(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\n{}"),
             Err(RequestError::Bad(400, _))
         ));
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        // Even when the two values agree: duplicates are the
+        // request-smuggling vector, not just disagreeing duplicates.
+        assert!(matches!(
+            exchange(
+                b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\ncontent-length: 4\r\n\r\n{}ab"
+            ),
+            Err(RequestError::Bad(400, "duplicate content-length"))
+        ));
+        assert!(matches!(
+            exchange(
+                b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\n{}ab"
+            ),
+            Err(RequestError::Bad(400, "duplicate content-length"))
+        ));
+    }
+
+    /// Property fuzz of the parser: for any byte stream — structured
+    /// requests with hostile headers, or raw CR/LF soup — delivered
+    /// across any write-boundary split, `read_request` returns a
+    /// `Request` or a typed `RequestError`. It never panics (a panic
+    /// fails the test) and never hangs (EOF ends every read loop, so
+    /// the test completing *is* the no-hang assertion).
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        const METHODS: &[&str] = &["GET", "POST", "DELETE", "get", "PO ST", ""];
+        const PATHS: &[&str] = &["/v1/jobs", "/", "/v1/jobs/job-000001", "", "/%00/.."];
+        const VERSIONS: &[&str] = &["HTTP/1.1", "HTTP/1.0", "HTTP/2", "http/1.1", ""];
+        const HEADER_NAMES: &[&str] = &[
+            "content-length",
+            "Content-Length",
+            "CONTENT-LENGTH",
+            "x-filler",
+            "accept",
+            "",
+        ];
+        const HEADER_VALUES: &[&str] = &["4", "0", "18446744073709551616", "-1", " 4 ", "4x", ""];
+
+        /// Like `exchange`, but delivers `raw` across the given write
+        /// boundaries (modulo the payload length) with a flush at each.
+        fn exchange_split(raw: &[u8], cuts: &[usize]) -> Result<Request, RequestError> {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut client = TcpStream::connect(addr).unwrap();
+            let mut points: Vec<usize> = cuts.iter().map(|c| c % (raw.len() + 1)).collect();
+            points.sort_unstable();
+            points.dedup();
+            let mut prev = 0;
+            for point in points {
+                client.write_all(&raw[prev..point]).unwrap();
+                client.flush().unwrap();
+                prev = point;
+            }
+            client.write_all(&raw[prev..]).unwrap();
+            client.shutdown(std::net::Shutdown::Write).unwrap();
+            let (mut server_side, _) = listener.accept().unwrap();
+            read_request(&mut server_side)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn structured_requests_parse_or_reject_across_splits(
+                method in 0usize..6,
+                path in 0usize..5,
+                version in 0usize..5,
+                headers in prop::collection::vec((0usize..6, 0usize..7), 0..40),
+                body in prop::collection::vec(any::<u8>(), 0..64),
+                cuts in prop::collection::vec(any::<u64>(), 0..4),
+            ) {
+                let mut raw = format!(
+                    "{} {} {}\r\n",
+                    METHODS[method], PATHS[path], VERSIONS[version]
+                )
+                .into_bytes();
+                let mut content_lengths = 0usize;
+                for (name, value) in &headers {
+                    if HEADER_NAMES[*name].eq_ignore_ascii_case("content-length") {
+                        content_lengths += 1;
+                    }
+                    raw.extend_from_slice(
+                        format!("{}: {}\r\n", HEADER_NAMES[*name], HEADER_VALUES[*value])
+                            .as_bytes(),
+                    );
+                }
+                raw.extend_from_slice(b"\r\n");
+                raw.extend_from_slice(&body);
+                let cuts: Vec<usize> = cuts.iter().map(|c| *c as usize).collect();
+                let outcome = exchange_split(&raw, &cuts);
+                if content_lengths >= 2 {
+                    prop_assert!(
+                        outcome.is_err(),
+                        "duplicate content-length must never parse"
+                    );
+                }
+                if let Ok(request) = outcome {
+                    prop_assert!(!request.method.is_empty());
+                    prop_assert!(!request.path.is_empty());
+                    prop_assert!(request.body.len() <= MAX_BODY_BYTES);
+                }
+            }
+
+            #[test]
+            fn crlf_soup_never_panics_or_hangs(
+                soup in prop::collection::vec(
+                    prop_oneof![
+                        Just(b'\r'),
+                        Just(b'\n'),
+                        Just(b':'),
+                        Just(b' '),
+                        Just(b'A'),
+                        0u8..=255,
+                    ],
+                    0..512,
+                ),
+                cuts in prop::collection::vec(0usize..512, 0..4),
+            ) {
+                // Any outcome is acceptable; returning at all is the
+                // property under test.
+                let _ = exchange_split(&soup, &cuts);
+            }
+
+            #[test]
+            fn pathological_header_counts_hit_the_cap_not_the_heap(
+                filler in 0usize..400,
+                cuts in 0usize..3,
+            ) {
+                let mut raw = b"GET /v1/healthz HTTP/1.1\r\n".to_vec();
+                for i in 0..filler {
+                    raw.extend_from_slice(
+                        format!("x-filler-{i:06}: aaaaaaaaaaaaaaaa\r\n").as_bytes(),
+                    );
+                }
+                let head_len = raw.len() + 2;
+                raw.extend_from_slice(b"\r\n");
+                let outcome = exchange_split(&raw, &[cuts * 777]);
+                if head_len > MAX_HEAD_BYTES + 1024 {
+                    prop_assert!(outcome.is_err(), "oversized head must be rejected");
+                } else if head_len <= MAX_HEAD_BYTES {
+                    prop_assert!(outcome.is_ok(), "in-cap head must parse");
+                }
+            }
+        }
     }
 }

@@ -282,6 +282,9 @@ pub struct Job {
     pub restarts: AtomicU32,
     /// Telemetry events dropped across all attempts.
     pub telemetry_dropped: AtomicU64,
+    /// PID of the isolated worker process currently evaluating this
+    /// job (0 when none — thread mode, or between attempts).
+    pub worker_pid: AtomicU32,
 }
 
 impl Job {
@@ -295,6 +298,7 @@ impl Job {
             phase: Mutex::new(Phase::Queued),
             restarts: AtomicU32::new(0),
             telemetry_dropped: AtomicU64::new(0),
+            worker_pid: AtomicU32::new(0),
         }
     }
 
@@ -385,6 +389,13 @@ impl Job {
                 "telemetry_dropped".to_owned(),
                 self.telemetry_dropped.load(Ordering::Relaxed).into(),
             ),
+            (
+                "worker_pid".to_owned(),
+                match self.worker_pid.load(Ordering::Relaxed) {
+                    0 => Json::Null,
+                    pid => Json::UInt(u64::from(pid)),
+                },
+            ),
             ("replications".to_owned(), replications.into()),
             ("converged".to_owned(), converged),
             ("resume_lineage".to_owned(), Json::Arr(lineage)),
@@ -392,6 +403,14 @@ impl Job {
             ("estimates".to_owned(), Json::Arr(estimates)),
             ("error".to_owned(), error),
         ])
+    }
+
+    /// Records (or clears, with `None`) the isolated worker evaluating
+    /// this job, and republishes `status.json` so chaos tooling can
+    /// target the live process by PID.
+    pub fn set_worker_pid(&self, pid: Option<u32>) {
+        self.worker_pid.store(pid.unwrap_or(0), Ordering::Relaxed);
+        self.persist_status();
     }
 
     /// Rewrites `status.json` from the current state.
@@ -487,6 +506,7 @@ mod tests {
                 "restarts",
                 "quarantined",
                 "telemetry_dropped",
+                "worker_pid",
                 "replications",
                 "converged",
                 "resume_lineage",

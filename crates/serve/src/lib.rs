@@ -23,11 +23,18 @@
 //!   boundaries with flushed checkpoints; the process exits 75 while
 //!   any accepted job is unfinished, and a restart over the same
 //!   state directory resumes every one of them bitwise.
+//! * **Process isolation** — with [`Isolation::Process`] each job
+//!   attempt runs in a re-execed worker process (`ahs serve-worker`)
+//!   under self-applied `setrlimit` budgets, heartbeat-supervised, so
+//!   a SIGKILL, SIGSEGV, or allocation abort kills one attempt — never
+//!   another job, never the server — and restarts from the latest good
+//!   checkpoint generation, bitwise. [`Isolation::Thread`] remains the
+//!   in-process fallback for platforms without rlimits.
 //! * **Chaos-hardened** — the `serve::*` failpoints (accept,
-//!   job-enqueue, worker-spawn, response-write, cache-insert) each
-//!   degrade to a typed error, a counted degradation, or a
-//!   bitwise-identical resumed job — never a hung connection or a
-//!   corrupted result.
+//!   job-enqueue, worker-spawn/exec/heartbeat/reap, response-write,
+//!   cache-insert) each degrade to a typed error, a counted
+//!   degradation, or a bitwise-identical resumed job — never a hung
+//!   connection or a corrupted result.
 //!
 //! See `docs/serving.md` for the HTTP API and job lifecycle.
 
@@ -39,7 +46,10 @@ mod http;
 mod job;
 mod server;
 mod supervisor;
+mod worker;
 
 pub use cache::{CacheStats, ModelCache};
 pub use job::{AdmissionPolicy, Job, JobSpec, Phase, SubmitError, JOB_SCHEMA, JOB_SPEC_SCHEMA};
 pub use server::{DrainReport, ServeConfig, Server};
+pub use supervisor::{Isolation, ProcessIsolation};
+pub use worker::{run_worker, WorkerOptions, WORKER_EXIT_DRAINED, WORKER_OUTCOME_SCHEMA};

@@ -14,7 +14,7 @@
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -24,7 +24,7 @@ use ahs_obs::{write_with_retry, Json, RunOutcome};
 use crate::cache::ModelCache;
 use crate::http::{read_request, write_response, Request, RequestError};
 use crate::job::{AdmissionPolicy, Job, JobSpec, Phase, SubmitError};
-use crate::supervisor::{run_supervised, SupervisorConfig};
+use crate::supervisor::{run_supervised, Isolation, SupervisorConfig};
 
 /// How often parked threads poll the shutdown flag.
 const POLL: Duration = Duration::from_millis(25);
@@ -49,6 +49,12 @@ pub struct ServeConfig {
     pub checkpoint_every: u64,
     /// Checkpoint generations retained per job.
     pub checkpoint_generations: u32,
+    /// Concurrent connection handlers; connections beyond this are
+    /// shed with a 503 instead of spawning unbounded threads.
+    pub max_connections: usize,
+    /// Where job attempts run (in-process threads, or re-execed worker
+    /// processes with resource budgets).
+    pub isolation: Isolation,
 }
 
 impl ServeConfig {
@@ -63,6 +69,8 @@ impl ServeConfig {
             restart_budget: 2,
             checkpoint_every: 10_000,
             checkpoint_generations: 2,
+            max_connections: 64,
+            isolation: Isolation::Thread,
         }
     }
 }
@@ -78,6 +86,7 @@ pub(crate) struct Counters {
     pub accept_faults: AtomicU64,
     pub responses_dropped: AtomicU64,
     pub worker_restarts: AtomicU64,
+    pub connections_shed: AtomicU64,
 }
 
 struct Inner {
@@ -89,6 +98,9 @@ struct Inner {
     stop: Arc<AtomicBool>,
     cache: ModelCache,
     counters: Counters,
+    /// Live connection-handler threads, bounded by
+    /// `config.max_connections`.
+    connections: AtomicUsize,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -149,6 +161,7 @@ impl Server {
             stop,
             cache: ModelCache::new(),
             counters: Counters::default(),
+            connections: AtomicUsize::new(0),
         });
         rescan(&inner, &jobs_dir)?;
 
@@ -313,7 +326,7 @@ fn job_phase_for_recovery(job: &Arc<Job>) -> std::sync::MutexGuard<'_, Phase> {
 /// estimate floats round-trip bitwise through the shortest-roundtrip
 /// JSON rendering, so a restarted server reports the exact bits the
 /// original evaluation produced.
-fn curve_from_status(status: &Json) -> Option<ahs_core::UnsafetyCurve> {
+pub(crate) fn curve_from_status(status: &Json) -> Option<ahs_core::UnsafetyCurve> {
     let estimates = status.get("estimates")?.as_array()?;
     let points = estimates
         .iter()
@@ -350,6 +363,7 @@ fn worker_loop(inner: &Arc<Inner>) {
         checkpoint_every: inner.config.checkpoint_every,
         checkpoint_generations: inner.config.checkpoint_generations,
         watchdog: inner.config.policy.watchdog,
+        isolation: inner.config.isolation.clone(),
     };
     loop {
         let job = {
@@ -381,15 +395,85 @@ fn worker_loop(inner: &Arc<Inner>) {
 fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
     while !inner.stop.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _)) => {
-                let inner = inner.clone();
-                std::thread::Builder::new()
-                    .name("serve-conn".to_owned())
-                    .spawn(move || handle_connection(&inner, stream))
-                    .ok();
-            }
+            Ok((stream, _)) => match ConnectionPermit::acquire(inner) {
+                Some(permit) => {
+                    let inner = inner.clone();
+                    std::thread::Builder::new()
+                        .name("serve-conn".to_owned())
+                        .spawn(move || {
+                            let _permit = permit;
+                            handle_connection(&inner, stream);
+                        })
+                        .ok();
+                }
+                None => shed_connection(inner, stream),
+            },
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
             Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// A counted slot in the bounded connection-handler pool; dropping it
+/// (normal return, panic unwind, or a failed thread spawn) frees the
+/// slot.
+struct ConnectionPermit {
+    inner: Arc<Inner>,
+}
+
+impl ConnectionPermit {
+    fn acquire(inner: &Arc<Inner>) -> Option<ConnectionPermit> {
+        let max = inner.config.max_connections.max(1);
+        inner
+            .connections
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < max).then_some(n + 1)
+            })
+            .ok()
+            .map(|_| ConnectionPermit {
+                inner: inner.clone(),
+            })
+    }
+}
+
+impl Drop for ConnectionPermit {
+    fn drop(&mut self) {
+        self.inner.connections.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Sheds a connection over the handler budget: a typed 503 the client
+/// can back off on, written inline with a short timeout so a slow
+/// reader cannot stall the accept loop.
+fn shed_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
+    inner
+        .counters
+        .connections_shed
+        .fetch_add(1, Ordering::Relaxed);
+    stream
+        .set_write_timeout(Some(Duration::from_millis(250)))
+        .ok();
+    write_response(
+        &mut stream,
+        503,
+        &[("retry-after", "1".to_owned())],
+        &error_body("connection limit reached; retry later"),
+    )
+    .ok();
+    // The request was never read; closing now would RST the socket and
+    // can discard the 503 before the client sees it. Half-close our
+    // side and briefly drain theirs so the response survives — with a
+    // hard deadline, since this runs on the accept thread.
+    stream.shutdown(std::net::Shutdown::Write).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .ok();
+    let deadline = std::time::Instant::now() + Duration::from_millis(250);
+    let mut sink = [0u8; 512];
+    while std::time::Instant::now() < deadline {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(n) if n > 0 => {}
+            _ => break,
         }
     }
 }
@@ -551,6 +635,18 @@ fn health(inner: &Arc<Inner>) -> Json {
         (
             "queue_capacity".to_owned(),
             inner.config.queue_capacity.into(),
+        ),
+        (
+            "max_connections".to_owned(),
+            inner.config.max_connections.into(),
+        ),
+        (
+            "connections_active".to_owned(),
+            inner.connections.load(Ordering::Relaxed).into(),
+        ),
+        (
+            "connections_shed".to_owned(),
+            counters.connections_shed.load(Ordering::Relaxed).into(),
         ),
         ("queued".to_owned(), queued.into()),
         ("running".to_owned(), running.into()),

@@ -1,31 +1,97 @@
 //! Per-job supervision: checkpoint-namespaced attempts, restart from
-//! the latest good generation, typed failure classification.
+//! the latest good generation, typed failure classification — at the
+//! caller's choice of containment boundary.
 //!
-//! Each attempt is one `UnsafetyEvaluator` run under `catch_unwind`.
-//! When an attempt dies of a *recoverable* cause — a worker panic
-//! (including the injected `serve::worker::spawn` crash) or a watchdog
-//! kill — the supervisor restarts it, resuming from the job's latest
-//! valid checkpoint generation via the same `load_with_fallback` path
-//! the CLI uses. Because resumed studies are bitwise-identical to
-//! uninterrupted ones, a job that survives any number of crashes
-//! reports exactly the estimates of a crash-free run. Unrecoverable
-//! causes (bad parameters, checkpoint validation failure, IO that
-//! outlived its retries) fail the job with a typed message instead.
+//! Two [`Isolation`] modes share one restart loop:
+//!
+//! * **Thread** (the in-process fallback): each attempt is one
+//!   `UnsafetyEvaluator` run under `catch_unwind`. A panic or a
+//!   recoverable typed error consumes a restart; anything
+//!   `catch_unwind` cannot see (abort, OOM, stack overflow) takes the
+//!   whole server with it.
+//! * **Process**: each attempt re-execs the current binary as a hidden
+//!   `ahs serve-worker`, which applies `setrlimit` budgets to itself,
+//!   writes a heartbeat file, evaluates the job from its namespaced
+//!   state directory, and reports through an `outcome.json` plus its
+//!   exit status. The supervisor maps clean exit / exit 75 / exit 1 /
+//!   signals / a stale heartbeat into the same typed restart policy
+//!   ([`classify_worker_exit`]) — so *any* death, including SIGKILL and
+//!   rlimit-induced aborts, restarts from the latest good checkpoint
+//!   generation and stays bitwise-resumable.
+//!
+//! Unrecoverable causes (bad parameters, checkpoint validation
+//! failure, IO that outlived its retries) fail the job with a typed
+//! message instead of burning restarts.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ahs_core::{AhsError, BiasMode, UnsafetyCurve, UnsafetyEvaluator};
 use ahs_des::{generation_path, SimError, Watchdog};
-use ahs_obs::ProgressSink;
+use ahs_obs::{heartbeat_read, send_sigterm, ProgressSink};
 
 use crate::cache::ModelCache;
-use crate::job::{Job, Phase};
+use crate::job::{Job, JobSpec, Phase};
+use crate::worker::WorkerOutcome;
+
+/// How often the process supervisor polls a child for exit, heartbeat
+/// advance, and the drain flag.
+const REAP_POLL: Duration = Duration::from_millis(25);
+
+/// Where each job attempt runs.
+#[derive(Debug, Clone)]
+pub enum Isolation {
+    /// In the server's address space, under `catch_unwind`. Cheap, but
+    /// an abort kills every tenant at once; kept as the fallback for
+    /// platforms without rlimit support.
+    Thread,
+    /// In a child process re-execed from `worker_exe`, with optional
+    /// `setrlimit` budgets — the containment boundary that survives
+    /// SIGKILL, SIGSEGV, and allocation aborts.
+    Process(ProcessIsolation),
+}
+
+/// Knobs for [`Isolation::Process`].
+#[derive(Debug, Clone)]
+pub struct ProcessIsolation {
+    /// Binary to re-exec (normally `std::env::current_exe()`); it must
+    /// understand the hidden `serve-worker` mode.
+    pub worker_exe: PathBuf,
+    /// Address-space cap applied by the worker to itself, in MiB.
+    pub mem_limit_mb: Option<u64>,
+    /// CPU-time cap applied by the worker to itself, in seconds.
+    pub cpu_limit_secs: Option<u64>,
+    /// Cadence of the worker's heartbeat file.
+    pub heartbeat_interval: Duration,
+    /// How long a non-advancing heartbeat is tolerated before the
+    /// supervisor declares the worker wedged and kills it.
+    pub heartbeat_stale_after: Duration,
+    /// Grace between the drain SIGTERM and a hard SIGKILL.
+    pub term_grace: Duration,
+}
+
+impl ProcessIsolation {
+    /// Process isolation via `worker_exe` with default budgets: no
+    /// rlimits, 200ms heartbeats declared stale after 30s, 30s of
+    /// drain grace.
+    pub fn new(worker_exe: impl Into<PathBuf>) -> ProcessIsolation {
+        ProcessIsolation {
+            worker_exe: worker_exe.into(),
+            mem_limit_mb: None,
+            cpu_limit_secs: None,
+            heartbeat_interval: Duration::from_millis(200),
+            heartbeat_stale_after: Duration::from_secs(30),
+            term_grace: Duration::from_secs(30),
+        }
+    }
+}
 
 /// Supervision knobs, fixed at server construction.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) struct SupervisorConfig {
     /// Restarts allowed per job before a crash becomes a failure.
     pub restart_budget: u32,
@@ -35,6 +101,8 @@ pub(crate) struct SupervisorConfig {
     pub checkpoint_generations: u32,
     /// Server-policy watchdog applied to every job.
     pub watchdog: Option<Watchdog>,
+    /// Containment boundary for job attempts.
+    pub isolation: Isolation,
 }
 
 /// How one attempt ended, short of an error.
@@ -47,13 +115,82 @@ enum Attempt {
     Drained(UnsafetyCurve),
 }
 
+/// The unified verdict on one attempt, across both isolation modes.
+enum AttemptEnd {
+    /// Final estimates are in hand. `manifest_written` is true when an
+    /// isolated worker already wrote `manifest.json` itself.
+    Finished {
+        curve: UnsafetyCurve,
+        wall_seconds: f64,
+        progress: Option<Arc<ProgressSink>>,
+        manifest_written: bool,
+    },
+    /// Drained at a chunk boundary with a flushed checkpoint.
+    Drained { replications: u64 },
+    /// A typed, non-restartable failure.
+    Failed { message: String },
+    /// A death a resume-from-checkpoint can outrun.
+    Crashed { reason: String },
+}
+
+/// How an isolated worker process ended, as observed by the parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WorkerExit {
+    /// Exited on its own with this code.
+    Code(i32),
+    /// Killed by this signal (9 = SIGKILL, 11 = SIGSEGV, 6 = SIGABRT).
+    Signal(i32),
+    /// Alive but its heartbeat stopped advancing; the supervisor
+    /// killed it.
+    HeartbeatStale,
+}
+
+/// What the supervisor does about a [`WorkerExit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ExitClass {
+    /// Exit 0 — the outcome document carries final estimates.
+    Finished,
+    /// Exit 75 (`EX_TEMPFAIL`) — graceful drain, checkpoint flushed.
+    Drained,
+    /// Exit 1 — a typed failure; the outcome document says whether a
+    /// restart could help.
+    Typed,
+    /// Everything else — panic aborts (101), rlimit kills, SIGKILL,
+    /// SIGSEGV, stale heartbeats: restart from the latest good
+    /// checkpoint generation.
+    Crash,
+}
+
+/// The exit-status → restart-decision mapping, as a pure function so
+/// the supervision policy is unit-testable without spawning anything.
+pub(crate) fn classify_worker_exit(exit: WorkerExit) -> ExitClass {
+    match exit {
+        WorkerExit::Code(0) => ExitClass::Finished,
+        WorkerExit::Code(75) => ExitClass::Drained,
+        WorkerExit::Code(1) => ExitClass::Typed,
+        WorkerExit::Code(_) | WorkerExit::Signal(_) | WorkerExit::HeartbeatStale => {
+            ExitClass::Crash
+        }
+    }
+}
+
+fn describe_exit(exit: WorkerExit) -> String {
+    match exit {
+        WorkerExit::Code(code) => format!("worker process exited with code {code}"),
+        WorkerExit::Signal(signal) => format!("worker process killed by signal {signal}"),
+        WorkerExit::HeartbeatStale => {
+            "worker heartbeat went stale; process killed by the supervisor".to_owned()
+        }
+    }
+}
+
 /// Whether a typed error is worth a restart: only causes that a
 /// resume-from-checkpoint can actually outrun. Watchdog kills
 /// (`Runaway`) and quarantine overflows are scheduling/injection
 /// artifacts that a later attempt may not reproduce; everything else
 /// (invalid parameters, checkpoint validation, exhausted IO retries)
 /// would fail identically again.
-fn restartable(error: &AhsError) -> bool {
+pub(crate) fn restartable(error: &AhsError) -> bool {
     matches!(
         error,
         AhsError::Sim(SimError::Runaway { .. } | SimError::QuarantineOverflow { .. })
@@ -82,24 +219,36 @@ pub(crate) fn run_supervised(
     job.set_phase(Phase::Running);
     let mut consumed = 0u32;
     loop {
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_attempt(job, cache, config, stop)));
-        let crash_reason = match outcome {
-            Ok(Ok(Attempt::Finished(curve, wall_seconds, progress))) => {
-                finish(job, config, &curve, wall_seconds, progress);
+        let end = match &config.isolation {
+            Isolation::Thread => thread_attempt(job, cache, config, stop),
+            Isolation::Process(isolation) => process_attempt(job, cache, config, isolation, stop),
+        };
+        let crash_reason = match end {
+            AttemptEnd::Finished {
+                curve,
+                wall_seconds,
+                progress,
+                manifest_written,
+            } => {
+                finish(
+                    job,
+                    config,
+                    &curve,
+                    wall_seconds,
+                    progress,
+                    manifest_written,
+                );
                 return consumed;
             }
-            Ok(Ok(Attempt::Drained(curve))) => {
-                job.set_phase(Phase::Interrupted {
-                    replications: curve.replications(),
-                });
+            AttemptEnd::Drained { replications } => {
+                job.set_phase(Phase::Interrupted { replications });
                 return consumed;
             }
-            Ok(Err(error)) if !restartable(&error) => {
-                job.set_phase(Phase::Failed(error.to_string()));
+            AttemptEnd::Failed { message } => {
+                job.set_phase(Phase::Failed(message));
                 return consumed;
             }
-            Ok(Err(error)) => error.to_string(),
-            Err(payload) => format!("worker panicked: {}", panic_message(payload.as_ref())),
+            AttemptEnd::Crashed { reason } => reason,
         };
         if consumed >= config.restart_budget {
             job.set_phase(Phase::Failed(format!(
@@ -122,47 +271,98 @@ fn finish(
     config: &SupervisorConfig,
     curve: &UnsafetyCurve,
     wall_seconds: f64,
-    progress: Arc<ProgressSink>,
+    progress: Option<Arc<ProgressSink>>,
+    manifest_written: bool,
 ) {
-    let manifest = evaluator_for(job, config, false)
-        .with_progress(progress)
-        .manifest("ahs serve", curve, wall_seconds);
-    let path = job.dir.join("manifest.json");
-    if let Err(e) = manifest.write(&path) {
-        eprintln!("warning: could not write {}: {e}", path.display());
+    if !manifest_written {
+        let mut eval = evaluator_for(job, config, false);
+        if let Some(progress) = progress {
+            eval = eval.with_progress(progress);
+        }
+        let manifest = eval.manifest("ahs serve", curve, wall_seconds);
+        let path = job.dir.join("manifest.json");
+        if let Err(e) = manifest.write(&path) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
     }
     job.set_phase(Phase::Finished(curve.clone()));
 }
 
-/// The evaluator for one attempt of `job` — exactly the configuration
-/// `ahs evaluate` would build for the same spec, with the checkpoint
-/// namespaced into the job directory.
-fn evaluator_for(job: &Job, config: &SupervisorConfig, resume: bool) -> UnsafetyEvaluator {
-    let checkpoint = job.checkpoint_path();
-    let mut eval = UnsafetyEvaluator::new(job.spec.params.clone())
-        .with_seed(job.spec.seed)
-        .with_threads(job.spec.threads)
-        .with_replications(job.spec.replications)
-        .with_checkpoint(&checkpoint, config.checkpoint_every)
-        .with_checkpoint_generations(config.checkpoint_generations)
-        .with_quarantine_budget(job.spec.quarantine_budget);
-    if job.spec.plain {
+/// The evaluator for one attempt over `spec` — exactly the
+/// configuration `ahs evaluate` would build for the same spec, with
+/// the checkpoint namespaced into the job directory. Shared between
+/// thread-mode attempts and the isolated worker so the two modes can
+/// never drift apart bitwise.
+pub(crate) fn evaluator_for_spec(
+    spec: &JobSpec,
+    checkpoint: &Path,
+    checkpoint_every: u64,
+    checkpoint_generations: u32,
+    watchdog: Option<Watchdog>,
+    resume: bool,
+) -> UnsafetyEvaluator {
+    let mut eval = UnsafetyEvaluator::new(spec.params.clone())
+        .with_seed(spec.seed)
+        .with_threads(spec.threads)
+        .with_replications(spec.replications)
+        .with_checkpoint(checkpoint, checkpoint_every)
+        .with_checkpoint_generations(checkpoint_generations)
+        .with_quarantine_budget(spec.quarantine_budget);
+    if spec.plain {
         eval = eval.with_bias(BiasMode::None);
     }
-    if let Some(watchdog) = config.watchdog {
+    if let Some(watchdog) = watchdog {
         eval = eval.with_watchdog(watchdog);
     }
     if resume {
-        eval = eval.with_resume(&checkpoint);
+        eval = eval.with_resume(checkpoint);
     }
     eval
 }
 
-/// Whether any retained checkpoint generation exists for `job` — the
-/// signal that this attempt should resume rather than start fresh.
-fn has_checkpoint(job: &Job, generations: u32) -> bool {
-    let base = job.checkpoint_path();
-    (0..generations).any(|g| generation_path(&base, g).exists())
+fn evaluator_for(job: &Job, config: &SupervisorConfig, resume: bool) -> UnsafetyEvaluator {
+    evaluator_for_spec(
+        &job.spec,
+        &job.checkpoint_path(),
+        config.checkpoint_every,
+        config.checkpoint_generations,
+        config.watchdog,
+        resume,
+    )
+}
+
+/// Whether any retained checkpoint generation exists at `base` — the
+/// signal that an attempt should resume rather than start fresh.
+pub(crate) fn checkpoint_exists(base: &Path, generations: u32) -> bool {
+    (0..generations).any(|g| generation_path(base, g).exists())
+}
+
+fn thread_attempt(
+    job: &Arc<Job>,
+    cache: &ModelCache,
+    config: &SupervisorConfig,
+    stop: &Arc<AtomicBool>,
+) -> AttemptEnd {
+    match catch_unwind(AssertUnwindSafe(|| run_attempt(job, cache, config, stop))) {
+        Ok(Ok(Attempt::Finished(curve, wall_seconds, progress))) => AttemptEnd::Finished {
+            curve,
+            wall_seconds,
+            progress: Some(progress),
+            manifest_written: false,
+        },
+        Ok(Ok(Attempt::Drained(curve))) => AttemptEnd::Drained {
+            replications: curve.replications(),
+        },
+        Ok(Err(error)) if !restartable(&error) => AttemptEnd::Failed {
+            message: error.to_string(),
+        },
+        Ok(Err(error)) => AttemptEnd::Crashed {
+            reason: error.to_string(),
+        },
+        Err(payload) => AttemptEnd::Crashed {
+            reason: format!("worker panicked: {}", panic_message(payload.as_ref())),
+        },
+    }
 }
 
 fn run_attempt(
@@ -198,7 +398,7 @@ fn run_attempt(
         })?,
     );
 
-    let resume = has_checkpoint(job, config.checkpoint_generations);
+    let resume = checkpoint_exists(&job.checkpoint_path(), config.checkpoint_generations);
     let eval = evaluator_for(job, config, resume)
         .with_interrupt(stop.clone())
         .with_progress(progress.clone());
@@ -216,4 +416,304 @@ fn run_attempt(
         start.elapsed().as_secs_f64(),
         progress,
     ))
+}
+
+/// One attempt behind the process boundary: re-exec the worker, watch
+/// exit + heartbeat, classify the death.
+fn process_attempt(
+    job: &Arc<Job>,
+    cache: &ModelCache,
+    config: &SupervisorConfig,
+    isolation: &ProcessIsolation,
+    stop: &Arc<AtomicBool>,
+) -> AttemptEnd {
+    // Same spawn-failpoint semantics as thread mode: panic-shaped
+    // faults are restartable crashes, error-shaped ones typed
+    // failures. (Never an actual panic here — in process mode there is
+    // no catch_unwind above this frame.)
+    match ahs_inject::eval("serve::worker::spawn") {
+        Some(ahs_inject::Fault::Panic(msg)) => {
+            return AttemptEnd::Crashed {
+                reason: format!("injected worker-spawn crash: {msg}"),
+            };
+        }
+        Some(fault @ ahs_inject::Fault::Error(_)) => {
+            return AttemptEnd::Failed {
+                message: fault.to_io_error("serve::worker::spawn").map_or_else(
+                    || "injected worker-spawn fault".to_owned(),
+                    |e| e.to_string(),
+                ),
+            };
+        }
+        Some(ahs_inject::Fault::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        _ => {}
+    }
+    // The exec failpoint models the re-exec itself failing (missing
+    // binary, fork failure): a restartable crash, like a real spawn
+    // error below.
+    match ahs_inject::eval("serve::worker::exec") {
+        Some(ahs_inject::Fault::Error(_) | ahs_inject::Fault::Panic(_)) => {
+            return AttemptEnd::Crashed {
+                reason: "injected worker-exec fault".to_owned(),
+            };
+        }
+        Some(ahs_inject::Fault::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        _ => {}
+    }
+
+    // Cache handoff: the parent keeps the shared compiled-model cache
+    // warm (and its counters meaningful); the child re-derives the
+    // model from the same spec and proves equivalence against this
+    // structural fingerprint before evaluating anything.
+    let compiled = match cache.get_or_build(&job.spec.params) {
+        Ok(compiled) => compiled,
+        Err(error) if restartable(&error) => {
+            return AttemptEnd::Crashed {
+                reason: error.to_string(),
+            };
+        }
+        Err(error) => {
+            return AttemptEnd::Failed {
+                message: error.to_string(),
+            };
+        }
+    };
+
+    let outcome_path = job.dir.join("outcome.json");
+    let heartbeat_path = job.dir.join("heartbeat");
+    std::fs::remove_file(&outcome_path).ok();
+    std::fs::remove_file(&heartbeat_path).ok();
+
+    let mut command = Command::new(&isolation.worker_exe);
+    command
+        .arg("serve-worker")
+        .arg("--job-dir")
+        .arg(&job.dir)
+        .arg("--checkpoint-every")
+        .arg(config.checkpoint_every.to_string())
+        .arg("--checkpoint-generations")
+        .arg(config.checkpoint_generations.to_string())
+        .arg("--heartbeat-ms")
+        .arg(isolation.heartbeat_interval.as_millis().to_string())
+        .arg("--expect-fingerprint")
+        .arg(format!("{:016x}", compiled.fingerprint()))
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    if let Some(mb) = isolation.mem_limit_mb {
+        command.arg("--mem-limit").arg(mb.to_string());
+    }
+    if let Some(secs) = isolation.cpu_limit_secs {
+        command.arg("--cpu-limit").arg(secs.to_string());
+    }
+    if let Some(watchdog) = config.watchdog {
+        if let Some(events) = watchdog.max_events() {
+            command.arg("--watchdog-events").arg(events.to_string());
+        }
+        if let Some(seconds) = watchdog.max_wall_seconds() {
+            command.arg("--watchdog-seconds").arg(seconds.to_string());
+        }
+    }
+    let mut child = match command.spawn() {
+        Ok(child) => child,
+        Err(e) => {
+            return AttemptEnd::Crashed {
+                reason: format!("spawning worker process: {e}"),
+            };
+        }
+    };
+    job.set_worker_pid(Some(child.id()));
+    let (exit, termed) = supervise_child(&mut child, &heartbeat_path, isolation, stop);
+    job.set_worker_pid(None);
+
+    // The reap failpoint models losing the worker's outcome document
+    // (truncated write, unreadable disk) after a clean-looking exit:
+    // the attempt demotes to a restartable crash.
+    let reap_fault = match ahs_inject::eval("serve::worker::reap") {
+        Some(ahs_inject::Fault::Error(_)) => true,
+        Some(ahs_inject::Fault::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            false
+        }
+        _ => false,
+    };
+    let outcome = if reap_fault {
+        None
+    } else {
+        WorkerOutcome::read(&outcome_path)
+    };
+
+    match classify_worker_exit(exit) {
+        ExitClass::Finished => match outcome {
+            Some(outcome) if outcome.is_finished() => match outcome.curve {
+                Some(curve) => {
+                    job.telemetry_dropped
+                        .fetch_add(outcome.telemetry_dropped, Ordering::Relaxed);
+                    AttemptEnd::Finished {
+                        curve,
+                        wall_seconds: outcome.wall_seconds,
+                        progress: None,
+                        manifest_written: true,
+                    }
+                }
+                None => AttemptEnd::Crashed {
+                    reason: "worker finished without readable estimates".to_owned(),
+                },
+            },
+            _ => AttemptEnd::Crashed {
+                reason: "worker exited 0 without a readable outcome document".to_owned(),
+            },
+        },
+        ExitClass::Drained => {
+            if stop.load(Ordering::Relaxed) {
+                AttemptEnd::Drained {
+                    replications: outcome.map_or(0, |o| o.replications),
+                }
+            } else {
+                // An unsolicited drain is a wedged worker in disguise;
+                // the checkpoint it flushed makes the restart cheap.
+                AttemptEnd::Crashed {
+                    reason: "worker drained without a drain request".to_owned(),
+                }
+            }
+        }
+        ExitClass::Typed => match outcome {
+            Some(outcome) if outcome.is_failed() => {
+                if outcome.restartable {
+                    AttemptEnd::Crashed {
+                        reason: outcome.message,
+                    }
+                } else {
+                    AttemptEnd::Failed {
+                        message: outcome.message,
+                    }
+                }
+            }
+            _ => AttemptEnd::Crashed {
+                reason: "worker exited 1 without a readable outcome document".to_owned(),
+            },
+        },
+        ExitClass::Crash => {
+            if termed || stop.load(Ordering::Relaxed) {
+                // The drain raced a death (or our own grace-period
+                // SIGKILL landed): the last flushed checkpoint is
+                // intact, so the job stays resumable and the restart
+                // budget is not charged for the supervisor's own kill.
+                AttemptEnd::Drained {
+                    replications: outcome.map_or(0, |o| o.replications),
+                }
+            } else {
+                AttemptEnd::Crashed {
+                    reason: describe_exit(exit),
+                }
+            }
+        }
+    }
+}
+
+/// Waits the child out: forwards the drain flag as SIGTERM (SIGKILL
+/// after the grace period), watches the heartbeat for advance, and
+/// kills a wedged worker. Returns how the child ended and whether a
+/// drain was requested of it.
+fn supervise_child(
+    child: &mut Child,
+    heartbeat: &Path,
+    isolation: &ProcessIsolation,
+    stop: &Arc<AtomicBool>,
+) -> (WorkerExit, bool) {
+    let mut termed = false;
+    let mut kill_deadline: Option<Instant> = None;
+    let mut stale = false;
+    let mut last_beat: Option<u64> = None;
+    let mut last_advance = Instant::now();
+    let status = loop {
+        if let Ok(Some(status)) = child.try_wait() {
+            break status;
+        }
+        if !termed && stop.load(Ordering::Relaxed) {
+            termed = true;
+            kill_deadline = Some(Instant::now() + isolation.term_grace);
+            // std's Child::kill is SIGKILL; the graceful request needs
+            // the obs kill(2) shim. If even that fails, fall through to
+            // the hard kill.
+            if send_sigterm(child.id()).is_err() {
+                child.kill().ok();
+            }
+        }
+        if kill_deadline.is_some_and(|deadline| Instant::now() > deadline) {
+            child.kill().ok();
+            kill_deadline = None;
+        }
+        if !termed && !stale {
+            let beat = heartbeat_read(heartbeat);
+            if beat.is_some() && beat != last_beat {
+                last_beat = beat;
+                last_advance = Instant::now();
+            } else if last_advance.elapsed() > isolation.heartbeat_stale_after {
+                stale = true;
+                child.kill().ok();
+            }
+        }
+        std::thread::sleep(REAP_POLL);
+    };
+    let exit = if stale {
+        WorkerExit::HeartbeatStale
+    } else {
+        exit_of_status(&status)
+    };
+    (exit, termed)
+}
+
+fn exit_of_status(status: &ExitStatus) -> WorkerExit {
+    if let Some(code) = status.code() {
+        return WorkerExit::Code(code);
+    }
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(signal) = status.signal() {
+            return WorkerExit::Signal(signal);
+        }
+    }
+    WorkerExit::Signal(-1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_status_to_restart_decision_table() {
+        // The satellite contract: every way a worker process can die
+        // maps to exactly one supervision decision.
+        for (exit, class) in [
+            (WorkerExit::Code(0), ExitClass::Finished),
+            (WorkerExit::Code(75), ExitClass::Drained),
+            (WorkerExit::Code(1), ExitClass::Typed),
+            // A Rust panic that unwound to the runtime.
+            (WorkerExit::Code(101), ExitClass::Crash),
+            // abort() / allocation failure past --mem-limit.
+            (WorkerExit::Signal(6), ExitClass::Crash),
+            // SIGKILL: uncatchable, invisible to catch_unwind.
+            (WorkerExit::Signal(9), ExitClass::Crash),
+            // SIGSEGV.
+            (WorkerExit::Signal(11), ExitClass::Crash),
+            // RLIMIT_CPU exceeded (SIGXCPU).
+            (WorkerExit::Signal(24), ExitClass::Crash),
+            (WorkerExit::HeartbeatStale, ExitClass::Crash),
+        ] {
+            assert_eq!(classify_worker_exit(exit), class, "misclassified {exit:?}");
+        }
+    }
+
+    #[test]
+    fn crash_descriptions_name_the_death() {
+        assert!(describe_exit(WorkerExit::Code(101)).contains("code 101"));
+        assert!(describe_exit(WorkerExit::Signal(9)).contains("signal 9"));
+        assert!(describe_exit(WorkerExit::HeartbeatStale).contains("heartbeat"));
+    }
 }

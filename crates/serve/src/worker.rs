@@ -1,0 +1,500 @@
+//! The isolated worker half of process isolation: what runs inside the
+//! hidden `ahs serve-worker` mode.
+//!
+//! The supervisor re-execs the current binary with a job directory; the
+//! worker applies `setrlimit` budgets *to itself* (so a runaway
+//! allocation or CPU spin dies inside this process, never in the
+//! server), heartbeats a file for the supervisor's staleness watch,
+//! evaluates the job exactly as a thread-mode attempt would — same
+//! [`evaluator_for_spec`] configuration, same checkpoint namespace, so
+//! resumes stay bitwise — and reports through two channels:
+//!
+//! * **exit status**: 0 finished, 75 (`EX_TEMPFAIL`) drained on
+//!   SIGTERM, 1 typed failure; anything else is a crash.
+//! * **`outcome.json`**: the estimates / error detail the exit status
+//!   alone cannot carry, written atomically so the supervisor either
+//!   reads a complete document or (correctly) treats the attempt as
+//!   crashed.
+//!
+//! The cache handoff is by *proof*, not by transfer: the parent passes
+//! the structural fingerprint of its cached compiled model, and the
+//! worker refuses to run if its own compilation disagrees — a changed
+//! binary or corrupted spec can never silently evaluate the wrong
+//! model against the parent's checkpoint lineage.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ahs_core::{AhsError, CompiledModel, UnsafetyCurve};
+use ahs_des::Watchdog;
+use ahs_obs::{
+    atomic_write, heartbeat_write, interrupt_flag, limit_cpu_seconds, limit_memory_bytes,
+    rlimit_supported, Json, ProgressSink,
+};
+
+use crate::job::{AdmissionPolicy, JobSpec};
+use crate::supervisor::{checkpoint_exists, evaluator_for_spec, restartable};
+
+/// Schema tag of `outcome.json`.
+pub const WORKER_OUTCOME_SCHEMA: &str = "ahs-serve-worker-outcome/v1";
+
+/// Exit code for a graceful drain (`EX_TEMPFAIL`), mirrored from the
+/// CLI's interrupted-run convention.
+pub const WORKER_EXIT_DRAINED: u8 = 75;
+
+/// Everything the `serve-worker` mode needs, parsed from its argv by
+/// the binary.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// The job's state directory (holds `job.json`, checkpoints,
+    /// telemetry, heartbeat, and the outcome document).
+    pub job_dir: PathBuf,
+    /// Replications between checkpoint flushes.
+    pub checkpoint_every: u64,
+    /// Checkpoint generations retained / consulted on resume.
+    pub checkpoint_generations: u32,
+    /// Heartbeat cadence.
+    pub heartbeat_interval: Duration,
+    /// `RLIMIT_AS` budget in MiB, applied before evaluation.
+    pub mem_limit_mb: Option<u64>,
+    /// `RLIMIT_CPU` budget in seconds, applied before evaluation.
+    pub cpu_limit_secs: Option<u64>,
+    /// Server-policy watchdog forwarded by the supervisor.
+    pub watchdog: Option<Watchdog>,
+    /// The parent's compiled-model fingerprint; evaluation refuses to
+    /// start if this worker's own compilation disagrees.
+    pub expect_fingerprint: Option<u64>,
+}
+
+/// Runs one isolated job attempt to completion and returns the process
+/// exit code (0 finished, 75 drained, 1 typed failure).
+pub fn run_worker(options: &WorkerOptions) -> u8 {
+    // Self-applied resource budgets, first thing: everything after
+    // this line — including spec parsing and model compilation — runs
+    // inside the cage. Failure to apply a limit is a warning, not a
+    // fatal error: the platform fallback is supervised-but-unbounded.
+    if let Some(mb) = options.mem_limit_mb {
+        if let Err(e) = limit_memory_bytes(mb.saturating_mul(1024 * 1024)) {
+            eprintln!("serve-worker: warning: could not apply --mem-limit: {e}");
+        }
+    }
+    if let Some(secs) = options.cpu_limit_secs {
+        if let Err(e) = limit_cpu_seconds(secs) {
+            eprintln!("serve-worker: warning: could not apply --cpu-limit: {e}");
+        }
+    }
+    if (options.mem_limit_mb.is_some() || options.cpu_limit_secs.is_some()) && !rlimit_supported() {
+        eprintln!("serve-worker: warning: rlimits are not supported on this platform");
+    }
+
+    // SIGTERM from the supervisor flips this flag; the evaluator
+    // drains at the next chunk boundary with a flushed checkpoint.
+    let stop = interrupt_flag();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let beat_thread = spawn_heartbeat(
+        options.job_dir.join("heartbeat"),
+        options.heartbeat_interval,
+        done.clone(),
+    );
+
+    let start = Instant::now();
+    let outcome_path = options.job_dir.join("outcome.json");
+    let code = match evaluate(options, &stop) {
+        Ok(Evaluated::Finished {
+            curve,
+            wall_seconds,
+            telemetry_dropped,
+        }) => {
+            write_outcome(
+                &outcome_path,
+                &finished_outcome(&curve, wall_seconds, telemetry_dropped),
+            );
+            0
+        }
+        Ok(Evaluated::Drained { replications }) => {
+            write_outcome(
+                &outcome_path,
+                &drained_outcome(replications, start.elapsed().as_secs_f64()),
+            );
+            WORKER_EXIT_DRAINED
+        }
+        Err(error) => {
+            write_outcome(
+                &outcome_path,
+                &failed_outcome(
+                    &error.to_string(),
+                    error.restartable,
+                    start.elapsed().as_secs_f64(),
+                ),
+            );
+            eprintln!("serve-worker: {}", error.message);
+            1
+        }
+    };
+    done.store(true, Ordering::Relaxed);
+    if let Some(handle) = beat_thread {
+        handle.join().ok();
+    }
+    code
+}
+
+/// A typed worker failure plus whether a restart could help.
+struct WorkerError {
+    message: String,
+    restartable: bool,
+}
+
+impl WorkerError {
+    fn fatal(message: impl Into<String>) -> WorkerError {
+        WorkerError {
+            message: message.into(),
+            restartable: false,
+        }
+    }
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<AhsError> for WorkerError {
+    fn from(error: AhsError) -> WorkerError {
+        WorkerError {
+            restartable: restartable(&error),
+            message: error.to_string(),
+        }
+    }
+}
+
+enum Evaluated {
+    Finished {
+        curve: UnsafetyCurve,
+        wall_seconds: f64,
+        telemetry_dropped: u64,
+    },
+    Drained {
+        replications: u64,
+    },
+}
+
+fn evaluate(options: &WorkerOptions, stop: &Arc<AtomicBool>) -> Result<Evaluated, WorkerError> {
+    let spec_path = options.job_dir.join("job.json");
+    let text = std::fs::read_to_string(&spec_path)
+        .map_err(|e| WorkerError::fatal(format!("reading {}: {e}", spec_path.display())))?;
+    let doc = Json::parse(&text)
+        .map_err(|e| WorkerError::fatal(format!("parsing {}: {e}", spec_path.display())))?;
+    // The spec on disk was already clamped by the server's admission
+    // policy; re-validating against an arbitrary policy here could
+    // silently change threads/replications and break bitwise resume.
+    let permissive = AdmissionPolicy {
+        max_replications: u64::MAX,
+        max_threads: usize::MAX,
+        quarantine_cap: u64::MAX,
+        watchdog: None,
+    };
+    let spec = JobSpec::from_json(&doc, &permissive)
+        .map_err(|e| WorkerError::fatal(format!("invalid {}: {e}", spec_path.display())))?;
+
+    let compiled = CompiledModel::build(&spec.params).map_err(WorkerError::from)?;
+    if let Some(expected) = options.expect_fingerprint {
+        if compiled.fingerprint() != expected {
+            return Err(WorkerError::fatal(format!(
+                "model fingerprint mismatch: supervisor expects {expected:016x}, \
+                 worker compiled {:016x}",
+                compiled.fingerprint()
+            )));
+        }
+    }
+
+    let checkpoint = options.job_dir.join("checkpoint.json");
+    let resume = checkpoint_exists(&checkpoint, options.checkpoint_generations);
+    let progress = Arc::new(
+        ProgressSink::file(&options.job_dir.join("telemetry.jsonl"))
+            .map_err(|e| WorkerError::fatal(format!("opening telemetry sink: {e}")))?,
+    );
+    let eval = evaluator_for_spec(
+        &spec,
+        &checkpoint,
+        options.checkpoint_every,
+        options.checkpoint_generations,
+        options.watchdog,
+        resume,
+    )
+    .with_interrupt(stop.clone())
+    .with_progress(progress.clone());
+
+    let start = Instant::now();
+    let curve = eval.evaluate_compiled(&spec.grid(), &compiled)?;
+    let wall_seconds = start.elapsed().as_secs_f64();
+    if curve.interrupted() {
+        return Ok(Evaluated::Drained {
+            replications: curve.replications(),
+        });
+    }
+    // The worker writes the manifest itself — the parent's finish path
+    // skips it — so provenance is recorded by the process that actually
+    // produced the estimates. Built from a fresh non-resume evaluator,
+    // as the thread-mode finish path does, so the two modes emit
+    // identical manifests.
+    let manifest = evaluator_for_spec(
+        &spec,
+        &checkpoint,
+        options.checkpoint_every,
+        options.checkpoint_generations,
+        options.watchdog,
+        false,
+    )
+    .with_progress(progress.clone())
+    .manifest("ahs serve", &curve, wall_seconds);
+    let manifest_path = options.job_dir.join("manifest.json");
+    if let Err(e) = manifest.write(&manifest_path) {
+        eprintln!(
+            "serve-worker: warning: could not write {}: {e}",
+            manifest_path.display()
+        );
+    }
+    Ok(Evaluated::Finished {
+        curve,
+        wall_seconds,
+        telemetry_dropped: progress.dropped(),
+    })
+}
+
+fn spawn_heartbeat(
+    path: PathBuf,
+    interval: Duration,
+    done: Arc<AtomicBool>,
+) -> Option<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name("heartbeat".to_owned())
+        .spawn(move || {
+            let mut beat = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                // The heartbeat failpoint skips one write — which is
+                // exactly what a real stalled IO does — so the chaos
+                // tier can exercise the supervisor's staleness watch.
+                let skip = matches!(
+                    ahs_inject::eval("serve::worker::heartbeat"),
+                    Some(ahs_inject::Fault::Error(_))
+                );
+                if !skip {
+                    heartbeat_write(&path, beat).ok();
+                    beat += 1;
+                }
+                std::thread::sleep(interval);
+            }
+        })
+        .ok()
+}
+
+// --- the outcome document ---------------------------------------------
+
+fn base_outcome(kind: &str, wall_seconds: f64) -> Vec<(String, Json)> {
+    vec![
+        ("schema".to_owned(), Json::str(WORKER_OUTCOME_SCHEMA)),
+        ("outcome".to_owned(), Json::str(kind)),
+        ("error".to_owned(), Json::Null),
+        ("wall_seconds".to_owned(), wall_seconds.into()),
+        ("telemetry_dropped".to_owned(), 0u64.into()),
+        ("replications".to_owned(), 0u64.into()),
+        ("converged".to_owned(), Json::Null),
+        ("quarantined".to_owned(), 0u64.into()),
+        ("resume_lineage".to_owned(), Json::Arr(Vec::new())),
+        ("resume_fallback".to_owned(), Json::Null),
+        ("estimates".to_owned(), Json::Arr(Vec::new())),
+    ]
+}
+
+fn set_key(doc: &mut [(String, Json)], key: &str, value: Json) {
+    if let Some(slot) = doc.iter_mut().find(|(k, _)| k == key) {
+        slot.1 = value;
+    }
+}
+
+fn finished_outcome(curve: &UnsafetyCurve, wall_seconds: f64, telemetry_dropped: u64) -> Json {
+    let mut doc = base_outcome("finished", wall_seconds);
+    set_key(&mut doc, "telemetry_dropped", telemetry_dropped.into());
+    set_key(&mut doc, "replications", curve.replications().into());
+    set_key(&mut doc, "converged", Json::Bool(curve.converged()));
+    set_key(&mut doc, "quarantined", curve.quarantined().into());
+    set_key(
+        &mut doc,
+        "resume_lineage",
+        Json::Arr(
+            curve
+                .resume_lineage()
+                .iter()
+                .map(|w| Json::UInt(*w))
+                .collect(),
+        ),
+    );
+    set_key(
+        &mut doc,
+        "resume_fallback",
+        curve
+            .resume_fallback()
+            .map_or(Json::Null, |g| Json::UInt(u64::from(g))),
+    );
+    set_key(
+        &mut doc,
+        "estimates",
+        Json::Arr(
+            curve
+                .points()
+                .iter()
+                .map(|p| {
+                    Json::Obj(vec![
+                        ("x".to_owned(), p.x.into()),
+                        ("y".to_owned(), p.y.into()),
+                        ("half_width".to_owned(), p.half_width.into()),
+                        ("samples".to_owned(), p.samples.into()),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    Json::Obj(doc)
+}
+
+fn drained_outcome(replications: u64, wall_seconds: f64) -> Json {
+    let mut doc = base_outcome("drained", wall_seconds);
+    set_key(&mut doc, "replications", replications.into());
+    Json::Obj(doc)
+}
+
+fn failed_outcome(message: &str, restartable: bool, wall_seconds: f64) -> Json {
+    let mut doc = base_outcome("failed", wall_seconds);
+    set_key(
+        &mut doc,
+        "error",
+        Json::Obj(vec![
+            ("message".to_owned(), Json::str(message.to_owned())),
+            ("restartable".to_owned(), Json::Bool(restartable)),
+        ]),
+    );
+    Json::Obj(doc)
+}
+
+fn write_outcome(path: &Path, doc: &Json) {
+    let mut text = doc.render();
+    text.push('\n');
+    // Atomic on purpose: the supervisor must never read a torn
+    // document and mistake a drain for a crash (or worse, a crash for
+    // a finish).
+    if let Err(e) = atomic_write(path, text.as_bytes()) {
+        eprintln!(
+            "serve-worker: warning: could not write {}: {e}",
+            path.display()
+        );
+    }
+}
+
+/// The supervisor-side view of `outcome.json`.
+#[derive(Debug)]
+pub(crate) struct WorkerOutcome {
+    kind: String,
+    /// Final estimates (present only for a finished outcome).
+    pub curve: Option<UnsafetyCurve>,
+    /// Evaluation wall time reported by the worker.
+    pub wall_seconds: f64,
+    /// Telemetry drops in the worker's sink.
+    pub telemetry_dropped: u64,
+    /// Replications completed (drain progress).
+    pub replications: u64,
+    /// Typed failure message.
+    pub message: String,
+    /// Whether the worker judged its failure worth a restart.
+    pub restartable: bool,
+}
+
+impl WorkerOutcome {
+    /// Parses `path`; `None` on missing/torn/mis-shaped documents —
+    /// the supervisor treats that exactly like a crash.
+    pub fn read(path: &Path) -> Option<WorkerOutcome> {
+        let doc = Json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+        if doc.get("schema").and_then(Json::as_str) != Some(WORKER_OUTCOME_SCHEMA) {
+            return None;
+        }
+        let kind = doc.get("outcome").and_then(Json::as_str)?.to_owned();
+        let error = doc.get("error").filter(|e| !matches!(e, Json::Null));
+        Some(WorkerOutcome {
+            curve: crate::server::curve_from_status(&doc),
+            wall_seconds: doc
+                .get("wall_seconds")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            telemetry_dropped: doc
+                .get("telemetry_dropped")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            replications: doc.get("replications").and_then(Json::as_u64).unwrap_or(0),
+            message: error
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap_or("worker reported an unspecified failure")
+                .to_owned(),
+            restartable: error
+                .and_then(|e| e.get("restartable"))
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            kind,
+        })
+    }
+
+    /// Whether the worker reported final estimates.
+    pub fn is_finished(&self) -> bool {
+        self.kind == "finished"
+    }
+
+    /// Whether the worker reported a typed failure.
+    pub fn is_failed(&self) -> bool {
+        self.kind == "failed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ahs-worker-outcome-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn outcome_documents_roundtrip() {
+        let path = temp_path("roundtrip");
+        write_outcome(&path, &drained_outcome(1234, 0.5));
+        let outcome = WorkerOutcome::read(&path).expect("drained outcome must parse");
+        assert!(!outcome.is_finished());
+        assert!(!outcome.is_failed());
+        assert_eq!(outcome.replications, 1234);
+        assert!(outcome.curve.is_none(), "a drain carries no estimates");
+
+        write_outcome(&path, &failed_outcome("checkpoint eaten", true, 0.1));
+        let outcome = WorkerOutcome::read(&path).expect("failed outcome must parse");
+        assert!(outcome.is_failed());
+        assert!(outcome.restartable);
+        assert_eq!(outcome.message, "checkpoint eaten");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_or_alien_documents_read_as_none() {
+        let path = temp_path("torn");
+        assert!(WorkerOutcome::read(&path).is_none(), "missing file");
+        std::fs::write(&path, b"{\"outcome\": \"finished\"").unwrap();
+        assert!(WorkerOutcome::read(&path).is_none(), "torn JSON");
+        std::fs::write(
+            &path,
+            b"{\"schema\": \"other/v1\", \"outcome\": \"finished\"}\n",
+        )
+        .unwrap();
+        assert!(WorkerOutcome::read(&path).is_none(), "alien schema");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -115,6 +115,54 @@ fn full_queue_sheds_load_with_429_and_retry_after() {
 }
 
 #[test]
+fn connection_limit_sheds_with_503_and_counts_it() {
+    let (server, dir) = start_with(|c| c.max_connections = 1, "api-conn-shed");
+    let addr = server.local_addr();
+
+    // Occupy the only permit: connect and send a partial request so
+    // the handler thread sits in `read_request` holding the slot.
+    let mut holder = TcpStream::connect(addr).unwrap();
+    holder.write_all(b"GET /v1/healthz HTTP/1.1\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let (status, response) = request_raw(addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, 503, "{response}");
+    let head = response.to_ascii_lowercase();
+    assert!(
+        head.contains("retry-after: 1"),
+        "503 shed must carry retry-after: {response}"
+    );
+
+    // Release the permit and confirm the shed was counted, not hidden.
+    drop(holder);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let health = loop {
+        if let Some((200, body)) = request(addr, "GET", "/v1/healthz", "") {
+            break Json::parse(&body).unwrap();
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "permit never released"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert_eq!(
+        health.get("max_connections").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert!(health.get("connections_shed").and_then(Json::as_u64) >= Some(1));
+    assert_eq!(
+        health.get("connections_active").and_then(Json::as_u64),
+        Some(1),
+        "the healthz probe itself holds the permit"
+    );
+
+    let report = shutdown(server);
+    assert_eq!(report.outcome().code(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn manifest_is_gated_until_finished_and_drain_exits_75() {
     let (server, dir) = start_with(|_| {}, "api-manifest");
     let addr = server.local_addr();

@@ -15,6 +15,8 @@
 //!           [--queue-capacity Q] [--restart-budget R]
 //!           [--checkpoint-every N] [--checkpoint-generations G]
 //!           [--max-reps R] [--max-threads T] [--quarantine-cap B]
+//!           [--max-connections C] [--isolation process|thread]
+//!           [--mem-limit MB] [--cpu-limit SECS]
 //!           [--watchdog-events E] [--watchdog-seconds W]
 //!           [--failpoints SPEC]
 //! ahs durations [--samples N] [--seed S]
@@ -52,6 +54,9 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(rest),
         "check" => cmd_check(rest),
         "serve" => cmd_serve(rest),
+        // Hidden: the process-isolation mode `ahs serve` re-execs for
+        // each job attempt. Not for direct use.
+        "serve-worker" => cmd_serve_worker(rest),
         "durations" => cmd_durations(rest).map(|()| ExitCode::SUCCESS),
         "involved" => cmd_involved(rest).map(|()| ExitCode::SUCCESS),
         "dot" => cmd_dot(rest).map(|()| ExitCode::SUCCESS),
@@ -150,6 +155,16 @@ serve flags:
   --max-reps R        admission cap on reps per job      (default 2000000)
   --max-threads T     admission clamp on threads per job (default: all cores)
   --quarantine-cap B  admission cap on quarantine budget (default 1000)
+  --max-connections C concurrent connection handlers; beyond C connections
+                      are shed with a 503                (default 64)
+  --isolation MODE    process (default on unix) runs each job attempt in a
+                      re-execed `ahs serve-worker` child so crashes and
+                      resource-limit kills stay contained; thread (default
+                      elsewhere) runs attempts in the server process
+  --mem-limit MB      RLIMIT_AS budget each worker process applies to
+                      itself (process isolation only)
+  --cpu-limit SECS    RLIMIT_CPU budget each worker process applies to
+                      itself (process isolation only)
   --watchdog-events E, --watchdog-seconds W
                       watchdog applied to every job (server policy)
   --failpoints SPEC   arm deterministic fault injection (inject builds only)
@@ -211,6 +226,47 @@ impl<'a> Flags<'a> {
             }
         }
         Ok(out)
+    }
+}
+
+/// Parses `--watchdog-events` / `--watchdog-seconds` into an armed
+/// watchdog, or `None` when neither flag is present.
+fn parse_watchdog(f: &Flags<'_>) -> Result<Option<Watchdog>, String> {
+    let mut watchdog = Watchdog::new();
+    if let Some(e) = f.value("--watchdog-events")? {
+        let e: u64 = e
+            .parse()
+            .map_err(|err| format!("invalid value `{e}` for --watchdog-events: {err}"))?;
+        if e == 0 {
+            return Err("--watchdog-events must be positive".into());
+        }
+        watchdog = watchdog.with_max_events(e);
+    }
+    if let Some(w) = f.value("--watchdog-seconds")? {
+        let w: f64 = w
+            .parse()
+            .map_err(|err| format!("invalid value `{w}` for --watchdog-seconds: {err}"))?;
+        if !(w.is_finite() && w > 0.0) {
+            return Err("--watchdog-seconds must be positive and finite".into());
+        }
+        watchdog = watchdog.with_max_wall_seconds(w);
+    }
+    Ok(watchdog.is_armed().then_some(watchdog))
+}
+
+/// Parses an optional positive-integer flag (rejecting zero).
+fn parse_positive(f: &Flags<'_>, flag: &str) -> Result<Option<u64>, String> {
+    match f.value(flag)? {
+        None => Ok(None),
+        Some(v) => {
+            let n: u64 = v
+                .parse()
+                .map_err(|e| format!("invalid value `{v}` for {flag}: {e}"))?;
+            if n == 0 {
+                return Err(format!("{flag} must be positive"));
+            }
+            Ok(Some(n))
+        }
     }
 }
 
@@ -319,26 +375,7 @@ fn cmd_evaluate(args: &[String]) -> Result<ExitCode, String> {
         eval = eval.with_resume(target);
     }
     eval = eval.with_quarantine_budget(f.parse("--quarantine-budget", 0u64)?);
-    let mut watchdog = Watchdog::new();
-    if let Some(e) = f.value("--watchdog-events")? {
-        let e: u64 = e
-            .parse()
-            .map_err(|err| format!("invalid value `{e}` for --watchdog-events: {err}"))?;
-        if e == 0 {
-            return Err("--watchdog-events must be positive".into());
-        }
-        watchdog = watchdog.with_max_events(e);
-    }
-    if let Some(w) = f.value("--watchdog-seconds")? {
-        let w: f64 = w
-            .parse()
-            .map_err(|err| format!("invalid value `{w}` for --watchdog-seconds: {err}"))?;
-        if !(w.is_finite() && w > 0.0) {
-            return Err("--watchdog-seconds must be positive and finite".into());
-        }
-        watchdog = watchdog.with_max_wall_seconds(w);
-    }
-    if watchdog.is_armed() {
+    if let Some(watchdog) = parse_watchdog(&f)? {
         eval = eval.with_watchdog(watchdog);
     }
     eval = if f.has("--paper") {
@@ -437,7 +474,7 @@ fn cmd_evaluate(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
-    use ahs_safety::serve::{AdmissionPolicy, ServeConfig, Server};
+    use ahs_safety::serve::{AdmissionPolicy, Isolation, ProcessIsolation, ServeConfig, Server};
 
     let f = Flags::new(args);
     configure_failpoints(&f)?;
@@ -471,39 +508,52 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         return Err("--max-threads must be positive".into());
     }
     policy.quarantine_cap = f.parse("--quarantine-cap", policy.quarantine_cap)?;
-    let mut watchdog = Watchdog::new();
-    if let Some(e) = f.value("--watchdog-events")? {
-        let e: u64 = e
-            .parse()
-            .map_err(|err| format!("invalid value `{e}` for --watchdog-events: {err}"))?;
-        if e == 0 {
-            return Err("--watchdog-events must be positive".into());
-        }
-        watchdog = watchdog.with_max_events(e);
-    }
-    if let Some(w) = f.value("--watchdog-seconds")? {
-        let w: f64 = w
-            .parse()
-            .map_err(|err| format!("invalid value `{w}` for --watchdog-seconds: {err}"))?;
-        if !(w.is_finite() && w > 0.0) {
-            return Err("--watchdog-seconds must be positive and finite".into());
-        }
-        watchdog = watchdog.with_max_wall_seconds(w);
-    }
-    if watchdog.is_armed() {
-        policy.watchdog = Some(watchdog);
-    }
+    policy.watchdog = parse_watchdog(&f)?;
     config.policy = policy;
+
+    config.max_connections = f.parse("--max-connections", config.max_connections)?;
+    if config.max_connections == 0 {
+        return Err("--max-connections must be positive".into());
+    }
+    // Process isolation is the default wherever rlimits (and POSIX
+    // signals) exist; elsewhere the in-process thread mode remains.
+    let default_isolation = if cfg!(unix) { "process" } else { "thread" };
+    config.isolation = match f.value("--isolation")?.unwrap_or(default_isolation) {
+        "thread" => Isolation::Thread,
+        "process" => {
+            let worker_exe = std::env::current_exe()
+                .map_err(|e| format!("resolving the worker binary for --isolation process: {e}"))?;
+            let mut isolation = ProcessIsolation::new(worker_exe);
+            isolation.mem_limit_mb = parse_positive(&f, "--mem-limit")?;
+            isolation.cpu_limit_secs = parse_positive(&f, "--cpu-limit")?;
+            Isolation::Process(isolation)
+        }
+        other => {
+            return Err(format!(
+                "unknown isolation `{other}` (use process or thread)"
+            ))
+        }
+    };
+    if matches!(config.isolation, Isolation::Thread)
+        && (f.has("--mem-limit") || f.has("--cpu-limit"))
+    {
+        return Err("--mem-limit/--cpu-limit require --isolation process".into());
+    }
 
     let state_dir = config.state_dir.clone();
     let (workers, queue_capacity) = (config.workers, config.queue_capacity);
+    let isolation_name = match &config.isolation {
+        Isolation::Thread => "thread",
+        Isolation::Process(_) => "process",
+    };
     let server =
         Server::start(config, interrupt_flag()).map_err(|e| format!("starting server: {e}"))?;
     // The CI smoke job parses this line to discover the bound port.
     println!("ahs-serve listening on http://{}", server.local_addr());
     println!(
         "state dir {}; {workers} worker(s); queue capacity {queue_capacity}; \
-         stop with SIGINT/SIGTERM (drains, exit 75 while jobs are resumable)",
+         {isolation_name} isolation; stop with SIGINT/SIGTERM (drains, exit 75 \
+         while jobs are resumable)",
         state_dir.display()
     );
     let report = server.join();
@@ -519,6 +569,42 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         }
     );
     Ok(report.outcome().exit_code())
+}
+
+/// The hidden process-isolation mode: evaluates one job attempt from
+/// its state directory and exits 0 (finished), 75 (drained on
+/// SIGTERM), or 1 (typed failure); the supervising `ahs serve` parent
+/// maps anything else — signals, rlimit kills, aborts — to a restart
+/// from the latest good checkpoint generation.
+fn cmd_serve_worker(args: &[String]) -> Result<ExitCode, String> {
+    use ahs_safety::serve::{run_worker, WorkerOptions};
+
+    let f = Flags::new(args);
+    // Failpoints arm from AHS_FAILPOINTS, which the supervisor's
+    // environment passes straight through — so a chaos sweep reaches
+    // inside worker processes too.
+    configure_failpoints(&f)?;
+    let Some(job_dir) = f.value("--job-dir")? else {
+        return Err("serve-worker requires --job-dir (internal mode; use `ahs serve`)".into());
+    };
+    let expect_fingerprint = match f.value("--expect-fingerprint")? {
+        None => None,
+        Some(hex) => Some(
+            u64::from_str_radix(hex, 16)
+                .map_err(|e| format!("invalid value `{hex}` for --expect-fingerprint: {e}"))?,
+        ),
+    };
+    let options = WorkerOptions {
+        job_dir: PathBuf::from(job_dir),
+        checkpoint_every: f.parse("--checkpoint-every", 10_000u64)?,
+        checkpoint_generations: f.parse("--checkpoint-generations", 2u32)?,
+        heartbeat_interval: std::time::Duration::from_millis(f.parse("--heartbeat-ms", 200u64)?),
+        mem_limit_mb: parse_positive(&f, "--mem-limit")?,
+        cpu_limit_secs: parse_positive(&f, "--cpu-limit")?,
+        watchdog: parse_watchdog(&f)?,
+        expect_fingerprint,
+    };
+    Ok(ExitCode::from(run_worker(&options)))
 }
 
 fn cmd_check(args: &[String]) -> Result<ExitCode, String> {

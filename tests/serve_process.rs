@@ -1,0 +1,150 @@
+//! Process-isolation integration tests: the server from the umbrella
+//! crate supervising real re-execed `ahs serve-worker` processes.
+//!
+//! These are the acceptance scenarios for the containment boundary:
+//! a SIGKILLed worker is reaped, restarted from its latest checkpoint
+//! generation, and finishes bitwise-identical to a crash-free solo
+//! run; a worker driven past its memory budget dies alone — in its own
+//! process — while a concurrent job and the server itself are
+//! unaffected.
+
+#![cfg(unix)]
+
+mod serve_common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ahs_safety::obs::Json;
+use ahs_safety::serve::{Isolation, ServeConfig, Server};
+use serve_common::*;
+
+fn start_process_server(
+    tag: &str,
+    mut tweak: impl FnMut(&mut ServeConfig),
+) -> (Server, std::path::PathBuf) {
+    let dir = state_dir(tag);
+    let mut config = ServeConfig::new(&dir);
+    config.addr = "127.0.0.1:0".to_owned();
+    config.isolation = Isolation::Process(process_isolation());
+    tweak(&mut config);
+    let server = Server::start(config, Arc::new(AtomicBool::new(false))).expect("server starts");
+    (server, dir)
+}
+
+fn shutdown(server: Server) -> ahs_safety::serve::DrainReport {
+    server.stop_flag().store(true, Ordering::Relaxed);
+    server.join()
+}
+
+#[test]
+fn sigkilled_worker_is_reaped_restarted_and_bitwise_identical() {
+    let (server, dir) = start_process_server("sigkill", |c| c.checkpoint_every = 2_000);
+    let addr = server.local_addr();
+
+    const SEED: u64 = 41;
+    const REPS: u64 = 60_000;
+    let name = submit(addr, &job_body(SEED, REPS, 1));
+
+    // Wait for durable progress — a published worker PID and at least
+    // one flushed checkpoint generation — then SIGKILL the live worker
+    // mid-job. SIGKILL is uncatchable: nothing inside the worker gets
+    // to flush, apologize, or corrupt anything on the way down.
+    let checkpoint = dir.join("jobs").join(&name).join("checkpoint.json");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let pid = loop {
+        let doc = get_json(addr, &format!("/v1/jobs/{name}"));
+        assert_ne!(
+            doc.get("state").and_then(Json::as_str),
+            Some("finished"),
+            "job finished before the kill; raise REPS"
+        );
+        if let Some(pid) = doc.get("worker_pid").and_then(Json::as_u64) {
+            if checkpoint_exists(&checkpoint) {
+                break pid;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no checkpointed worker attempt to kill"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    kill9(pid);
+
+    let doc = wait_for_state(addr, &name, "finished", Duration::from_secs(180));
+    assert!(
+        doc.get("restarts").and_then(Json::as_u64) >= Some(1),
+        "the kill must have consumed a restart: {doc:?}"
+    );
+    assert_eq!(
+        status_bits(&doc),
+        curve_bits(&solo(SEED, REPS, 1)),
+        "resumed-after-SIGKILL estimates must be bitwise-identical to a solo run"
+    );
+
+    let report = shutdown(server);
+    assert_eq!(report.outcome().code(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mem_limited_worker_dies_alone_while_its_neighbor_finishes() {
+    if !ahs_safety::obs::rlimit_supported() {
+        eprintln!("skipping: no rlimit support on this platform");
+        return;
+    }
+    let (server, dir) = start_process_server("memlimit", |c| {
+        c.workers = 2;
+        c.restart_budget = 1;
+        if let Isolation::Process(isolation) = &mut c.isolation {
+            isolation.mem_limit_mb = Some(1024);
+        }
+    });
+    let addr = server.local_addr();
+
+    // The hog's 200M-point grid is a ~1.6 GiB allocation inside the
+    // worker — far past the 1 GiB address-space cap — so the attempt
+    // abort()s before the first replication even runs.
+    let hog = format!(
+        r#"{{"n":{N},"lambda":{LAMBDA},"horizon":{HORIZON},"points":200000000,"reps":100,"seed":5,"threads":1,"plain":true}}"#
+    );
+    let hog_name = submit(addr, &hog);
+    const SEED: u64 = 17;
+    const REPS: u64 = 30_000;
+    let healthy_name = submit(addr, &job_body(SEED, REPS, 1));
+
+    // The blast radius of the rlimit kill is exactly one process: the
+    // hog job fails after exhausting its restart budget, the healthy
+    // neighbor finishes bitwise-clean, and the server keeps serving.
+    let hog_doc = wait_for_state(addr, &hog_name, "failed", Duration::from_secs(120));
+    let error = hog_doc
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_owned();
+    assert!(
+        error.contains("worker process") && error.contains("restart budget"),
+        "failure must name the worker death and the exhausted budget: {error}"
+    );
+    assert_eq!(hog_doc.get("restarts").and_then(Json::as_u64), Some(1));
+
+    let healthy_doc = wait_for_state(addr, &healthy_name, "finished", Duration::from_secs(180));
+    assert_eq!(
+        status_bits(&healthy_doc),
+        curve_bits(&solo(SEED, REPS, 1)),
+        "the neighbor of an rlimit-killed worker must be untouched"
+    );
+
+    let health = get_json(addr, "/v1/healthz");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(
+        health.get("worker_restarts").and_then(Json::as_u64) >= Some(1),
+        "the rlimit kill must be visible in healthz: {health:?}"
+    );
+
+    let report = shutdown(server);
+    assert_eq!(report.outcome().code(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

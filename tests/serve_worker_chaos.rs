@@ -1,0 +1,177 @@
+//! Chaos sweep of the worker-process failpoints (`serve::worker::exec`
+//! / `heartbeat` / `reap`) — the `ahs-serve-worker` layer of the
+//! catalog.
+//!
+//! Runs only with `--features inject`. The parent-side points (exec,
+//! reap) are armed through the in-process registry; the worker-side
+//! point (heartbeat) is armed through `AHS_FAILPOINTS`, which the
+//! re-execed `ahs serve-worker` child inherits and applies to itself.
+//! The contract under every fault: a typed failure or a
+//! bitwise-identical restarted job — never a hang, never a corrupted
+//! estimate, never a wounded server.
+
+#![cfg(unix)]
+
+mod serve_common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use ahs_safety::obs::Json;
+use ahs_safety::serve::{Isolation, ServeConfig, Server};
+use serve_common::*;
+
+/// The failpoint registry and `AHS_FAILPOINTS` are process-global;
+/// serialize the scenarios.
+fn serial() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn start_process_server(
+    tag: &str,
+    mut tweak: impl FnMut(&mut ServeConfig),
+) -> (Server, std::path::PathBuf) {
+    let dir = state_dir(tag);
+    let mut config = ServeConfig::new(&dir);
+    config.addr = "127.0.0.1:0".to_owned();
+    config.isolation = Isolation::Process(process_isolation());
+    tweak(&mut config);
+    let server = Server::start(config, Arc::new(AtomicBool::new(false))).expect("server starts");
+    (server, dir)
+}
+
+fn drain(server: Server, dir: &std::path::Path) {
+    server.stop_flag().store(true, Ordering::Relaxed);
+    server.join();
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// A failed re-exec (missing binary, fork failure) is a restartable
+/// crash: the next attempt spawns cleanly and the job finishes
+/// bitwise-identical to a solo run.
+#[test]
+fn exec_fault_costs_one_restart_and_stays_bitwise() {
+    let _g = serial();
+    ahs_safety::inject::configure_from_spec("serve::worker::exec=1*return(other)").unwrap();
+    let (server, dir) = start_process_server("chaos-exec", |_| {});
+    let addr = server.local_addr();
+
+    const SEED: u64 = 61;
+    const REPS: u64 = 20_000;
+    let name = submit(addr, &job_body(SEED, REPS, 1));
+    let doc = wait_for_state(addr, &name, "finished", Duration::from_secs(120));
+    assert_eq!(
+        doc.get("restarts").and_then(Json::as_u64),
+        Some(1),
+        "{doc:?}"
+    );
+    assert_eq!(status_bits(&doc), curve_bits(&solo(SEED, REPS, 1)));
+    assert!(ahs_safety::inject::hits("serve::worker::exec") >= 1);
+
+    ahs_safety::inject::clear();
+    drain(server, &dir);
+}
+
+/// Losing the worker's outcome document after a clean-looking exit
+/// demotes the attempt to a crash; the restart resumes from the final
+/// flushed checkpoint and republishes the same bits.
+#[test]
+fn reap_fault_recovers_from_the_final_checkpoint_bitwise() {
+    let _g = serial();
+    ahs_safety::inject::configure_from_spec("serve::worker::reap=1*return(other)").unwrap();
+    let (server, dir) = start_process_server("chaos-reap", |_| {});
+    let addr = server.local_addr();
+
+    const SEED: u64 = 62;
+    const REPS: u64 = 20_000;
+    let name = submit(addr, &job_body(SEED, REPS, 1));
+    let doc = wait_for_state(addr, &name, "finished", Duration::from_secs(120));
+    assert_eq!(
+        doc.get("restarts").and_then(Json::as_u64),
+        Some(1),
+        "{doc:?}"
+    );
+    assert_eq!(status_bits(&doc), curve_bits(&solo(SEED, REPS, 1)));
+    assert!(ahs_safety::inject::hits("serve::worker::reap") >= 1);
+
+    ahs_safety::inject::clear();
+    drain(server, &dir);
+}
+
+/// A worker whose heartbeat stops advancing is wedged as far as the
+/// supervisor can tell: it is killed, restarted, and — when the wedge
+/// is systematic — failed with a typed heartbeat message once the
+/// restart budget runs out. The server itself stays healthy.
+#[test]
+fn systematically_wedged_heartbeat_exhausts_the_budget_with_a_typed_failure() {
+    let _g = serial();
+    // Armed via the environment so the re-execed child inherits it;
+    // the parent's own registry never evaluates this point.
+    std::env::set_var(
+        ahs_safety::inject::ENV_VAR,
+        "serve::worker::heartbeat=return(other)",
+    );
+    let (server, dir) = start_process_server("chaos-heartbeat", |c| {
+        c.restart_budget = 1;
+        if let Isolation::Process(isolation) = &mut c.isolation {
+            isolation.heartbeat_interval = Duration::from_millis(50);
+            isolation.heartbeat_stale_after = Duration::from_millis(500);
+        }
+    });
+    let addr = server.local_addr();
+
+    // Big enough that no attempt can finish before going stale.
+    let name = submit(addr, &job_body(63, 2_000_000, 1));
+    let doc = wait_for_state(addr, &name, "failed", Duration::from_secs(120));
+    std::env::remove_var(ahs_safety::inject::ENV_VAR);
+
+    let error = doc
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_owned();
+    assert!(
+        error.contains("heartbeat") && error.contains("restart budget"),
+        "failure must name the stale heartbeat and the budget: {error}"
+    );
+    assert_eq!(
+        doc.get("restarts").and_then(Json::as_u64),
+        Some(1),
+        "{doc:?}"
+    );
+    let health = get_json(addr, "/v1/healthz");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+
+    drain(server, &dir);
+}
+
+/// The sweep above must cover every registered failpoint of the
+/// `ahs-serve-worker` layer — new points fail this test until they get
+/// a scenario.
+#[test]
+fn sweep_covers_the_whole_worker_layer() {
+    let swept = [
+        "serve::worker::exec",
+        "serve::worker::reap",
+        "serve::worker::heartbeat",
+    ];
+    for desc in ahs_safety::inject::catalog() {
+        if desc.layer == "ahs-serve-worker" {
+            assert!(
+                swept.contains(&desc.name),
+                "failpoint {} has no chaos scenario",
+                desc.name
+            );
+        }
+    }
+    assert_eq!(
+        ahs_safety::inject::catalog()
+            .iter()
+            .filter(|d| d.layer == "ahs-serve-worker")
+            .count(),
+        swept.len(),
+        "catalog and sweep drifted apart"
+    );
+}
